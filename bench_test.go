@@ -1,0 +1,189 @@
+// Benchmarks regenerating every figure and ablation in DESIGN.md §5.
+//
+// Each benchmark runs the corresponding experiment end to end (Phase 1
+// specialization + Phase 2 noise injection + metric assembly) on the
+// quick dataset so `go test -bench=.` finishes on a laptop; pass
+// -benchtime and the gdpbench CLI's -preset dblp-scaled / dblp-full for
+// larger runs. Custom metrics report reproduction quality alongside
+// wall-time: rer_I7 is the measured relative error rate of the coarsest
+// released level at εg≈1 (the paper's headline 0.35 on full DBLP).
+package repro_test
+
+import (
+	"testing"
+
+	"repro"
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/dp"
+	"repro/internal/experiments"
+	"repro/internal/hierarchy"
+	"repro/internal/partition"
+	"repro/internal/rng"
+)
+
+func benchOpts() experiments.Options {
+	return experiments.Options{Quick: true, Seed: 1}
+}
+
+// BenchmarkFigure1 regenerates Figure 1 (RER vs εg for every information
+// level).
+func BenchmarkFigure1(b *testing.B) {
+	cfg, err := experiments.DefaultFigure1Config(benchOpts())
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg.Trials = 2
+	var lastTop float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFigure1(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		top := res.Series[len(res.Series)-1]
+		lastTop = top.Y[len(top.Y)-1]
+	}
+	b.ReportMetric(lastTop, "rer_I7")
+}
+
+// BenchmarkAblationBudgetSplit regenerates ablation A1.
+func BenchmarkAblationBudgetSplit(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunBudgetSplit(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationCalibration regenerates ablation A2.
+func BenchmarkAblationCalibration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunCalibration(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationPartitioner regenerates ablation A3.
+func BenchmarkAblationPartitioner(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunPartitioner(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationAdjacency regenerates ablation A4.
+func BenchmarkAblationAdjacency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunAdjacency(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationDelta regenerates ablation A5.
+func BenchmarkAblationDelta(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunDeltaSweep(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationMechanism regenerates ablation A7.
+func BenchmarkAblationMechanism(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunMechanism(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationConsistency regenerates experiment A9 (constrained
+// inference).
+func BenchmarkAblationConsistency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunConsistency(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationTopK regenerates experiment A8 (heavy-hitter utility).
+func BenchmarkAblationTopK(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunTopK(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPipelineScale regenerates ablation A6 (scalability).
+func BenchmarkPipelineScale(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunScale(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPhase1Specialization isolates the hierarchy build (the
+// pipeline's dominant cost) on the tiny DBLP preset.
+func BenchmarkPhase1Specialization(b *testing.B) {
+	g, err := datagen.Generate(datagen.DBLPTiny(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := rng.New(2)
+	bis, err := partition.NewExpMechBisector(0.1, src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := hierarchy.Build(g, hierarchy.Options{Rounds: 6, Bisector: bis}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(g.NumEdges()) * 8)
+}
+
+// BenchmarkPhase2Release isolates the per-level noisy count release.
+func BenchmarkPhase2Release(b *testing.B) {
+	g, err := datagen.Generate(datagen.DBLPTiny(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	tree, err := hierarchy.Build(g, hierarchy.Options{Rounds: 6, Bisector: partition.BalancedBisector{}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := rng.New(3)
+	p := dp.Params{Epsilon: 0.5, Delta: 1e-5}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.ReleaseCount(tree, 4, p, core.ModelCells, core.CalibrationClassical, src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEndToEndPipeline measures the full public-API path.
+func BenchmarkEndToEndPipeline(b *testing.B) {
+	g, err := repro.GenerateDataset(repro.PresetDBLPTiny, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pipe, err := repro.NewPipeline(repro.Params{Epsilon: 0.9, Delta: 1e-5},
+			repro.WithRounds(6), repro.WithSeed(uint64(i)+1), repro.WithPhase1Epsilon(0.1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := pipe.Run(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

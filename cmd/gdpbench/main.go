@@ -1,0 +1,102 @@
+// Command gdpbench regenerates the paper's evaluation. Every experiment
+// in DESIGN.md §5 — Figure 1 plus ablations A1–A6 — is a named entry;
+// gdpbench prints its tables (markdown), ASCII figures, and the
+// paper-vs-measured notes, and can dump CSVs for external plotting.
+//
+// Usage:
+//
+//	gdpbench -exp figure1
+//	gdpbench -exp all -quick
+//	gdpbench -exp figure1 -preset dblp-scaled -trials 20 -csv out/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro"
+	"repro/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "gdpbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("gdpbench", flag.ContinueOnError)
+	var (
+		exp    = fs.String("exp", "figure1", fmt.Sprintf("experiment name or 'all' %v", experiments.Names()))
+		preset = fs.String("preset", "", "dataset preset override (default dblp-scaled, dblp-tiny with -quick)")
+		seed   = fs.Uint64("seed", 1, "random seed")
+		trials = fs.Int("trials", 0, "trial count override (0 = experiment default)")
+		quick  = fs.Bool("quick", false, "shrink datasets and grids for a fast run")
+		csvDir = fs.String("csv", "", "also write each table as CSV into this directory")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	opts := repro.ExperimentOptions{
+		Preset: *preset,
+		Seed:   *seed,
+		Trials: *trials,
+		Quick:  *quick,
+	}
+	names := []string{*exp}
+	if *exp == "all" {
+		names = experiments.Names()
+	}
+	for _, name := range names {
+		report, err := repro.RunExperiment(name, opts)
+		if err != nil {
+			return fmt.Errorf("experiment %s: %w", name, err)
+		}
+		if err := emit(report, *csvDir); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func emit(report *repro.ExperimentReport, csvDir string) error {
+	fmt.Printf("## %s\n\n", report.Title)
+	for _, fig := range report.Figures {
+		fmt.Println(fig)
+	}
+	for ti, table := range report.Tables {
+		fmt.Println(table.Markdown())
+		if csvDir != "" {
+			if err := os.MkdirAll(csvDir, 0o755); err != nil {
+				return err
+			}
+			name := fmt.Sprintf("%s_%d.csv", sanitize(report.Name), ti)
+			path := filepath.Join(csvDir, name)
+			if err := os.WriteFile(path, []byte(table.CSV()), 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("(csv written to %s)\n\n", path)
+		}
+	}
+	for _, note := range report.Notes {
+		fmt.Printf("> %s\n", note)
+	}
+	fmt.Println()
+	return nil
+}
+
+func sanitize(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '-', r == '_':
+			return r
+		default:
+			return '_'
+		}
+	}, s)
+}

@@ -1,0 +1,51 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunSingleExperimentQuick(t *testing.T) {
+	if err := run([]string{"-exp", "adjacency", "-quick", "-seed", "2"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWithCSVOutput(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-exp", "mechanism", "-quick", "-csv", dir}); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("no CSV written")
+	}
+	blob, err := os.ReadFile(filepath.Join(dir, entries[0].Name()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(blob), ",") {
+		t.Error("CSV content malformed")
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-exp", "bogus"}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestSanitize(t *testing.T) {
+	t.Parallel()
+	if got := sanitize("budget-split"); got != "budget-split" {
+		t.Errorf("sanitize = %q", got)
+	}
+	if got := sanitize("We?ird/Name"); strings.ContainsAny(got, "?/ABCDEFGHIJKLMNOPQRSTUVWXYZ") {
+		t.Errorf("sanitize left bad chars: %q", got)
+	}
+}

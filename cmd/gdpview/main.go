@@ -1,0 +1,111 @@
+// Command gdpview renders a published release artifact (the JSON written
+// by gdprelease / Release.WriteJSON) for human inspection: dataset
+// summary, per-level noise parameters, privacy costs, and — with -level —
+// the exact view a single privilege tier receives.
+//
+// Usage:
+//
+//	gdpview release.json
+//	gdpview -level 3 release.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/metrics"
+	"repro/internal/release"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "gdpview:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("gdpview", flag.ContinueOnError)
+	level := fs.Int("level", -1, "show only this privilege tier's view")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: gdpview [-level N] <release.json>")
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	rel, err := release.ReadJSON(f)
+	if err != nil {
+		return err
+	}
+
+	if *level >= 0 {
+		return printView(rel, *level)
+	}
+	return printArtifact(rel)
+}
+
+func printArtifact(rel *release.Release) error {
+	fmt.Printf("release artifact: %d rounds, mode %s, model %s, calibration %s\n",
+		rel.Rounds, rel.ModeName, rel.ModelName, rel.CalibName)
+	fmt.Printf("dataset: %s\n", rel.Dataset)
+	fmt.Printf("budget: εg=%g δ=%g   phase-1 ε=%g\n", rel.BudgetEpsilon, rel.BudgetDelta, rel.Phase1Epsilon)
+	fmt.Printf("cost: parallel ε=%.4f (per tier)   sequential ε=%.4f (all tiers)\n\n",
+		rel.ParallelCostEpsilon, rel.SequentialCostEpsilon)
+
+	table := metrics.Table{
+		Title:   "Per-level releases",
+		Headers: []string{"level", "ε", "δ", "sensitivity Δ", "σ", "noisy count"},
+	}
+	for _, lr := range rel.Counts.Levels {
+		table.AddRow(lr.Level, lr.Epsilon, lr.Delta, lr.Sensitivity, lr.Sigma, lr.NoisyCount)
+	}
+	fmt.Println(table.Markdown())
+
+	if len(rel.Cells) > 0 {
+		cellTable := metrics.Table{
+			Title:   "Cell-histogram releases",
+			Headers: []string{"level", "side groups", "cells", "σ", "sum of cells"},
+		}
+		for _, c := range rel.Cells {
+			cellTable.AddRow(c.Level, c.SideGroups, len(c.Counts), c.Sigma, c.SumCells())
+		}
+		fmt.Println(cellTable.Markdown())
+	}
+
+	if len(rel.Profiles) > 0 {
+		prof := metrics.Table{
+			Title:   "Hierarchy profile",
+			Headers: []string{"level", "cells", "non-empty", "max cell", "mean cell", "skew"},
+		}
+		for _, p := range rel.Profiles {
+			prof.AddRow(p.Level, p.NumCells, p.NonEmpty, p.MaxCellEdges, p.MeanCellEdges, p.Skew)
+		}
+		fmt.Println(prof.Markdown())
+	}
+	return nil
+}
+
+func printView(rel *release.Release, level int) error {
+	v, err := rel.ViewFor(level)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("view for privilege level %d\n", level)
+	fmt.Printf("  association count: %.1f\n", v.Count.NoisyCount)
+	fmt.Printf("  guarantee: εg=%g", v.Count.Epsilon)
+	if v.Count.Delta > 0 {
+		fmt.Printf(", δ=%g", v.Count.Delta)
+	}
+	fmt.Printf(" group-DP at level %d (Δ=%d, σ=%.1f)\n", v.Count.Level, v.Count.Sensitivity, v.Count.Sigma)
+	if v.Cells != nil {
+		fmt.Printf("  subgraph histogram: %d×%d cells, σ=%.1f, total %.1f\n",
+			v.Cells.SideGroups, v.Cells.SideGroups, v.Cells.Sigma, v.Cells.SumCells())
+	}
+	return nil
+}

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro"
+)
+
+// writeArtifact produces a small published artifact on disk.
+func writeArtifact(t *testing.T) string {
+	t.Helper()
+	g, err := repro.GenerateDataset(repro.PresetDBLPTiny, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe, err := repro.NewPipeline(repro.Params{Epsilon: 0.9, Delta: 1e-5},
+		repro.WithRounds(5), repro.WithSeed(6), repro.WithCellHistograms(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := pipe.Run(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rel.WriteJSON(&buf, false); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "rel.json")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunFullArtifact(t *testing.T) {
+	path := writeArtifact(t)
+	if err := run([]string{path}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunLevelView(t *testing.T) {
+	path := writeArtifact(t)
+	if err := run([]string{"-level", "2", path}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-level", "99", path}); err == nil {
+		t.Error("missing level accepted")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{}); err == nil {
+		t.Error("no args accepted")
+	}
+	if err := run([]string{"/nonexistent.json"}); err == nil {
+		t.Error("missing file accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("{}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{bad}); err == nil {
+		t.Error("invalid artifact accepted")
+	}
+}

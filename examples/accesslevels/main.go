@@ -1,0 +1,69 @@
+// Access levels: demonstrates the multi-level access-privilege model of
+// the paper — one published artifact, different views per tier — and the
+// difference between the curator-side artifact (with exact counts) and
+// the publishable artifact (OmitTrue).
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	g, err := repro.GenerateDataset(repro.PresetMovies, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("movie-rating graph:", repro.ComputeStats(g))
+
+	pipe, err := repro.NewPipeline(
+		repro.Params{Epsilon: 0.9, Delta: 1e-5},
+		repro.WithRounds(7),
+		repro.WithPhase1Epsilon(0.05),
+		repro.WithSeed(21),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rel, err := pipe.Run(g)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	tiers := []struct {
+		name  string
+		level int
+	}{
+		{name: "public (lowest privilege)", level: 5},
+		{name: "registered analyst", level: 3},
+		{name: "trusted partner", level: 1},
+		{name: "internal auditor (highest)", level: 0},
+	}
+	exact := float64(g.NumEdges())
+	fmt.Printf("\nexact rating count (curator only): %.0f\n\n", exact)
+	for _, tier := range tiers {
+		view, err := rel.ViewFor(tier.level)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-28s sees %9.0f ratings  (level %d, Δ=%d, off by %.2f%%)\n",
+			tier.name, view.Count.NoisyCount, tier.level,
+			view.Count.Sensitivity, view.Count.RER*100)
+	}
+
+	// The publishable JSON strips exact counts; the curator-side JSON
+	// keeps them for utility audits.
+	var buf bytes.Buffer
+	if err := rel.WriteJSON(&buf, false); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\npublishable artifact (first lines):")
+	preview := buf.String()
+	if len(preview) > 400 {
+		preview = preview[:400] + "\n..."
+	}
+	fmt.Println(preview)
+}

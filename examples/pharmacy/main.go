@@ -1,0 +1,72 @@
+// Pharmacy scenario from the paper's introduction: patients (left)
+// purchase drugs (right), and the aggregate "how many psychiatric-drug
+// purchases came from this neighbourhood" is itself sensitive — classical
+// record-level DP does not protect it, g-group DP does.
+//
+// The example releases the purchase graph at several group levels with
+// cell histograms enabled, then answers neighbourhood-style range queries
+// from each tier's noisy histogram and reports the error a data user at
+// that tier would actually see.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/query"
+	"repro/internal/rng"
+)
+
+func main() {
+	g, err := repro.GenerateDataset(repro.PresetPharmacy, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("purchase graph:", repro.ComputeStats(g))
+	fmt.Printf("example records: %q bought %q\n\n",
+		g.LeftName(g.Neighbors(repro.Right, 0)[0]), g.RightName(0))
+
+	pipe, err := repro.NewPipeline(
+		repro.Params{Epsilon: 0.8, Delta: 1e-5},
+		repro.WithRounds(6),
+		repro.WithPhase1Epsilon(0.1),
+		repro.WithCellHistograms(true), // release noisy subgraph histograms
+		repro.WithSeed(11),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rel, err := pipe.Run(g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tree := rel.Tree()
+
+	// "Neighbourhoods" are the patient-side groups the hierarchy formed;
+	// a range query over consecutive groups asks how many purchases a
+	// block of neighbourhoods made in a block of drug groups.
+	fmt.Printf("%-8s %12s %16s %16s\n", "level", "groups/side", "mean |error|", "mean RER")
+	for _, lvl := range rel.Levels() {
+		view, err := rel.ViewFor(lvl)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if view.Cells == nil {
+			continue
+		}
+		workload, err := query.RandomRects(rng.New(99), tree, lvl, 200)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := query.Evaluate(tree, *view.Cells, workload)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("I6,%-5d %12d %16.1f %15.1f%%\n",
+			lvl, view.Cells.SideGroups, res.AbsErr.Mean, res.RER.Mean*100)
+	}
+
+	fmt.Println("\nlow-privilege tiers see neighbourhood aggregates only through heavy noise;")
+	fmt.Println("high-privilege tiers (fine levels) get accurate counts — the paper's access model.")
+}

@@ -1,0 +1,56 @@
+// Quickstart: disclose a synthetic association graph at multiple
+// information levels with g-group differential privacy, and inspect what
+// each privilege tier receives.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	// 1. Get data: a small synthetic author-paper graph (or load your own
+	//    with repro.LoadTSV / repro.LoadDBLPXML).
+	g, err := repro.GenerateDataset(repro.PresetDBLPTiny, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("dataset:", repro.ComputeStats(g))
+
+	// 2. Configure the two-phase pipeline: six specialization rounds and
+	//    εg = 0.9 of group privacy per information level.
+	pipe, err := repro.NewPipeline(
+		repro.Params{Epsilon: 0.9, Delta: 1e-5},
+		repro.WithRounds(6),
+		repro.WithPhase1Epsilon(0.1), // private exponential-mechanism grouping
+		repro.WithSeed(7),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Run it.
+	rel, err := pipe.Run(g)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. Each information level I6,i protects the groups formed at level
+	//    i: coarse levels (large groups) get heavy noise, fine levels get
+	//    almost exact answers.
+	fmt.Printf("\n%-8s %12s %12s %10s %8s\n", "level", "sensitivity", "noisy count", "sigma", "RER")
+	for _, lr := range rel.Counts.Levels {
+		fmt.Printf("I6,%-5d %12d %12.0f %10.1f %7.2f%%\n",
+			lr.Level, lr.Sensitivity, lr.NoisyCount, lr.Sigma, lr.RER*100)
+	}
+
+	// 5. A privilege-3 user receives only their tier's view.
+	view, err := rel.ViewFor(3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nprivilege-3 view: %.0f associations (εg=%g group-DP at level 3)\n",
+		view.Count.NoisyCount, view.Count.Epsilon)
+}

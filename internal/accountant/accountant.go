@@ -1,0 +1,299 @@
+// Package accountant tracks differential-privacy budget expenditure and
+// implements the composition theorems the disclosure pipeline relies on.
+//
+// The paper's multi-level release runs one specialization phase and one
+// noise-injection phase per group level; whether those consume independent
+// budgets (the paper's per-level reading) or compose into one global εg is
+// an evaluation knob (ablation A1 in DESIGN.md). The Ledger gives every
+// pipeline run an auditable record of what was spent where, and refuses
+// operations that would exceed the configured total.
+package accountant
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/dp"
+)
+
+// Errors returned by the ledger and the composition helpers.
+var (
+	ErrBudgetExceeded = errors.New("accountant: operation would exceed the privacy budget")
+	ErrNoOps          = errors.New("accountant: composition over zero operations")
+	ErrBadSplit       = errors.New("accountant: invalid budget split")
+)
+
+// Op is one recorded privacy expenditure.
+type Op struct {
+	// Seq is the 1-based order in which the operation was admitted.
+	Seq int
+	// Label identifies the operation for audit ("phase1/level3" etc.).
+	Label string
+	// Cost is the (ε, δ) consumed.
+	Cost dp.Params
+}
+
+// Ledger tracks expenditures against a fixed total budget under basic
+// (sequential) composition. It is safe for concurrent use: pipeline phases
+// may spend from worker goroutines.
+type Ledger struct {
+	mu     sync.Mutex
+	budget dp.Params
+	ops    []Op
+	eps    float64
+	delta  float64
+}
+
+// NewLedger returns a ledger with the given total budget.
+func NewLedger(budget dp.Params) (*Ledger, error) {
+	if err := budget.Validate(); err != nil {
+		return nil, err
+	}
+	return &Ledger{budget: budget}, nil
+}
+
+// Budget returns the configured total.
+func (l *Ledger) Budget() dp.Params { return l.budget }
+
+// Spend admits an operation with the given cost, or returns
+// ErrBudgetExceeded (spending nothing) if basic composition of all admitted
+// operations would exceed the total budget. A tiny relative tolerance
+// absorbs floating-point drift so that n spends of total/n always fit.
+func (l *Ledger) Spend(label string, cost dp.Params) error {
+	if err := cost.Validate(); err != nil {
+		return err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	const tol = 1e-9
+	if l.eps+cost.Epsilon > l.budget.Epsilon*(1+tol) ||
+		l.delta+cost.Delta > l.budget.Delta*(1+tol)+tol*1e-9 {
+		return fmt.Errorf("%w: spent %s + requested %s > budget %s (label %q)",
+			ErrBudgetExceeded, dp.Params{Epsilon: l.eps, Delta: l.delta}, cost, l.budget, label)
+	}
+	l.eps += cost.Epsilon
+	l.delta += cost.Delta
+	l.ops = append(l.ops, Op{Seq: len(l.ops) + 1, Label: label, Cost: cost})
+	return nil
+}
+
+// Spent returns the basic-composition total of admitted operations.
+func (l *Ledger) Spent() dp.Params {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return dp.Params{Epsilon: l.eps, Delta: l.delta}
+}
+
+// Remaining returns the budget left under basic composition. Components
+// are clamped at zero.
+func (l *Ledger) Remaining() dp.Params {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return dp.Params{
+		Epsilon: math.Max(0, l.budget.Epsilon-l.eps),
+		Delta:   math.Max(0, l.budget.Delta-l.delta),
+	}
+}
+
+// Ops returns a copy of the audit trail in admission order.
+func (l *Ledger) Ops() []Op {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]Op(nil), l.ops...)
+}
+
+// AuditReport renders the trail as a human-readable multi-line string.
+func (l *Ledger) AuditReport() string {
+	ops := l.Ops()
+	spent := l.Spent()
+	var b strings.Builder
+	fmt.Fprintf(&b, "privacy ledger: budget %s, spent %s, %d ops\n", l.budget, spent, len(ops))
+	for _, op := range ops {
+		fmt.Fprintf(&b, "  %3d. %-24s %s\n", op.Seq, op.Label, op.Cost)
+	}
+	return b.String()
+}
+
+// ComposeBasic returns the basic sequential composition of the given
+// costs: ε and δ add.
+func ComposeBasic(costs []dp.Params) (dp.Params, error) {
+	if len(costs) == 0 {
+		return dp.Params{}, ErrNoOps
+	}
+	var out dp.Params
+	for i, c := range costs {
+		if err := c.Validate(); err != nil {
+			return dp.Params{}, fmt.Errorf("cost %d: %w", i, err)
+		}
+		out.Epsilon += c.Epsilon
+		out.Delta += c.Delta
+	}
+	return out, nil
+}
+
+// ComposeParallel returns the parallel composition of the given costs:
+// mechanisms operating on disjoint data cost the maximum, not the sum.
+// The paper's per-level releases to different privilege tiers are modeled
+// this way in the "paper mode" pipeline.
+func ComposeParallel(costs []dp.Params) (dp.Params, error) {
+	if len(costs) == 0 {
+		return dp.Params{}, ErrNoOps
+	}
+	var out dp.Params
+	for i, c := range costs {
+		if err := c.Validate(); err != nil {
+			return dp.Params{}, fmt.Errorf("cost %d: %w", i, err)
+		}
+		out.Epsilon = math.Max(out.Epsilon, c.Epsilon)
+		out.Delta = math.Max(out.Delta, c.Delta)
+	}
+	return out, nil
+}
+
+// ComposeAdvanced returns the k-fold advanced composition (Dwork–Roth,
+// Theorem 3.20) of k adaptive invocations of an (ε, δ)-DP mechanism with
+// slack δ':
+//
+//	ε_total = √(2k ln(1/δ'))·ε + k·ε·(e^ε − 1)
+//	δ_total = k·δ + δ'
+func ComposeAdvanced(cost dp.Params, k int, deltaSlack float64) (dp.Params, error) {
+	if err := cost.Validate(); err != nil {
+		return dp.Params{}, err
+	}
+	if k <= 0 {
+		return dp.Params{}, fmt.Errorf("accountant: k must be positive (got %d)", k)
+	}
+	if !(deltaSlack > 0 && deltaSlack < 1) {
+		return dp.Params{}, fmt.Errorf("accountant: delta slack must be in (0,1) (got %v)", deltaSlack)
+	}
+	kf := float64(k)
+	eps := math.Sqrt(2*kf*math.Log(1/deltaSlack))*cost.Epsilon +
+		kf*cost.Epsilon*(math.Expm1(cost.Epsilon))
+	return dp.Params{Epsilon: eps, Delta: kf*cost.Delta + deltaSlack}, nil
+}
+
+// AdvancedPerQueryEpsilon inverts ComposeAdvanced: it returns the largest
+// per-query ε such that k queries compose (with slack δ') to at most
+// epsTotal. Solved by bisection; useful when splitting a global budget
+// across levels under advanced composition (ablation A1).
+func AdvancedPerQueryEpsilon(epsTotal float64, k int, deltaSlack float64) (float64, error) {
+	if !(epsTotal > 0) || math.IsNaN(epsTotal) || math.IsInf(epsTotal, 0) {
+		return 0, fmt.Errorf("accountant: total epsilon must be > 0 (got %v)", epsTotal)
+	}
+	if k <= 0 {
+		return 0, fmt.Errorf("accountant: k must be positive (got %d)", k)
+	}
+	if !(deltaSlack > 0 && deltaSlack < 1) {
+		return 0, fmt.Errorf("accountant: delta slack must be in (0,1) (got %v)", deltaSlack)
+	}
+	total := func(eps float64) float64 {
+		kf := float64(k)
+		return math.Sqrt(2*kf*math.Log(1/deltaSlack))*eps + kf*eps*math.Expm1(eps)
+	}
+	lo, hi := 0.0, epsTotal
+	for total(hi) < epsTotal {
+		hi *= 2
+	}
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if total(mid) > epsTotal {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return lo, nil
+}
+
+// Splitter divides a total budget across n sub-releases.
+type Splitter interface {
+	// Split returns n per-release budgets whose basic composition does
+	// not exceed total.
+	Split(total dp.Params, n int) ([]dp.Params, error)
+}
+
+// UniformSplitter gives every release total/n.
+type UniformSplitter struct{}
+
+var _ Splitter = UniformSplitter{}
+
+// Split implements Splitter.
+func (UniformSplitter) Split(total dp.Params, n int) ([]dp.Params, error) {
+	if err := total.Validate(); err != nil {
+		return nil, err
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("%w: n=%d", ErrBadSplit, n)
+	}
+	out := make([]dp.Params, n)
+	for i := range out {
+		out[i] = dp.Params{Epsilon: total.Epsilon / float64(n), Delta: total.Delta / float64(n)}
+	}
+	return out, nil
+}
+
+// GeometricSplitter assigns budgets proportional to Ratio^i, i = 0..n-1.
+// Ratio > 1 favors later (finer, lower-sensitivity) releases; Ratio < 1
+// favors earlier ones. Ratio must be positive and not 1 (use
+// UniformSplitter for equal shares).
+type GeometricSplitter struct {
+	Ratio float64
+}
+
+var _ Splitter = GeometricSplitter{}
+
+// Split implements Splitter.
+func (s GeometricSplitter) Split(total dp.Params, n int) ([]dp.Params, error) {
+	if err := total.Validate(); err != nil {
+		return nil, err
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("%w: n=%d", ErrBadSplit, n)
+	}
+	if !(s.Ratio > 0) || s.Ratio == 1 || math.IsInf(s.Ratio, 0) || math.IsNaN(s.Ratio) {
+		return nil, fmt.Errorf("%w: ratio=%v", ErrBadSplit, s.Ratio)
+	}
+	weights := make([]float64, n)
+	w := 1.0
+	for i := range weights {
+		weights[i] = w
+		w *= s.Ratio
+	}
+	return SplitWeighted(total, weights)
+}
+
+// SplitWeighted divides total proportionally to the given positive
+// weights.
+func SplitWeighted(total dp.Params, weights []float64) ([]dp.Params, error) {
+	if err := total.Validate(); err != nil {
+		return nil, err
+	}
+	if len(weights) == 0 {
+		return nil, fmt.Errorf("%w: no weights", ErrBadSplit)
+	}
+	var sum float64
+	for i, w := range weights {
+		if !(w > 0) || math.IsInf(w, 0) || math.IsNaN(w) {
+			return nil, fmt.Errorf("%w: weight %d = %v", ErrBadSplit, i, w)
+		}
+		sum += w
+	}
+	out := make([]dp.Params, len(weights))
+	for i, w := range weights {
+		frac := w / sum
+		out[i] = dp.Params{Epsilon: total.Epsilon * frac, Delta: total.Delta * frac}
+	}
+	return out, nil
+}
+
+// SortOpsByCost returns the audit trail sorted by descending ε, for
+// reporting which phases dominate expenditure.
+func SortOpsByCost(ops []Op) []Op {
+	out := append([]Op(nil), ops...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Cost.Epsilon > out[j].Cost.Epsilon })
+	return out
+}

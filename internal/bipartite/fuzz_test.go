@@ -1,0 +1,89 @@
+package bipartite
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzDecodeBinary checks that arbitrary bytes never panic the binary
+// decoder and that valid graphs survive a re-encode round trip. Run the
+// seed corpus with `go test`; extend with `go test -fuzz=FuzzDecodeBinary`.
+func FuzzDecodeBinary(f *testing.F) {
+	// Seed with a real encoding and a few corruptions of it.
+	g, err := FromEdges(3, 4, []Edge{{0, 0}, {1, 2}, {2, 3}, {0, 3}})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := EncodeBinary(&buf, g); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte("BPG1"))
+	f.Add([]byte{})
+	mutated := append([]byte(nil), valid...)
+	if len(mutated) > 6 {
+		mutated[6] ^= 0xff
+	}
+	f.Add(mutated)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		decoded, err := DecodeBinary(bytes.NewReader(data))
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		if err := decoded.Validate(); err != nil {
+			t.Fatalf("decoder accepted an invalid graph: %v", err)
+		}
+		var out bytes.Buffer
+		if err := EncodeBinary(&out, decoded); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		again, err := DecodeBinary(&out)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if again.NumEdges() != decoded.NumEdges() {
+			t.Fatalf("round trip changed edge count %d -> %d", decoded.NumEdges(), again.NumEdges())
+		}
+	})
+}
+
+// FuzzLoadTSV checks the TSV loader never panics on arbitrary text.
+func FuzzLoadTSV(f *testing.F) {
+	f.Add("0\t1\n1\t0\n")
+	f.Add("alice\tinsulin\n")
+	f.Add("# comment\n\n3\t4\n")
+	f.Add("bad line with no tab\n")
+	f.Add("1\t2\t3\n")
+	f.Add("-5\t7\n")
+	f.Fuzz(func(t *testing.T, data string) {
+		g, err := LoadTSV(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("loader accepted an invalid graph: %v", err)
+		}
+	})
+}
+
+// FuzzLoadDBLPXML checks the XML loader never panics on arbitrary input.
+func FuzzLoadDBLPXML(f *testing.F) {
+	f.Add(`<dblp><article key="a"><author>X</author></article></dblp>`)
+	f.Add(`<dblp></dblp>`)
+	f.Add(`<dblp><article>`)
+	f.Add(`not xml at all`)
+	f.Fuzz(func(t *testing.T, data string) {
+		g, err := LoadDBLPXML(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("loader accepted an invalid graph: %v", err)
+		}
+	})
+}

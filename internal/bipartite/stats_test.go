@@ -1,0 +1,113 @@
+package bipartite
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestComputeStatsFixture(t *testing.T) {
+	t.Parallel()
+	g := buildTestGraph(t)
+	s := ComputeStats(g)
+	if s.NumLeft != 3 || s.NumRight != 3 || s.NumEdges != 6 {
+		t.Fatalf("shape = %d/%d/%d", s.NumLeft, s.NumRight, s.NumEdges)
+	}
+	if s.MeanLeftDegree != 2 || s.MeanRightDegree != 2 {
+		t.Errorf("means = %v/%v, want 2/2", s.MeanLeftDegree, s.MeanRightDegree)
+	}
+	if s.MaxLeftDegree != 3 || s.MaxRightDegree != 3 {
+		t.Errorf("max = %d/%d, want 3/3", s.MaxLeftDegree, s.MaxRightDegree)
+	}
+	if s.MedianLeftDegree != 2 {
+		t.Errorf("median left = %v, want 2", s.MedianLeftDegree)
+	}
+	// density = 6 / 9
+	if math.Abs(s.Density-6.0/9.0) > 1e-12 {
+		t.Errorf("density = %v", s.Density)
+	}
+}
+
+func TestComputeStatsEmpty(t *testing.T) {
+	t.Parallel()
+	s := ComputeStats(&Graph{})
+	if s.NumEdges != 0 || s.MeanLeftDegree != 0 || s.Density != 0 {
+		t.Errorf("empty stats = %+v", s)
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	t.Parallel()
+	s := ComputeStats(buildTestGraph(t))
+	out := s.String()
+	for _, want := range []string{"|L|=3", "|R|=3", "|E|=6", "gini"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Stats.String() = %q missing %q", out, want)
+		}
+	}
+}
+
+func TestGiniUniformIsZero(t *testing.T) {
+	t.Parallel()
+	// A perfectly regular graph has Gini 0 on both sides.
+	g, err := FromEdges(4, 4, []Edge{
+		{0, 0}, {1, 1}, {2, 2}, {3, 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := ComputeStats(g)
+	if s.GiniLeft != 0 || s.GiniRight != 0 {
+		t.Errorf("gini = %v/%v, want 0/0", s.GiniLeft, s.GiniRight)
+	}
+}
+
+func TestGiniConcentrated(t *testing.T) {
+	t.Parallel()
+	// One hub owns every edge: Gini approaches (n-1)/n.
+	edges := make([]Edge, 10)
+	for i := range edges {
+		edges[i] = Edge{Left: 0, Right: int32(i)}
+	}
+	g, err := FromEdges(5, 10, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := ComputeStats(g)
+	if s.GiniLeft < 0.7 {
+		t.Errorf("GiniLeft = %v, want high concentration", s.GiniLeft)
+	}
+}
+
+func TestDegreeHistogram(t *testing.T) {
+	t.Parallel()
+	g := buildTestGraph(t)
+	h := DegreeHistogram(g, Left)
+	// degrees on left: 2, 1, 3 -> hist[1]=1, hist[2]=1, hist[3]=1
+	want := []int64{0, 1, 1, 1}
+	if len(h) != len(want) {
+		t.Fatalf("hist len = %d, want %d", len(h), len(want))
+	}
+	for i := range want {
+		if h[i] != want[i] {
+			t.Errorf("hist[%d] = %d, want %d", i, h[i], want[i])
+		}
+	}
+}
+
+func TestDegreeQuantile(t *testing.T) {
+	t.Parallel()
+	g := buildTestGraph(t)
+	if q := DegreeQuantile(g, Left, 0); q != 1 {
+		t.Errorf("q0 = %v, want 1", q)
+	}
+	if q := DegreeQuantile(g, Left, 1); q != 3 {
+		t.Errorf("q1 = %v, want 3", q)
+	}
+	if !math.IsNaN(DegreeQuantile(g, Left, -0.5)) {
+		t.Error("negative quantile should be NaN")
+	}
+	if !math.IsNaN(DegreeQuantile(&Graph{}, Left, 0.5)) {
+		t.Error("quantile of empty side should be NaN")
+	}
+}

@@ -1,0 +1,119 @@
+package bipartite
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBadNodeSet reports an induced-subgraph request with invalid nodes.
+var ErrBadNodeSet = errors.New("bipartite: invalid node set")
+
+// InducedSubgraph extracts the subgraph spanned by the given left and
+// right node sets — exactly a hierarchy cell when called with a cell's two
+// side groups. Node ids are re-indexed densely in the order given
+// (duplicates rejected); the mapping back to the parent graph is returned
+// alongside the subgraph. Labels are carried over when present.
+func InducedSubgraph(g *Graph, leftNodes, rightNodes []int32) (*Graph, *SubgraphMapping, error) {
+	if g == nil {
+		return nil, nil, errors.New("bipartite: nil graph")
+	}
+	leftMap, err := buildIndex(leftNodes, int32(g.NumLeft()), "left")
+	if err != nil {
+		return nil, nil, err
+	}
+	rightMap, err := buildIndex(rightNodes, int32(g.NumRight()), "right")
+	if err != nil {
+		return nil, nil, err
+	}
+
+	b := NewBuilder(0)
+	b.SetNumLeft(int32(len(leftNodes)))
+	b.SetNumRight(int32(len(rightNodes)))
+	// Iterate the smaller side's adjacency for efficiency.
+	for subL, l := range leftNodes {
+		for _, r := range g.Neighbors(Left, l) {
+			if subR, ok := rightMap[r]; ok {
+				b.AddEdge(int32(subL), subR)
+			}
+		}
+	}
+	sub, err := b.Build()
+	if err != nil {
+		return nil, nil, fmt.Errorf("bipartite: building induced subgraph: %w", err)
+	}
+	if g.HasNames() {
+		sub.leftNames = make([]string, len(leftNodes))
+		sub.rightNames = make([]string, len(rightNodes))
+		for i, l := range leftNodes {
+			sub.leftNames[i] = g.LeftName(l)
+		}
+		for i, r := range rightNodes {
+			sub.rightNames[i] = g.RightName(r)
+		}
+	}
+	m := &SubgraphMapping{
+		LeftToParent:  append([]int32(nil), leftNodes...),
+		RightToParent: append([]int32(nil), rightNodes...),
+		leftIndex:     leftMap,
+		rightIndex:    rightMap,
+	}
+	return sub, m, nil
+}
+
+// SubgraphMapping translates between subgraph ids and parent-graph ids.
+type SubgraphMapping struct {
+	// LeftToParent[i] is the parent id of subgraph left node i; likewise
+	// RightToParent.
+	LeftToParent  []int32
+	RightToParent []int32
+
+	leftIndex  map[int32]int32
+	rightIndex map[int32]int32
+}
+
+// ToParent maps a subgraph node id to its parent id. The boolean is false
+// for out-of-range ids.
+func (m *SubgraphMapping) ToParent(side Side, id int32) (int32, bool) {
+	var arr []int32
+	switch side {
+	case Left:
+		arr = m.LeftToParent
+	case Right:
+		arr = m.RightToParent
+	default:
+		return 0, false
+	}
+	if id < 0 || int(id) >= len(arr) {
+		return 0, false
+	}
+	return arr[id], true
+}
+
+// FromParent maps a parent node id to its subgraph id. The boolean is
+// false when the node is not part of the subgraph.
+func (m *SubgraphMapping) FromParent(side Side, id int32) (int32, bool) {
+	switch side {
+	case Left:
+		v, ok := m.leftIndex[id]
+		return v, ok
+	case Right:
+		v, ok := m.rightIndex[id]
+		return v, ok
+	default:
+		return 0, false
+	}
+}
+
+func buildIndex(nodes []int32, limit int32, what string) (map[int32]int32, error) {
+	idx := make(map[int32]int32, len(nodes))
+	for i, n := range nodes {
+		if n < 0 || n >= limit {
+			return nil, fmt.Errorf("%w: %s node %d outside [0,%d)", ErrBadNodeSet, what, n, limit)
+		}
+		if _, dup := idx[n]; dup {
+			return nil, fmt.Errorf("%w: duplicate %s node %d", ErrBadNodeSet, what, n)
+		}
+		idx[n] = int32(i)
+	}
+	return idx, nil
+}

@@ -1,0 +1,137 @@
+package bipartite
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestInducedSubgraphBasic(t *testing.T) {
+	t.Parallel()
+	g := buildTestGraph(t)
+	// Fixture edges: (0,0),(0,1),(1,1),(2,0),(2,1),(2,2).
+	sub, m, err := InducedSubgraph(g, []int32{0, 2}, []int32{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Surviving edges: (0,1)->(0,0), (2,1)->(1,0), (2,2)->(1,1).
+	if sub.NumLeft() != 2 || sub.NumRight() != 2 || sub.NumEdges() != 3 {
+		t.Fatalf("subgraph shape %d/%d/%d", sub.NumLeft(), sub.NumRight(), sub.NumEdges())
+	}
+	if !sub.HasEdge(0, 0) || !sub.HasEdge(1, 0) || !sub.HasEdge(1, 1) {
+		t.Error("expected edges missing from subgraph")
+	}
+	if sub.HasEdge(0, 1) {
+		t.Error("edge (0,2) should not be in subgraph (parent (0,2) absent)")
+	}
+	// Mapping round trips.
+	if p, ok := m.ToParent(Left, 1); !ok || p != 2 {
+		t.Errorf("ToParent(Left,1) = %d,%v", p, ok)
+	}
+	if s, ok := m.FromParent(Right, 2); !ok || s != 1 {
+		t.Errorf("FromParent(Right,2) = %d,%v", s, ok)
+	}
+	if _, ok := m.FromParent(Left, 1); ok {
+		t.Error("node 1 should not be in subgraph left side")
+	}
+	if _, ok := m.ToParent(Left, 99); ok {
+		t.Error("out-of-range subgraph id accepted")
+	}
+	if _, ok := m.ToParent(Side(0), 0); ok {
+		t.Error("invalid side accepted")
+	}
+}
+
+func TestInducedSubgraphValidation(t *testing.T) {
+	t.Parallel()
+	g := buildTestGraph(t)
+	if _, _, err := InducedSubgraph(nil, nil, nil); err == nil {
+		t.Error("nil graph accepted")
+	}
+	if _, _, err := InducedSubgraph(g, []int32{-1}, nil); !errors.Is(err, ErrBadNodeSet) {
+		t.Errorf("negative node: %v", err)
+	}
+	if _, _, err := InducedSubgraph(g, []int32{99}, nil); !errors.Is(err, ErrBadNodeSet) {
+		t.Errorf("out-of-range node: %v", err)
+	}
+	if _, _, err := InducedSubgraph(g, []int32{1, 1}, nil); !errors.Is(err, ErrBadNodeSet) {
+		t.Errorf("duplicate node: %v", err)
+	}
+}
+
+func TestInducedSubgraphEmptySets(t *testing.T) {
+	t.Parallel()
+	g := buildTestGraph(t)
+	sub, _, err := InducedSubgraph(g, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.NumEdges() != 0 || sub.NumLeft() != 0 || sub.NumRight() != 0 {
+		t.Error("empty node sets should give empty subgraph")
+	}
+}
+
+func TestInducedSubgraphCarriesNames(t *testing.T) {
+	t.Parallel()
+	b := NewBuilder(0)
+	b.AddAssociation("alice", "insulin")
+	b.AddAssociation("bob", "aspirin")
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, _, err := InducedSubgraph(g, []int32{1}, []int32{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.LeftName(0) != "bob" || sub.RightName(0) != "aspirin" {
+		t.Errorf("names = %q/%q", sub.LeftName(0), sub.RightName(0))
+	}
+	if sub.NumEdges() != 1 {
+		t.Errorf("edges = %d", sub.NumEdges())
+	}
+}
+
+func TestInducedSubgraphEdgeCountMatchesScan(t *testing.T) {
+	t.Parallel()
+	// Random graph, random node sets: subgraph edge count must match a
+	// brute-force scan.
+	r := rng.New(404)
+	b := NewBuilder(0)
+	const nl, nr = 40, 40
+	b.SetNumLeft(nl)
+	b.SetNumRight(nr)
+	for i := 0; i < 400; i++ {
+		b.AddEdge(int32(r.Intn(nl)), int32(r.Intn(nr)))
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var left, right []int32
+	inL := map[int32]bool{}
+	inR := map[int32]bool{}
+	for i := int32(0); i < nl; i += 2 {
+		left = append(left, i)
+		inL[i] = true
+	}
+	for i := int32(0); i < nr; i += 3 {
+		right = append(right, i)
+		inR[i] = true
+	}
+	sub, _, err := InducedSubgraph(g, left, right)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want int64
+	g.ForEachEdge(func(l, rr int32) bool {
+		if inL[l] && inR[rr] {
+			want++
+		}
+		return true
+	})
+	if sub.NumEdges() != want {
+		t.Errorf("subgraph edges = %d, brute force = %d", sub.NumEdges(), want)
+	}
+}

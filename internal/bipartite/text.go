@@ -1,0 +1,86 @@
+package bipartite
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// SaveTSV writes one association per line as "left<TAB>right". When the
+// graph carries names the labels are written; otherwise the dense ids are.
+func SaveTSV(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	var err error
+	g.ForEachEdge(func(l, r int32) bool {
+		if g.HasNames() {
+			_, err = fmt.Fprintf(bw, "%s\t%s\n", g.LeftName(l), g.RightName(r))
+		} else {
+			_, err = fmt.Fprintf(bw, "%d\t%d\n", l, r)
+		}
+		return err == nil
+	})
+	if err != nil {
+		return fmt.Errorf("bipartite: writing tsv: %w", err)
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("bipartite: flushing tsv: %w", err)
+	}
+	return nil
+}
+
+// LoadTSV reads "left<TAB>right" lines. If every field on both sides
+// parses as a non-negative integer the graph is built over dense ids;
+// otherwise fields are interned as names. Blank lines and lines starting
+// with '#' are skipped.
+func LoadTSV(r io.Reader) (*Graph, error) {
+	type pair struct{ l, r string }
+	var pairs []pair
+	numeric := true
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Split(line, "\t")
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("bipartite: tsv line %d: want 2 tab-separated fields, got %d", lineNo, len(fields))
+		}
+		p := pair{l: fields[0], r: fields[1]}
+		if numeric {
+			if !isUint(p.l) || !isUint(p.r) {
+				numeric = false
+			}
+		}
+		pairs = append(pairs, p)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("bipartite: scanning tsv: %w", err)
+	}
+
+	b := NewBuilder(len(pairs))
+	for _, p := range pairs {
+		if numeric {
+			l, _ := strconv.ParseInt(p.l, 10, 32)
+			r, _ := strconv.ParseInt(p.r, 10, 32)
+			b.AddEdge(int32(l), int32(r))
+		} else {
+			b.AddAssociation(p.l, p.r)
+		}
+	}
+	return b.Build()
+}
+
+func isUint(s string) bool {
+	if s == "" {
+		return false
+	}
+	v, err := strconv.ParseInt(s, 10, 32)
+	return err == nil && v >= 0
+}

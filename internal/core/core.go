@@ -1,0 +1,423 @@
+// Package core implements the paper's primary contribution: g-group
+// differential privacy over multi-level association graphs.
+//
+// Definitions (paper §II):
+//
+//   - Group-level adjacent datasets (Def. 3): D1 = D2 ∪ Gi for some group
+//     Gi of a fixed partition G of the record universe.
+//   - g-group differential privacy (Def. 4): a randomized algorithm A is
+//     εg-group-DP if Pr[A(D1)=S] ≤ e^{εg}·Pr[A(D2)=S] for all group-level
+//     adjacent D1, D2.
+//
+// For a counting query, removing an entire group changes the answer by at
+// most the largest group's record count, so calibrating a Gaussian (or
+// Laplace) mechanism to sensitivity Δℓ = max group size at level ℓ yields
+// εg-group DP at that level. This package computes those sensitivities
+// from a hierarchy.Tree under two group semantics (cells and node groups,
+// DESIGN.md §2), calibrates the paper's Phase-2 Gaussian noise, and
+// produces single-level and multi-level releases.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/dp"
+	"repro/internal/hierarchy"
+	"repro/internal/rng"
+)
+
+// GroupModel selects the group-adjacency semantics.
+type GroupModel int
+
+// Group models.
+//
+// ModelCells (primary): groups are the level's cells — crossings of left
+// and right node ranges; removing a group removes exactly its records.
+//
+// ModelNodeGroups (ablation A4): groups are the level's single-side node
+// ranges; removing a group removes every association incident to its
+// nodes.
+//
+// ModelIndividual: classical record-level DP (sensitivity 1) regardless of
+// level; the paper's "level 0 is the individual user level".
+const (
+	ModelCells GroupModel = iota + 1
+	ModelNodeGroups
+	ModelIndividual
+)
+
+// String implements fmt.Stringer.
+func (m GroupModel) String() string {
+	switch m {
+	case ModelCells:
+		return "cells"
+	case ModelNodeGroups:
+		return "node-groups"
+	case ModelIndividual:
+		return "individual"
+	default:
+		return fmt.Sprintf("GroupModel(%d)", int(m))
+	}
+}
+
+// Valid reports whether m is a known model.
+func (m GroupModel) Valid() bool {
+	return m == ModelCells || m == ModelNodeGroups || m == ModelIndividual
+}
+
+// Calibration selects how the Phase-2 Gaussian noise scale is derived
+// from (εg, δ) and the sensitivity.
+type Calibration int
+
+// Calibrations. CalibrationClassical is the Dwork–Roth bound the paper
+// cites (requires εg < 1, exactly the range swept in Figure 1);
+// CalibrationAnalytic is the exact Balle–Wang bound, valid for every
+// εg > 0 and strictly tighter (ablation A2).
+const (
+	CalibrationClassical Calibration = iota + 1
+	CalibrationAnalytic
+)
+
+// String implements fmt.Stringer.
+func (c Calibration) String() string {
+	switch c {
+	case CalibrationClassical:
+		return "classical"
+	case CalibrationAnalytic:
+		return "analytic"
+	default:
+		return fmt.Sprintf("Calibration(%d)", int(c))
+	}
+}
+
+// Valid reports whether c is a known calibration.
+func (c Calibration) Valid() bool {
+	return c == CalibrationClassical || c == CalibrationAnalytic
+}
+
+// Errors returned by this package.
+var (
+	ErrNilTree     = errors.New("core: nil hierarchy tree")
+	ErrBadModel    = errors.New("core: unknown group model")
+	ErrBadCalib    = errors.New("core: unknown calibration")
+	ErrEmptyLevels = errors.New("core: no levels requested")
+)
+
+// GroupUniverse describes the group partition at one level under one
+// model — the G that Definitions 3 and 4 quantify over.
+type GroupUniverse struct {
+	Level     int        `json:"level"`
+	Model     GroupModel `json:"-"`
+	ModelName string     `json:"model"`
+	// NumGroups is the number of groups in the partition.
+	NumGroups int `json:"num_groups"`
+	// MaxGroupRecords is the largest group's record count — the
+	// count-query sensitivity at this level.
+	MaxGroupRecords int64 `json:"max_group_records"`
+	// TotalRecords is the number of records in the dataset.
+	TotalRecords int64 `json:"total_records"`
+}
+
+// Universe computes the group universe of a level under a model.
+func Universe(t *hierarchy.Tree, level int, model GroupModel) (GroupUniverse, error) {
+	if t == nil {
+		return GroupUniverse{}, ErrNilTree
+	}
+	if !model.Valid() {
+		return GroupUniverse{}, fmt.Errorf("%w: %d", ErrBadModel, int(model))
+	}
+	u := GroupUniverse{
+		Level:        level,
+		Model:        model,
+		ModelName:    model.String(),
+		TotalRecords: t.Graph().NumEdges(),
+	}
+	switch model {
+	case ModelCells:
+		n, err := t.NumCells(level)
+		if err != nil {
+			return GroupUniverse{}, err
+		}
+		max, err := t.MaxCellEdges(level)
+		if err != nil {
+			return GroupUniverse{}, err
+		}
+		u.NumGroups, u.MaxGroupRecords = n, max
+	case ModelNodeGroups:
+		n, err := t.NumSideGroups(level)
+		if err != nil {
+			return GroupUniverse{}, err
+		}
+		max, err := t.MaxSideGroupIncidentEdges(level)
+		if err != nil {
+			return GroupUniverse{}, err
+		}
+		u.NumGroups, u.MaxGroupRecords = 2*n, max
+	case ModelIndividual:
+		// Validate the level exists, then report record-level granularity.
+		if _, err := t.DepthOfLevel(level); err != nil {
+			return GroupUniverse{}, err
+		}
+		u.NumGroups = int(t.Graph().NumEdges())
+		u.MaxGroupRecords = 1
+		if u.TotalRecords == 0 {
+			u.MaxGroupRecords = 0
+		}
+	}
+	return u, nil
+}
+
+// Sensitivity returns the sensitivity of the association-count query at a
+// level under a model: the largest group's record count. Removing a group
+// changes the count by exactly that many records (cells), at most that
+// many (node groups), or one record (individual). For a scalar count the
+// L1 and L2 sensitivities coincide.
+func Sensitivity(t *hierarchy.Tree, level int, model GroupModel) (int64, error) {
+	u, err := Universe(t, level, model)
+	if err != nil {
+		return 0, err
+	}
+	return u.MaxGroupRecords, nil
+}
+
+// Sigma calibrates the Phase-2 Gaussian noise scale for the given budget
+// and sensitivity. A zero sensitivity (empty dataset) needs no noise.
+func Sigma(p dp.Params, sensitivity int64, calib Calibration) (float64, error) {
+	if !calib.Valid() {
+		return 0, fmt.Errorf("%w: %d", ErrBadCalib, int(calib))
+	}
+	if sensitivity < 0 {
+		return 0, fmt.Errorf("core: negative sensitivity %d", sensitivity)
+	}
+	if sensitivity == 0 {
+		return 0, nil
+	}
+	switch calib {
+	case CalibrationAnalytic:
+		return dp.AnalyticGaussianSigma(p, float64(sensitivity))
+	default:
+		return dp.ClassicalGaussianSigma(p, float64(sensitivity))
+	}
+}
+
+// LevelRelease is the εg-group-DP answer to the association-count query
+// at one information level — one point of the paper's Figure 1.
+type LevelRelease struct {
+	// Level is the protected group level (the i of I9,i).
+	Level int `json:"level"`
+	// Model and Calibration record how the noise was derived.
+	Model       GroupModel  `json:"-"`
+	Calibration Calibration `json:"-"`
+	ModelName   string      `json:"model"`
+	CalibName   string      `json:"calibration"`
+	// MechName records the noise mechanism ("gaussian" unless released
+	// through ReleaseCountWith).
+	MechName string `json:"mechanism,omitempty"`
+	// Params is the (εg, δ) budget this release consumed.
+	Params dp.Params `json:"-"`
+	// Epsilon and Delta mirror Params for serialization.
+	Epsilon float64 `json:"epsilon"`
+	Delta   float64 `json:"delta"`
+	// Sensitivity is Δℓ, the largest group at the level.
+	Sensitivity int64 `json:"sensitivity"`
+	// Sigma is the calibrated Gaussian scale.
+	Sigma float64 `json:"sigma"`
+	// TrueCount is the exact answer. It is retained for evaluation (the
+	// curator knows it); publishers serialize releases with OmitTrue.
+	TrueCount int64 `json:"true_count,omitempty"`
+	// NoisyCount is the released answer.
+	NoisyCount float64 `json:"noisy_count"`
+	// RER is the relative error rate |P−T|/T, the paper's metric.
+	RER float64 `json:"rer"`
+}
+
+// ReleaseCount answers the association-count query at one level with
+// εg-group DP.
+func ReleaseCount(t *hierarchy.Tree, level int, p dp.Params, model GroupModel, calib Calibration, src *rng.Source) (LevelRelease, error) {
+	if t == nil {
+		return LevelRelease{}, ErrNilTree
+	}
+	if src == nil {
+		return LevelRelease{}, dp.ErrNilSource
+	}
+	if err := p.Validate(); err != nil {
+		return LevelRelease{}, err
+	}
+	sens, err := Sensitivity(t, level, model)
+	if err != nil {
+		return LevelRelease{}, err
+	}
+	sigma, err := Sigma(p, sens, calib)
+	if err != nil {
+		return LevelRelease{}, err
+	}
+	trueCount := t.Graph().NumEdges()
+	noisy := float64(trueCount)
+	if sigma > 0 {
+		noisy += src.NormalSigma(sigma)
+	}
+	rel := LevelRelease{
+		Level: level, Model: model, Calibration: calib,
+		ModelName: model.String(), CalibName: calib.String(),
+		Params: p, Epsilon: p.Epsilon, Delta: p.Delta,
+		Sensitivity: sens, Sigma: sigma,
+		TrueCount: trueCount, NoisyCount: noisy,
+	}
+	if trueCount > 0 {
+		rel.RER = math.Abs(noisy-float64(trueCount)) / float64(trueCount)
+	}
+	return rel, nil
+}
+
+// ExpectedRER returns the expected relative error rate of a level release
+// without sampling: E|N(0,σ²)| / T = σ·√(2/π)/T. Used for forecasting and
+// for cross-checking measured curves.
+func ExpectedRER(t *hierarchy.Tree, level int, p dp.Params, model GroupModel, calib Calibration) (float64, error) {
+	if t == nil {
+		return 0, ErrNilTree
+	}
+	sens, err := Sensitivity(t, level, model)
+	if err != nil {
+		return 0, err
+	}
+	sigma, err := Sigma(p, sens, calib)
+	if err != nil {
+		return 0, err
+	}
+	total := t.Graph().NumEdges()
+	if total == 0 {
+		return 0, nil
+	}
+	return sigma * math.Sqrt(2/math.Pi) / float64(total), nil
+}
+
+// CellRelease is the εg-group-DP release of a level's full cell histogram
+// — the "noise injected into the subgraphs induced by each group level"
+// of the paper's Phase 2.
+type CellRelease struct {
+	Level       int         `json:"level"`
+	Model       GroupModel  `json:"-"`
+	Calibration Calibration `json:"-"`
+	Params      dp.Params   `json:"-"`
+	Epsilon     float64     `json:"epsilon"`
+	Delta       float64     `json:"delta"`
+	Sensitivity int64       `json:"sensitivity"`
+	Sigma       float64     `json:"sigma"`
+	// Counts holds the noisy per-cell record counts, row-major over the
+	// (k × k) cell grid of the level.
+	Counts []float64 `json:"counts"`
+	// SideGroups is k, the number of node groups per side.
+	SideGroups int `json:"side_groups"`
+}
+
+// ReleaseCells releases the noisy per-cell histogram of a level.
+//
+// Under cell adjacency, removing one group Gi changes only coordinate i of
+// the histogram, by |Gi| records, so the histogram's L2 sensitivity equals
+// the count query's: Δℓ = max cell size. Per-coordinate Gaussian noise at
+// that scale therefore gives εg-group DP for the whole histogram.
+func ReleaseCells(t *hierarchy.Tree, level int, p dp.Params, calib Calibration, src *rng.Source) (CellRelease, error) {
+	if t == nil {
+		return CellRelease{}, ErrNilTree
+	}
+	if src == nil {
+		return CellRelease{}, dp.ErrNilSource
+	}
+	if err := p.Validate(); err != nil {
+		return CellRelease{}, err
+	}
+	sens, err := Sensitivity(t, level, ModelCells)
+	if err != nil {
+		return CellRelease{}, err
+	}
+	sigma, err := Sigma(p, sens, calib)
+	if err != nil {
+		return CellRelease{}, err
+	}
+	counts, err := t.LevelCellCounts(level)
+	if err != nil {
+		return CellRelease{}, err
+	}
+	k, err := t.NumSideGroups(level)
+	if err != nil {
+		return CellRelease{}, err
+	}
+	noisy := make([]float64, len(counts))
+	for i, c := range counts {
+		noisy[i] = float64(c)
+		if sigma > 0 {
+			noisy[i] += src.NormalSigma(sigma)
+		}
+	}
+	return CellRelease{
+		Level: level, Model: ModelCells, Calibration: calib,
+		Params: p, Epsilon: p.Epsilon, Delta: p.Delta,
+		Sensitivity: sens, Sigma: sigma,
+		Counts: noisy, SideGroups: k,
+	}, nil
+}
+
+// SumCells returns the total association count implied by a cell release
+// (the sum of its noisy cells).
+func (c CellRelease) SumCells() float64 {
+	var sum float64
+	for _, v := range c.Counts {
+		sum += v
+	}
+	return sum
+}
+
+// MultiLevelRelease is the full multi-level disclosure: one count release
+// per requested information level.
+type MultiLevelRelease struct {
+	// MaxLevel is the hierarchy root level (9 in the paper's setup).
+	MaxLevel int `json:"max_level"`
+	// Levels holds the per-level releases, indexed by request order.
+	Levels []LevelRelease `json:"levels"`
+}
+
+// ReleaseLevels produces count releases for the given levels. Each level
+// consumes the full budget p (the paper's per-level reading: a level-i
+// user receives only release i, and releases to different tiers compose
+// in parallel). Budget-split modes live in internal/release.
+func ReleaseLevels(t *hierarchy.Tree, levels []int, p dp.Params, model GroupModel, calib Calibration, src *rng.Source) (MultiLevelRelease, error) {
+	if t == nil {
+		return MultiLevelRelease{}, ErrNilTree
+	}
+	if len(levels) == 0 {
+		return MultiLevelRelease{}, ErrEmptyLevels
+	}
+	out := MultiLevelRelease{MaxLevel: t.MaxLevel(), Levels: make([]LevelRelease, 0, len(levels))}
+	for _, lvl := range levels {
+		rel, err := ReleaseCount(t, lvl, p, model, calib, src)
+		if err != nil {
+			return MultiLevelRelease{}, fmt.Errorf("core: level %d: %w", lvl, err)
+		}
+		out.Levels = append(out.Levels, rel)
+	}
+	return out, nil
+}
+
+// ForLevel returns the release protecting the given group level.
+func (m MultiLevelRelease) ForLevel(level int) (LevelRelease, bool) {
+	for _, r := range m.Levels {
+		if r.Level == level {
+			return r, true
+		}
+	}
+	return LevelRelease{}, false
+}
+
+// OmitTrue returns a copy with the exact counts and error rates removed,
+// suitable for publication to data users.
+func (m MultiLevelRelease) OmitTrue() MultiLevelRelease {
+	out := MultiLevelRelease{MaxLevel: m.MaxLevel, Levels: make([]LevelRelease, len(m.Levels))}
+	copy(out.Levels, m.Levels)
+	for i := range out.Levels {
+		out.Levels[i].TrueCount = 0
+		out.Levels[i].RER = 0
+	}
+	return out
+}

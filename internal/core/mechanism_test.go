@@ -1,0 +1,171 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/dp"
+	"repro/internal/rng"
+)
+
+func TestNoiseMechanismStrings(t *testing.T) {
+	t.Parallel()
+	if MechGaussian.String() != "gaussian" || MechLaplace.String() != "laplace" || MechGeometric.String() != "geometric" {
+		t.Error("unexpected mechanism names")
+	}
+	if NoiseMechanism(0).Valid() || !MechGeometric.Valid() {
+		t.Error("Valid misclassifies mechanisms")
+	}
+}
+
+func TestReleaseCountWithGaussianMatchesDefault(t *testing.T) {
+	t.Parallel()
+	tree := testTree(t)
+	p := dp.Params{Epsilon: 0.9, Delta: 1e-5}
+	a, err := ReleaseCount(tree, 2, p, ModelCells, CalibrationClassical, rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ReleaseCountWith(tree, 2, p, ModelCells, CalibrationClassical, MechGaussian, rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NoisyCount != b.NoisyCount {
+		t.Error("gaussian path diverged from default ReleaseCount")
+	}
+	if b.MechName != "gaussian" {
+		t.Errorf("MechName = %q", b.MechName)
+	}
+}
+
+func TestReleaseCountWithLaplace(t *testing.T) {
+	t.Parallel()
+	tree := testTree(t)
+	p := dp.Params{Epsilon: 0.9} // pure DP: no delta needed
+	rel, err := ReleaseCountWith(tree, 2, p, ModelCells, CalibrationClassical, MechLaplace, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.MechName != "laplace" || rel.Delta != 0 {
+		t.Errorf("release = %+v", rel)
+	}
+	if rel.Sigma <= 0 {
+		t.Error("laplace release missing noise scale")
+	}
+}
+
+func TestReleaseCountWithGeometricIntegral(t *testing.T) {
+	t.Parallel()
+	tree := testTree(t)
+	p := dp.Params{Epsilon: 0.9}
+	rel, err := ReleaseCountWith(tree, 2, p, ModelCells, CalibrationClassical, MechGeometric, rng.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.NoisyCount != math.Trunc(rel.NoisyCount) {
+		t.Errorf("geometric release non-integral: %v", rel.NoisyCount)
+	}
+	if rel.MechName != "geometric" {
+		t.Errorf("MechName = %q", rel.MechName)
+	}
+}
+
+func TestReleaseCountWithErrors(t *testing.T) {
+	t.Parallel()
+	tree := testTree(t)
+	p := dp.Params{Epsilon: 0.9}
+	if _, err := ReleaseCountWith(tree, 2, p, ModelCells, CalibrationClassical, NoiseMechanism(9), rng.New(1)); !errors.Is(err, ErrBadMechanism) {
+		t.Errorf("bad mech: %v", err)
+	}
+	if _, err := ReleaseCountWith(nil, 2, p, ModelCells, CalibrationClassical, MechLaplace, rng.New(1)); !errors.Is(err, ErrNilTree) {
+		t.Errorf("nil tree: %v", err)
+	}
+	if _, err := ReleaseCountWith(tree, 2, p, ModelCells, CalibrationClassical, MechLaplace, nil); !errors.Is(err, dp.ErrNilSource) {
+		t.Errorf("nil src: %v", err)
+	}
+	if _, err := ReleaseCountWith(tree, 2, dp.Params{}, ModelCells, CalibrationClassical, MechLaplace, rng.New(1)); err == nil {
+		t.Error("bad params accepted")
+	}
+	if _, err := ReleaseCountWith(tree, 99, p, ModelCells, CalibrationClassical, MechLaplace, rng.New(1)); err == nil {
+		t.Error("bad level accepted")
+	}
+}
+
+func TestExpectedRERWithLaplaceFormula(t *testing.T) {
+	t.Parallel()
+	tree := testTree(t)
+	p := dp.Params{Epsilon: 0.5}
+	sens, err := Sensitivity(tree, 2, ModelCells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ExpectedRERWith(tree, 2, p, ModelCells, CalibrationClassical, MechLaplace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := float64(sens) / 0.5 / float64(tree.Graph().NumEdges())
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("laplace E[RER] = %v, want %v", got, want)
+	}
+}
+
+func TestExpectedRERWithEmpiricalAgreement(t *testing.T) {
+	t.Parallel()
+	tree := testTree(t)
+	p := dp.Params{Epsilon: 0.7}
+	for _, mech := range []NoiseMechanism{MechLaplace, MechGeometric} {
+		want, err := ExpectedRERWith(tree, 2, p, ModelCells, CalibrationClassical, mech)
+		if err != nil {
+			t.Fatal(err)
+		}
+		src := rng.New(77)
+		const trials = 30000
+		var sum float64
+		for i := 0; i < trials; i++ {
+			rel, err := ReleaseCountWith(tree, 2, p, ModelCells, CalibrationClassical, mech, src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum += rel.RER
+		}
+		got := sum / trials
+		if math.Abs(got-want)/want > 0.05 {
+			t.Errorf("%v: empirical %v vs expected %v", mech, got, want)
+		}
+	}
+}
+
+func TestExpectedRERWithErrors(t *testing.T) {
+	t.Parallel()
+	tree := testTree(t)
+	if _, err := ExpectedRERWith(tree, 2, dp.Params{Epsilon: 1}, ModelCells, CalibrationClassical, NoiseMechanism(9)); !errors.Is(err, ErrBadMechanism) {
+		t.Errorf("bad mech: %v", err)
+	}
+	if _, err := ExpectedRERWith(nil, 2, dp.Params{Epsilon: 1}, ModelCells, CalibrationClassical, MechLaplace); !errors.Is(err, ErrNilTree) {
+		t.Errorf("nil tree: %v", err)
+	}
+	if _, err := ExpectedRERWith(tree, 2, dp.Params{}, ModelCells, CalibrationClassical, MechLaplace); err == nil {
+		t.Error("bad params accepted")
+	}
+}
+
+// TestGaussianVsLaplaceCrossover: for a scalar count, Laplace (pure DP)
+// needs less noise than the classically calibrated Gaussian at the same
+// ε — the crossover the A7 ablation demonstrates.
+func TestGaussianVsLaplaceCrossover(t *testing.T) {
+	t.Parallel()
+	tree := testTree(t)
+	p := dp.Params{Epsilon: 0.5, Delta: 1e-5}
+	gauss, err := ExpectedRER(tree, 2, p, ModelCells, CalibrationClassical)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lap, err := ExpectedRERWith(tree, 2, p, ModelCells, CalibrationClassical, MechLaplace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lap >= gauss {
+		t.Errorf("laplace E[RER] %v not below classical gaussian %v for scalar count", lap, gauss)
+	}
+}

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dp"
+	"repro/internal/hierarchy"
+	"repro/internal/rng"
+)
+
+// ReleaseCountSigma answers the association-count query with Gaussian
+// noise at an externally calibrated scale — the path used when an RDP
+// accountant (rather than a per-query (ε, δ) split) governs the global
+// budget. advertised records the honest per-release budget implied by
+// sigma for the artifact's metadata; compute it with dp.GaussianEpsilon.
+func ReleaseCountSigma(t *hierarchy.Tree, level int, model GroupModel, sigma float64, advertised dp.Params, src *rng.Source) (LevelRelease, error) {
+	if t == nil {
+		return LevelRelease{}, ErrNilTree
+	}
+	if src == nil {
+		return LevelRelease{}, dp.ErrNilSource
+	}
+	if !(sigma >= 0) || math.IsInf(sigma, 0) {
+		return LevelRelease{}, fmt.Errorf("core: invalid sigma %v", sigma)
+	}
+	sens, err := Sensitivity(t, level, model)
+	if err != nil {
+		return LevelRelease{}, err
+	}
+	trueCount := t.Graph().NumEdges()
+	noisy := float64(trueCount)
+	if sigma > 0 {
+		noisy += src.NormalSigma(sigma)
+	}
+	rel := LevelRelease{
+		Level: level, Model: model,
+		ModelName: model.String(), CalibName: "rdp", MechName: MechGaussian.String(),
+		Params: advertised, Epsilon: advertised.Epsilon, Delta: advertised.Delta,
+		Sensitivity: sens, Sigma: sigma,
+		TrueCount: trueCount, NoisyCount: noisy,
+	}
+	if trueCount > 0 {
+		rel.RER = math.Abs(noisy-float64(trueCount)) / float64(trueCount)
+	}
+	return rel, nil
+}
+
+// ReleaseCellsSigma releases a level's cell histogram with Gaussian noise
+// at an externally calibrated scale (see ReleaseCountSigma).
+func ReleaseCellsSigma(t *hierarchy.Tree, level int, sigma float64, advertised dp.Params, src *rng.Source) (CellRelease, error) {
+	if t == nil {
+		return CellRelease{}, ErrNilTree
+	}
+	if src == nil {
+		return CellRelease{}, dp.ErrNilSource
+	}
+	if !(sigma >= 0) || math.IsInf(sigma, 0) {
+		return CellRelease{}, fmt.Errorf("core: invalid sigma %v", sigma)
+	}
+	sens, err := Sensitivity(t, level, ModelCells)
+	if err != nil {
+		return CellRelease{}, err
+	}
+	counts, err := t.LevelCellCounts(level)
+	if err != nil {
+		return CellRelease{}, err
+	}
+	k, err := t.NumSideGroups(level)
+	if err != nil {
+		return CellRelease{}, err
+	}
+	noisy := make([]float64, len(counts))
+	for i, c := range counts {
+		noisy[i] = float64(c)
+		if sigma > 0 {
+			noisy[i] += src.NormalSigma(sigma)
+		}
+	}
+	return CellRelease{
+		Level: level, Model: ModelCells,
+		Params: advertised, Epsilon: advertised.Epsilon, Delta: advertised.Delta,
+		Sensitivity: sens, Sigma: sigma,
+		Counts: noisy, SideGroups: k,
+	}, nil
+}

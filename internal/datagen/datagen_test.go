@@ -1,0 +1,201 @@
+package datagen
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/bipartite"
+)
+
+func TestConfigValidate(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		name    string
+		mutate  func(*Config)
+		wantErr error
+	}{
+		{name: "valid", mutate: func(c *Config) {}, wantErr: nil},
+		{name: "zero left", mutate: func(c *Config) { c.NumLeft = 0 }, wantErr: ErrBadConfig},
+		{name: "zero right", mutate: func(c *Config) { c.NumRight = 0 }, wantErr: ErrBadConfig},
+		{name: "negative edges", mutate: func(c *Config) { c.NumEdges = -1 }, wantErr: ErrBadConfig},
+		{name: "left zipf too small", mutate: func(c *Config) { c.LeftZipf = 1 }, wantErr: ErrBadConfig},
+		{name: "right zipf too small", mutate: func(c *Config) { c.RightZipf = 0.5 }, wantErr: ErrBadConfig},
+		{name: "too dense", mutate: func(c *Config) { c.NumEdges = 10000 }, wantErr: ErrTooDense},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			c := Config{NumLeft: 50, NumRight: 50, NumEdges: 200, LeftZipf: 2, RightZipf: 2}
+			tc.mutate(&c)
+			err := c.Validate()
+			if tc.wantErr == nil {
+				if err != nil {
+					t.Fatalf("Validate() = %v", err)
+				}
+				return
+			}
+			if !errors.Is(err, tc.wantErr) {
+				t.Fatalf("Validate() = %v, want %v", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestGenerateExactEdgeCount(t *testing.T) {
+	t.Parallel()
+	cfg := DBLPTiny(42)
+	g, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(g.NumEdges()) != cfg.NumEdges {
+		t.Errorf("NumEdges = %d, want %d", g.NumEdges(), cfg.NumEdges)
+	}
+	if g.NumLeft() != cfg.NumLeft || g.NumRight() != cfg.NumRight {
+		t.Errorf("sides = %d/%d, want %d/%d", g.NumLeft(), g.NumRight(), cfg.NumLeft, cfg.NumRight)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	t.Parallel()
+	a, err := Generate(DBLPTiny(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(DBLPTiny(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatal("same seed produced different edge counts")
+	}
+	equal := true
+	a.ForEachEdge(func(l, r int32) bool {
+		if !b.HasEdge(l, r) {
+			equal = false
+			return false
+		}
+		return true
+	})
+	if !equal {
+		t.Error("same seed produced different graphs")
+	}
+}
+
+func TestGenerateDifferentSeedsDiffer(t *testing.T) {
+	t.Parallel()
+	a, err := Generate(DBLPTiny(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(DBLPTiny(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	a.ForEachEdge(func(l, r int32) bool {
+		if b.HasEdge(l, r) {
+			same++
+		}
+		return true
+	})
+	if same == int(a.NumEdges()) {
+		t.Error("different seeds produced identical graphs")
+	}
+}
+
+func TestGenerateHeavyTail(t *testing.T) {
+	t.Parallel()
+	g, err := Generate(DBLPTiny(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := bipartite.ComputeStats(g)
+	// Zipf-distributed endpoints concentrate mass on head nodes: the max
+	// degree must far exceed the mean, and the Gini coefficient must show
+	// real inequality.
+	if float64(s.MaxLeftDegree) < 10*s.MeanLeftDegree {
+		t.Errorf("left tail too light: max %d vs mean %.2f", s.MaxLeftDegree, s.MeanLeftDegree)
+	}
+	if s.GiniLeft < 0.3 {
+		t.Errorf("left gini = %v, want heavy-tailed (> 0.3)", s.GiniLeft)
+	}
+}
+
+func TestGenerateDenseFallback(t *testing.T) {
+	t.Parallel()
+	// Nearly saturated graph: duplicates force the uniform fallback; the
+	// generator must still terminate with the exact count.
+	cfg := Config{
+		Name: "dense", NumLeft: 30, NumRight: 30, NumEdges: 850,
+		LeftZipf: 2, RightZipf: 2, Seed: 3,
+	}
+	g, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(g.NumEdges()) != cfg.NumEdges {
+		t.Errorf("NumEdges = %d, want %d", g.NumEdges(), cfg.NumEdges)
+	}
+}
+
+func TestGenerateLabels(t *testing.T) {
+	t.Parallel()
+	cfg := Config{
+		Name: "labeled", NumLeft: 20, NumRight: 20, NumEdges: 50,
+		LeftZipf: 2, RightZipf: 2, Seed: 5, Labels: true,
+	}
+	g, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.HasNames() {
+		t.Fatal("labels requested but graph has none")
+	}
+	if int(g.NumEdges()) != cfg.NumEdges {
+		t.Errorf("NumEdges = %d, want %d", g.NumEdges(), cfg.NumEdges)
+	}
+}
+
+func TestGenerateInvalidConfig(t *testing.T) {
+	t.Parallel()
+	if _, err := Generate(Config{}); err == nil {
+		t.Error("zero config accepted")
+	}
+}
+
+func TestPresets(t *testing.T) {
+	t.Parallel()
+	for _, name := range Presets() {
+		cfg, err := ByName(name, 1)
+		if err != nil {
+			t.Errorf("preset %q: %v", name, err)
+			continue
+		}
+		if cfg.Name != name {
+			t.Errorf("preset %q has name %q", name, cfg.Name)
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("preset %q invalid: %v", name, err)
+		}
+	}
+	if _, err := ByName("nope", 1); err == nil {
+		t.Error("unknown preset accepted")
+	}
+}
+
+func TestDBLPScaledMatchesPaperShape(t *testing.T) {
+	t.Parallel()
+	cfg := DBLPScaled(1)
+	// 1/20 of the paper's DBLP counts.
+	if cfg.NumLeft != 1295100/20 || cfg.NumRight > 2281341/20+10 || cfg.NumEdges > 6384117/20+10 {
+		t.Errorf("scaled preset drifted from paper scale: %+v", cfg)
+	}
+	// Mean papers-per-author at full scale is ~4.93; the scaled preset
+	// preserves the ratio.
+	meanLeft := float64(cfg.NumEdges) / float64(cfg.NumLeft)
+	if meanLeft < 4.5 || meanLeft > 5.5 {
+		t.Errorf("mean left degree = %v, want about 4.9", meanLeft)
+	}
+}

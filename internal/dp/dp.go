@@ -1,0 +1,81 @@
+// Package dp implements the differential-privacy mechanism suite the
+// disclosure pipeline is built on: the Laplace, Gaussian (classical and
+// analytic calibration), exponential and geometric mechanisms, together
+// with parameter validation shared by all of them.
+//
+// All randomness flows through internal/rng so experiments are exactly
+// reproducible under a fixed seed. Mechanisms are constructed once with
+// validated parameters and then used for any number of perturbations; each
+// Perturb call corresponds to one query answer, and budget accounting is
+// the caller's responsibility (see internal/accountant).
+package dp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Errors returned by parameter validation across the package.
+var (
+	ErrEpsilon     = errors.New("dp: epsilon must be > 0 and finite")
+	ErrDelta       = errors.New("dp: delta must be in [0, 1)")
+	ErrDeltaZero   = errors.New("dp: this mechanism requires delta > 0")
+	ErrSensitivity = errors.New("dp: sensitivity must be > 0 and finite")
+	ErrNilSource   = errors.New("dp: a non-nil rng source is required")
+	ErrEmptyDomain = errors.New("dp: candidate domain must be non-empty")
+)
+
+// Params carries an (ε, δ) differential-privacy budget. δ = 0 denotes pure
+// ε-DP.
+type Params struct {
+	Epsilon float64
+	Delta   float64
+}
+
+// Validate checks that the parameters describe a meaningful guarantee.
+func (p Params) Validate() error {
+	if !(p.Epsilon > 0) || math.IsInf(p.Epsilon, 0) || math.IsNaN(p.Epsilon) {
+		return fmt.Errorf("%w (got %v)", ErrEpsilon, p.Epsilon)
+	}
+	if p.Delta < 0 || p.Delta >= 1 || math.IsNaN(p.Delta) {
+		return fmt.Errorf("%w (got %v)", ErrDelta, p.Delta)
+	}
+	return nil
+}
+
+// Pure reports whether the budget is pure ε-DP (δ = 0).
+func (p Params) Pure() bool { return p.Delta == 0 }
+
+// String renders the budget as "(ε=…, δ=…)".
+func (p Params) String() string {
+	if p.Pure() {
+		return fmt.Sprintf("(ε=%g)", p.Epsilon)
+	}
+	return fmt.Sprintf("(ε=%g, δ=%g)", p.Epsilon, p.Delta)
+}
+
+// validateSensitivity rejects non-positive or non-finite sensitivities.
+func validateSensitivity(s float64) error {
+	if !(s > 0) || math.IsInf(s, 0) || math.IsNaN(s) {
+		return fmt.Errorf("%w (got %v)", ErrSensitivity, s)
+	}
+	return nil
+}
+
+// Additive is the interface shared by the noise-adding mechanisms.
+type Additive interface {
+	// Perturb returns the private answer for the exact query value.
+	Perturb(value float64) float64
+	// Scale returns the mechanism's noise scale parameter (b for
+	// Laplace, σ for Gaussian).
+	Scale() float64
+	// ExpectedAbsError returns E|noise|, the expected absolute error a
+	// single perturbation adds.
+	ExpectedAbsError() float64
+}
+
+// phi is the standard normal CDF.
+func phi(t float64) float64 {
+	return 0.5 * math.Erfc(-t/math.Sqrt2)
+}

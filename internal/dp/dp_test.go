@@ -1,0 +1,404 @@
+package dp
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestParamsValidate(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		name    string
+		p       Params
+		wantErr error
+	}{
+		{name: "valid pure", p: Params{Epsilon: 0.5}, wantErr: nil},
+		{name: "valid approx", p: Params{Epsilon: 1.5, Delta: 1e-5}, wantErr: nil},
+		{name: "zero epsilon", p: Params{Epsilon: 0}, wantErr: ErrEpsilon},
+		{name: "negative epsilon", p: Params{Epsilon: -1}, wantErr: ErrEpsilon},
+		{name: "inf epsilon", p: Params{Epsilon: math.Inf(1)}, wantErr: ErrEpsilon},
+		{name: "nan epsilon", p: Params{Epsilon: math.NaN()}, wantErr: ErrEpsilon},
+		{name: "negative delta", p: Params{Epsilon: 1, Delta: -0.1}, wantErr: ErrDelta},
+		{name: "delta one", p: Params{Epsilon: 1, Delta: 1}, wantErr: ErrDelta},
+		{name: "nan delta", p: Params{Epsilon: 1, Delta: math.NaN()}, wantErr: ErrDelta},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			err := tc.p.Validate()
+			if tc.wantErr == nil {
+				if err != nil {
+					t.Fatalf("Validate() = %v, want nil", err)
+				}
+				return
+			}
+			if !errors.Is(err, tc.wantErr) {
+				t.Fatalf("Validate() = %v, want %v", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestParamsPureAndString(t *testing.T) {
+	t.Parallel()
+	if !(Params{Epsilon: 1}).Pure() {
+		t.Error("delta=0 should be pure")
+	}
+	if (Params{Epsilon: 1, Delta: 1e-6}).Pure() {
+		t.Error("delta>0 should not be pure")
+	}
+	if s := (Params{Epsilon: 0.5}).String(); s != "(ε=0.5)" {
+		t.Errorf("String() = %q", s)
+	}
+	if s := (Params{Epsilon: 0.5, Delta: 1e-05}).String(); s != "(ε=0.5, δ=1e-05)" {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestNewLaplaceValidation(t *testing.T) {
+	t.Parallel()
+	src := rng.New(1)
+	if _, err := NewLaplace(0, 1, src); !errors.Is(err, ErrEpsilon) {
+		t.Errorf("eps=0: %v", err)
+	}
+	if _, err := NewLaplace(1, 0, src); !errors.Is(err, ErrSensitivity) {
+		t.Errorf("sens=0: %v", err)
+	}
+	if _, err := NewLaplace(1, 1, nil); !errors.Is(err, ErrNilSource) {
+		t.Errorf("nil src: %v", err)
+	}
+}
+
+func TestLaplaceScaleAndMoments(t *testing.T) {
+	t.Parallel()
+	m, err := NewLaplace(0.5, 2, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Scale() != 4 {
+		t.Errorf("Scale = %v, want 4", m.Scale())
+	}
+	if m.ExpectedAbsError() != 4 {
+		t.Errorf("ExpectedAbsError = %v, want 4", m.ExpectedAbsError())
+	}
+	const n = 200000
+	const value = 1000.0
+	var sum, sumAbs float64
+	for i := 0; i < n; i++ {
+		x := m.Perturb(value)
+		sum += x
+		sumAbs += math.Abs(x - value)
+	}
+	if mean := sum / n; math.Abs(mean-value) > 0.1 {
+		t.Errorf("perturbed mean = %v, want about %v", mean, value)
+	}
+	if meanAbs := sumAbs / n; math.Abs(meanAbs-4)/4 > 0.03 {
+		t.Errorf("E|noise| = %v, want about 4", meanAbs)
+	}
+}
+
+func TestLaplaceScaleHelper(t *testing.T) {
+	t.Parallel()
+	b, err := LaplaceScale(2, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b != 3 {
+		t.Errorf("LaplaceScale = %v, want 3", b)
+	}
+	if _, err := LaplaceScale(-1, 1); err == nil {
+		t.Error("negative epsilon accepted")
+	}
+}
+
+func TestLaplaceConfidenceInterval(t *testing.T) {
+	t.Parallel()
+	m, err := NewLaplace(1, 1, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w95 := m.ConfidenceInterval(0.95)
+	// For b=1: w = -ln(0.05) ≈ 2.996.
+	if math.Abs(w95-2.9957) > 0.01 {
+		t.Errorf("95%% CI half-width = %v, want about 2.996", w95)
+	}
+	if !math.IsNaN(m.ConfidenceInterval(0)) || !math.IsNaN(m.ConfidenceInterval(1.5)) {
+		t.Error("invalid level should return NaN")
+	}
+	// Empirically ~95% of draws fall inside the interval.
+	const n = 100000
+	in := 0
+	for i := 0; i < n; i++ {
+		if math.Abs(m.Perturb(0)) <= w95 {
+			in++
+		}
+	}
+	if frac := float64(in) / n; math.Abs(frac-0.95) > 0.01 {
+		t.Errorf("empirical coverage = %v, want about 0.95", frac)
+	}
+}
+
+func TestClassicalGaussianSigma(t *testing.T) {
+	t.Parallel()
+	p := Params{Epsilon: 0.5, Delta: 1e-5}
+	sigma, err := ClassicalGaussianSigma(p, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 3 * math.Sqrt(2*math.Log(1.25/1e-5)) / 0.5
+	if math.Abs(sigma-want) > 1e-9 {
+		t.Errorf("sigma = %v, want %v", sigma, want)
+	}
+}
+
+func TestClassicalGaussianErrors(t *testing.T) {
+	t.Parallel()
+	if _, err := ClassicalGaussianSigma(Params{Epsilon: 1.5, Delta: 1e-5}, 1); !errors.Is(err, ErrClassicalEpsilonRange) {
+		t.Errorf("eps>=1: %v", err)
+	}
+	if _, err := ClassicalGaussianSigma(Params{Epsilon: 0.5}, 1); !errors.Is(err, ErrDeltaZero) {
+		t.Errorf("delta=0: %v", err)
+	}
+	if _, err := ClassicalGaussianSigma(Params{Epsilon: 0.5, Delta: 1e-5}, -1); !errors.Is(err, ErrSensitivity) {
+		t.Errorf("bad sens: %v", err)
+	}
+}
+
+func TestAnalyticTighterThanClassical(t *testing.T) {
+	t.Parallel()
+	for _, eps := range []float64{0.1, 0.3, 0.5, 0.9, 0.999} {
+		p := Params{Epsilon: eps, Delta: 1e-5}
+		classical, err := ClassicalGaussianSigma(p, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		analytic, err := AnalyticGaussianSigma(p, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if analytic >= classical {
+			t.Errorf("eps=%v: analytic σ %v not tighter than classical %v", eps, analytic, classical)
+		}
+	}
+}
+
+func TestAnalyticGaussianSatisfiesDelta(t *testing.T) {
+	t.Parallel()
+	for _, eps := range []float64{0.1, 0.5, 1, 2, 5} {
+		p := Params{Epsilon: eps, Delta: 1e-6}
+		sigma, err := AnalyticGaussianSigma(p, 2.5)
+		if err != nil {
+			t.Fatalf("eps=%v: %v", eps, err)
+		}
+		got := gaussianDelta(eps, 2.5, sigma)
+		if got > p.Delta*1.0001 {
+			t.Errorf("eps=%v: δ(σ)=%v exceeds target %v", eps, got, p.Delta)
+		}
+		// And σ is minimal up to bisection tolerance: slightly smaller σ
+		// must violate the target.
+		if gaussianDelta(eps, 2.5, sigma*0.99) <= p.Delta {
+			t.Errorf("eps=%v: σ not minimal", eps)
+		}
+	}
+}
+
+func TestGaussianDeltaMonotoneInSigma(t *testing.T) {
+	t.Parallel()
+	prev := math.Inf(1)
+	for sigma := 0.5; sigma < 50; sigma *= 1.5 {
+		d := gaussianDelta(0.5, 1, sigma)
+		if d > prev {
+			t.Fatalf("gaussianDelta not decreasing at sigma=%v", sigma)
+		}
+		prev = d
+	}
+}
+
+func TestGaussianPerturbMoments(t *testing.T) {
+	t.Parallel()
+	m, err := NewGaussianWithSigma(5, rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 200000
+	var sumSq float64
+	for i := 0; i < n; i++ {
+		x := m.Perturb(0)
+		sumSq += x * x
+	}
+	sd := math.Sqrt(sumSq / n)
+	if math.Abs(sd-5)/5 > 0.02 {
+		t.Errorf("sample sd = %v, want about 5", sd)
+	}
+	if want := 5 * math.Sqrt(2/math.Pi); math.Abs(m.ExpectedAbsError()-want) > 1e-12 {
+		t.Errorf("ExpectedAbsError = %v, want %v", m.ExpectedAbsError(), want)
+	}
+}
+
+func TestGaussianConstructors(t *testing.T) {
+	t.Parallel()
+	src := rng.New(5)
+	if _, err := NewGaussian(Params{Epsilon: 0.5, Delta: 1e-5}, 1, src); err != nil {
+		t.Errorf("classical constructor failed: %v", err)
+	}
+	if _, err := NewGaussian(Params{Epsilon: 0.5, Delta: 1e-5}, 1, nil); !errors.Is(err, ErrNilSource) {
+		t.Errorf("nil src: %v", err)
+	}
+	if _, err := NewGaussianAnalytic(Params{Epsilon: 3, Delta: 1e-5}, 1, src); err != nil {
+		t.Errorf("analytic constructor failed for eps>1: %v", err)
+	}
+	if _, err := NewGaussianWithSigma(0, src); err == nil {
+		t.Error("sigma=0 accepted")
+	}
+	if _, err := NewGaussianWithSigma(math.NaN(), src); err == nil {
+		t.Error("sigma=NaN accepted")
+	}
+}
+
+func TestGaussianConfidenceInterval(t *testing.T) {
+	t.Parallel()
+	m, err := NewGaussianWithSigma(1, rng.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := m.ConfidenceInterval(0.95)
+	if math.Abs(w-1.9600) > 0.001 {
+		t.Errorf("95%% half-width = %v, want about 1.96", w)
+	}
+	if !math.IsNaN(m.ConfidenceInterval(-1)) {
+		t.Error("invalid level should be NaN")
+	}
+}
+
+func TestGaussianEpsilonInvertsAnalyticSigma(t *testing.T) {
+	t.Parallel()
+	// For any (eps, delta): sigma = AnalyticGaussianSigma(eps) then
+	// GaussianEpsilon(sigma) must return about eps.
+	for _, eps := range []float64{0.2, 0.7, 1.5, 3} {
+		p := Params{Epsilon: eps, Delta: 1e-6}
+		sigma, err := AnalyticGaussianSigma(p, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := GaussianEpsilon(sigma, 2, 1e-6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-eps)/eps > 1e-3 {
+			t.Errorf("eps=%v: round trip gave %v", eps, got)
+		}
+	}
+}
+
+func TestGaussianEpsilonMonotoneInSigma(t *testing.T) {
+	t.Parallel()
+	prev := math.Inf(1)
+	for sigma := 1.0; sigma < 100; sigma *= 2 {
+		eps, err := GaussianEpsilon(sigma, 1, 1e-5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if eps > prev {
+			t.Fatalf("epsilon increased with sigma at %v", sigma)
+		}
+		prev = eps
+	}
+}
+
+func TestGaussianEpsilonValidation(t *testing.T) {
+	t.Parallel()
+	if _, err := GaussianEpsilon(0, 1, 1e-5); err == nil {
+		t.Error("sigma=0 accepted")
+	}
+	if _, err := GaussianEpsilon(1, 0, 1e-5); err == nil {
+		t.Error("sens=0 accepted")
+	}
+	if _, err := GaussianEpsilon(1, 1, 0); err == nil {
+		t.Error("delta=0 accepted")
+	}
+	if _, err := GaussianEpsilon(1, 1, 1); err == nil {
+		t.Error("delta=1 accepted")
+	}
+}
+
+func TestGeometricIntegralityAndMoments(t *testing.T) {
+	t.Parallel()
+	m, err := NewGeometric(1, 1, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantAlpha := math.Exp(-1)
+	if math.Abs(m.Alpha()-wantAlpha) > 1e-12 {
+		t.Errorf("Alpha = %v, want %v", m.Alpha(), wantAlpha)
+	}
+	const n = 300000
+	var sum, sumAbs float64
+	for i := 0; i < n; i++ {
+		v := m.PerturbInt(100)
+		sum += float64(v)
+		sumAbs += math.Abs(float64(v - 100))
+	}
+	if mean := sum / n; math.Abs(mean-100) > 0.05 {
+		t.Errorf("mean = %v, want about 100", mean)
+	}
+	wantAbs := 2 * wantAlpha / (1 - wantAlpha*wantAlpha)
+	if meanAbs := sumAbs / n; math.Abs(meanAbs-wantAbs)/wantAbs > 0.03 {
+		t.Errorf("E|noise| = %v, want about %v", meanAbs, wantAbs)
+	}
+	if got := m.Perturb(99.7); got != math.Trunc(got) {
+		t.Errorf("Perturb returned non-integer %v", got)
+	}
+}
+
+func TestGeometricValidation(t *testing.T) {
+	t.Parallel()
+	if _, err := NewGeometric(0, 1, rng.New(1)); !errors.Is(err, ErrEpsilon) {
+		t.Errorf("eps=0: %v", err)
+	}
+	if _, err := NewGeometric(1, -1, rng.New(1)); !errors.Is(err, ErrSensitivity) {
+		t.Errorf("neg sens: %v", err)
+	}
+	if _, err := NewGeometric(1, 1, nil); !errors.Is(err, ErrNilSource) {
+		t.Errorf("nil src: %v", err)
+	}
+}
+
+// TestLaplaceEmpiricalPrivacy bins outputs of the Laplace mechanism on two
+// adjacent inputs and checks the empirical likelihood ratio never exceeds
+// e^ε by more than sampling error. This is a smoke test of the privacy
+// property itself, not just the noise shape.
+func TestLaplaceEmpiricalPrivacy(t *testing.T) {
+	t.Parallel()
+	const eps = 1.0
+	m1, err := NewLaplace(eps, 1, rng.New(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := NewLaplace(eps, 1, rng.New(200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 500000
+	const binWidth = 0.5
+	h1 := map[int]float64{}
+	h2 := map[int]float64{}
+	for i := 0; i < n; i++ {
+		h1[int(math.Floor(m1.Perturb(0)/binWidth))]++
+		h2[int(math.Floor(m2.Perturb(1)/binWidth))]++
+	}
+	bound := math.Exp(eps)
+	for bin, c1 := range h1 {
+		c2 := h2[bin]
+		if c1 < 2000 || c2 < 2000 {
+			continue // too small for a stable ratio
+		}
+		ratio := c1 / c2
+		if ratio > bound*1.15 || 1/ratio > bound*1.15 {
+			t.Errorf("bin %d: likelihood ratio %v exceeds e^ε=%v", bin, ratio, bound)
+		}
+	}
+}

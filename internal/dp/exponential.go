@@ -1,0 +1,108 @@
+package dp
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+)
+
+// Exponential is the exponential mechanism of McSherry & Talwar: it
+// selects a candidate from a finite domain with probability proportional
+// to exp(ε·u(c) / (2·Δu)), where u is the utility function and Δu its
+// sensitivity. The disclosure pipeline's Phase 1 uses it to choose
+// partition cut points.
+type Exponential struct {
+	epsilon     float64
+	utilitySens float64
+	src         *rng.Source
+}
+
+// NewExponential returns an exponential mechanism for the given ε and
+// utility sensitivity Δu.
+func NewExponential(epsilon, utilitySensitivity float64, src *rng.Source) (*Exponential, error) {
+	if err := (Params{Epsilon: epsilon}).Validate(); err != nil {
+		return nil, err
+	}
+	if err := validateSensitivity(utilitySensitivity); err != nil {
+		return nil, err
+	}
+	if src == nil {
+		return nil, ErrNilSource
+	}
+	return &Exponential{epsilon: epsilon, utilitySens: utilitySensitivity, src: src}, nil
+}
+
+// Select returns the index of the chosen candidate given per-candidate
+// utilities. It uses the Gumbel-max trick — argmax of scaled utility plus
+// independent Gumbel noise — which samples from exactly the exponential
+// mechanism's distribution while staying numerically stable for widely
+// spread utilities.
+func (m *Exponential) Select(utilities []float64) (int, error) {
+	if len(utilities) == 0 {
+		return 0, ErrEmptyDomain
+	}
+	scale := m.epsilon / (2 * m.utilitySens)
+	best := -1
+	bestScore := math.Inf(-1)
+	for i, u := range utilities {
+		if math.IsNaN(u) {
+			return 0, fmt.Errorf("dp: utility %d is NaN", i)
+		}
+		score := scale*u + m.src.Gumbel()
+		if score > bestScore {
+			bestScore = score
+			best = i
+		}
+	}
+	return best, nil
+}
+
+// SelectLSE samples the same distribution by explicit inverse-CDF over
+// softmax probabilities computed with the log-sum-exp trick. It exists to
+// cross-validate Select in tests and for callers that also need the
+// probability vector.
+func (m *Exponential) SelectLSE(utilities []float64) (int, []float64, error) {
+	probs, err := m.Probabilities(utilities)
+	if err != nil {
+		return 0, nil, err
+	}
+	u := m.src.Float64()
+	var cum float64
+	for i, p := range probs {
+		cum += p
+		if u < cum {
+			return i, probs, nil
+		}
+	}
+	return len(probs) - 1, probs, nil
+}
+
+// Probabilities returns the exact selection distribution over candidates.
+func (m *Exponential) Probabilities(utilities []float64) ([]float64, error) {
+	if len(utilities) == 0 {
+		return nil, ErrEmptyDomain
+	}
+	scale := m.epsilon / (2 * m.utilitySens)
+	maxScore := math.Inf(-1)
+	scores := make([]float64, len(utilities))
+	for i, u := range utilities {
+		if math.IsNaN(u) {
+			return nil, fmt.Errorf("dp: utility %d is NaN", i)
+		}
+		scores[i] = scale * u
+		if scores[i] > maxScore {
+			maxScore = scores[i]
+		}
+	}
+	var norm float64
+	probs := make([]float64, len(scores))
+	for i, s := range scores {
+		probs[i] = math.Exp(s - maxScore)
+		norm += probs[i]
+	}
+	for i := range probs {
+		probs[i] /= norm
+	}
+	return probs, nil
+}

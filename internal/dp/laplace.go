@@ -1,0 +1,72 @@
+package dp
+
+import (
+	"math"
+
+	"repro/internal/rng"
+)
+
+// Laplace is the Laplace mechanism: it guarantees pure ε-DP for queries
+// with bounded L1 sensitivity by adding Laplace(0, Δ1/ε) noise.
+type Laplace struct {
+	b   float64
+	src *rng.Source
+}
+
+var _ Additive = (*Laplace)(nil)
+
+// NewLaplace returns a Laplace mechanism for the given ε and L1
+// sensitivity.
+func NewLaplace(epsilon, l1Sensitivity float64, src *rng.Source) (*Laplace, error) {
+	if err := (Params{Epsilon: epsilon}).Validate(); err != nil {
+		return nil, err
+	}
+	if err := validateSensitivity(l1Sensitivity); err != nil {
+		return nil, err
+	}
+	if src == nil {
+		return nil, ErrNilSource
+	}
+	return &Laplace{b: l1Sensitivity / epsilon, src: src}, nil
+}
+
+// Perturb returns value + Laplace(0, b) noise.
+func (m *Laplace) Perturb(value float64) float64 {
+	return value + m.src.Laplace(m.b)
+}
+
+// Scale returns the Laplace scale b = Δ1/ε.
+func (m *Laplace) Scale() float64 { return m.b }
+
+// ExpectedAbsError returns E|noise| = b.
+func (m *Laplace) ExpectedAbsError() float64 { return m.b }
+
+// LaplaceScale returns the noise scale the Laplace mechanism would use,
+// without constructing a sampler. It is used for utility forecasting.
+func LaplaceScale(epsilon, l1Sensitivity float64) (float64, error) {
+	if err := (Params{Epsilon: epsilon}).Validate(); err != nil {
+		return 0, err
+	}
+	if err := validateSensitivity(l1Sensitivity); err != nil {
+		return 0, err
+	}
+	return l1Sensitivity / epsilon, nil
+}
+
+// laplaceTailBound returns the two-sided tail probability
+// P(|noise| > t) = exp(-t/b) for the mechanism's scale.
+func (m *Laplace) laplaceTailBound(t float64) float64 {
+	if t <= 0 {
+		return 1
+	}
+	return math.Exp(-t / m.b)
+}
+
+// ConfidenceInterval returns the half-width w such that the true value
+// lies in [answer-w, answer+w] with the given confidence level in (0, 1).
+func (m *Laplace) ConfidenceInterval(level float64) float64 {
+	if !(level > 0 && level < 1) {
+		return math.NaN()
+	}
+	return -m.b * math.Log(1-level)
+}

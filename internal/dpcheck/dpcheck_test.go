@@ -1,0 +1,222 @@
+package dpcheck
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/dp"
+	"repro/internal/hierarchy"
+	"repro/internal/partition"
+	"repro/internal/rng"
+)
+
+// laplacePair returns mechanism closures for a Laplace count query on two
+// adjacent databases (true counts t and t+1, sensitivity 1).
+func laplacePair(t *testing.T, eps float64) (MechanismFunc, MechanismFunc) {
+	t.Helper()
+	scale := 1 / eps
+	onD1 := func(src *rng.Source) float64 { return 100 + src.Laplace(scale) }
+	onD2 := func(src *rng.Source) float64 { return 101 + src.Laplace(scale) }
+	return onD1, onD2
+}
+
+func TestEstimateEpsilonLaplace(t *testing.T) {
+	t.Parallel()
+	for _, eps := range []float64{0.5, 1, 2} {
+		eps := eps
+		onD1, onD2 := laplacePair(t, eps)
+		res, err := EstimateEpsilon(onD1, onD2, Config{Seed: 42})
+		if err != nil {
+			t.Fatalf("eps=%v: %v", eps, err)
+		}
+		// The empirical loss must be near ε: well above ε/2 (the
+		// mechanism is tight) and no more than ~25% above (sampling).
+		if res.EpsilonHat > eps*1.25 {
+			t.Errorf("eps=%v: estimate %v too high", eps, res.EpsilonHat)
+		}
+		if res.EpsilonHat < eps*0.5 {
+			t.Errorf("eps=%v: estimate %v implausibly low", eps, res.EpsilonHat)
+		}
+		if res.BinsUsed == 0 {
+			t.Error("no bins used")
+		}
+	}
+}
+
+// TestEstimateEpsilonCatchesUnderNoising is the negative control: a
+// mechanism that claims ε=1 but adds noise for ε=3 must be flagged.
+func TestEstimateEpsilonCatchesUnderNoising(t *testing.T) {
+	t.Parallel()
+	onD1, onD2 := laplacePair(t, 3) // actual loss 3
+	res, err := EstimateEpsilon(onD1, onD2, Config{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const claimed = 1.0
+	if res.EpsilonHat <= claimed*1.5 {
+		t.Errorf("under-noised mechanism not caught: estimate %v vs claimed %v", res.EpsilonHat, claimed)
+	}
+}
+
+func TestEstimateEpsilonGaussianWithinBudget(t *testing.T) {
+	t.Parallel()
+	p := dp.Params{Epsilon: 0.8, Delta: 1e-5}
+	sigma, err := dp.ClassicalGaussianSigma(p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	onD1 := func(src *rng.Source) float64 { return 50 + src.NormalSigma(sigma) }
+	onD2 := func(src *rng.Source) float64 { return 51 + src.NormalSigma(sigma) }
+	res, err := EstimateEpsilon(onD1, onD2, Config{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Classical calibration is conservative; the bulk loss sits well
+	// under ε. Allow sampling slack above ε but flag gross violations.
+	if res.EpsilonHat > p.Epsilon*1.3 {
+		t.Errorf("gaussian empirical loss %v exceeds ε=%v", res.EpsilonHat, p.Epsilon)
+	}
+}
+
+func TestEstimateEpsilonIdenticalInputs(t *testing.T) {
+	t.Parallel()
+	m := func(src *rng.Source) float64 { return src.Laplace(1) }
+	res, err := EstimateEpsilon(m, m, Config{Seed: 3, Samples: 100000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EpsilonHat > 0.15 {
+		t.Errorf("identical distributions estimated at %v", res.EpsilonHat)
+	}
+}
+
+func TestEstimateEpsilonConstantMechanism(t *testing.T) {
+	t.Parallel()
+	m := func(src *rng.Source) float64 { return 5 }
+	res, err := EstimateEpsilon(m, m, Config{Seed: 3, Samples: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EpsilonHat != 0 {
+		t.Errorf("constant identical mechanism estimate = %v", res.EpsilonHat)
+	}
+	// Disjoint constants: no shared mass at all.
+	m2 := func(src *rng.Source) float64 { return 6 }
+	if _, err := EstimateEpsilon(m, m2, Config{Seed: 3, Samples: 1000}); !errors.Is(err, ErrNoBins) {
+		t.Errorf("disjoint constants error = %v", err)
+	}
+}
+
+func TestEstimateEpsilonNilMechanism(t *testing.T) {
+	t.Parallel()
+	m := func(src *rng.Source) float64 { return 0 }
+	if _, err := EstimateEpsilon(nil, m, Config{}); !errors.Is(err, ErrNilMechanism) {
+		t.Errorf("nil first: %v", err)
+	}
+	if _, err := EstimateEpsilon(m, nil, Config{}); !errors.Is(err, ErrNilMechanism) {
+		t.Errorf("nil second: %v", err)
+	}
+}
+
+func TestEstimateEpsilonDiscreteGeometric(t *testing.T) {
+	t.Parallel()
+	const eps = 1.0
+	mk := func(value int64) DiscreteMechanismFunc {
+		return func(src *rng.Source) int64 {
+			m, err := dp.NewGeometric(eps, 1, src)
+			if err != nil {
+				panic(err)
+			}
+			return m.PerturbInt(value)
+		}
+	}
+	res, err := EstimateEpsilonDiscrete(mk(100), mk(101), Config{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EpsilonHat > eps*1.25 {
+		t.Errorf("geometric empirical loss %v exceeds ε=%v", res.EpsilonHat, eps)
+	}
+	if res.EpsilonHat < eps*0.5 {
+		t.Errorf("geometric empirical loss %v implausibly low", res.EpsilonHat)
+	}
+}
+
+func TestEstimateEpsilonDiscreteNil(t *testing.T) {
+	t.Parallel()
+	m := func(src *rng.Source) int64 { return 0 }
+	if _, err := EstimateEpsilonDiscrete(nil, m, Config{}); !errors.Is(err, ErrNilMechanism) {
+		t.Errorf("nil first: %v", err)
+	}
+}
+
+// TestGroupDPReleaseWithinBudget is the headline integration check: the
+// paper's Phase-2 release, run on a dataset and on its group-adjacent
+// neighbour (the largest level group removed), must show empirical
+// privacy loss at or below εg.
+func TestGroupDPReleaseWithinBudget(t *testing.T) {
+	t.Parallel()
+	g, err := datagen.Generate(datagen.Config{
+		Name: "dpcheck", NumLeft: 120, NumRight: 160, NumEdges: 1500,
+		LeftZipf: 1.9, RightZipf: 2.8, Seed: 21,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := hierarchy.Build(g, hierarchy.Options{Rounds: 3, Bisector: partition.BalancedBisector{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const level = 2
+	p := dp.Params{Epsilon: 0.9, Delta: 1e-4}
+	sens, err := core.Sensitivity(tree, level, core.ModelCells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigma, err := core.Sigma(p, sens, core.CalibrationClassical)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := float64(g.NumEdges())
+	// D2 = D1 minus the largest level-2 group (the worst-case adjacent
+	// dataset for the count query).
+	onD1 := func(src *rng.Source) float64 { return total + src.NormalSigma(sigma) }
+	onD2 := func(src *rng.Source) float64 { return total - float64(sens) + src.NormalSigma(sigma) }
+	res, err := EstimateEpsilon(onD1, onD2, Config{Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EpsilonHat > p.Epsilon*1.3 {
+		t.Errorf("group-DP release empirical loss %v exceeds εg=%v", res.EpsilonHat, p.Epsilon)
+	}
+}
+
+// TestGroupDPIndividualNoiseFailsGroupPrivacy is the paper's motivating
+// negative result: calibrating noise for individual DP (Δ=1) does NOT
+// protect the group — the empirical group-level loss blows past εg.
+func TestGroupDPIndividualNoiseFailsGroupPrivacy(t *testing.T) {
+	t.Parallel()
+	const eps = 0.9
+	p := dp.Params{Epsilon: eps, Delta: 1e-4}
+	sigmaIndividual, err := dp.ClassicalGaussianSigma(p, 1) // record-level noise
+	if err != nil {
+		t.Fatal(err)
+	}
+	const groupSize = 200.0
+	onD1 := func(src *rng.Source) float64 { return 1500 + src.NormalSigma(sigmaIndividual) }
+	onD2 := func(src *rng.Source) float64 { return 1500 - groupSize + src.NormalSigma(sigmaIndividual) }
+	res, err := EstimateEpsilon(onD1, onD2, Config{Seed: 33})
+	if err != nil {
+		// Distributions so far apart that no bin overlaps: that too
+		// demonstrates the privacy failure.
+		if errors.Is(err, ErrNoBins) {
+			return
+		}
+		t.Fatal(err)
+	}
+	if res.EpsilonHat < eps*2 {
+		t.Errorf("individual-DP noise should leak group membership: loss %v vs εg=%v", res.EpsilonHat, eps)
+	}
+}

@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/consistency"
+	"repro/internal/core"
+	"repro/internal/dp"
+	"repro/internal/metrics"
+	"repro/internal/rng"
+)
+
+// RunConsistency is experiment A9 (extension): the utility gain from
+// hierarchical constrained inference over the multi-level cell releases.
+// Post-processing costs no privacy budget; the table reports per-level
+// mean absolute cell error before and after enforcement, averaged over
+// noise trials.
+func RunConsistency(opts Options) (*Report, error) {
+	tree, err := standardTree(opts)
+	if err != nil {
+		return nil, err
+	}
+	trials := opts.trials(15, 3)
+	const eps = 0.5
+	levels := levelsFor(tree.MaxLevel())
+
+	exact := map[int][]float64{}
+	for _, lvl := range levels {
+		counts, err := tree.LevelCellCounts(lvl)
+		if err != nil {
+			return nil, err
+		}
+		e := make([]float64, len(counts))
+		for i, c := range counts {
+			e[i] = float64(c)
+		}
+		exact[lvl] = e
+	}
+	meanAbs := func(r core.CellRelease) float64 {
+		var sum float64
+		for i, v := range r.Counts {
+			sum += metrics.AbsError(v, exact[r.Level][i])
+		}
+		return sum / float64(len(r.Counts))
+	}
+
+	rawErr := make(map[int]float64, len(levels))
+	fixedErr := make(map[int]float64, len(levels))
+	src := rng.New(opts.Seed + 7)
+	for trial := 0; trial < trials; trial++ {
+		var raw []core.CellRelease
+		for i := len(levels) - 1; i >= 0; i-- { // coarse first
+			lvl := levels[i]
+			rel, err := core.ReleaseCells(tree, lvl, dp.Params{Epsilon: eps, Delta: 1e-5},
+				core.CalibrationClassical, src.Split(uint64(trial)<<8|uint64(lvl)))
+			if err != nil {
+				return nil, err
+			}
+			raw = append(raw, rel)
+		}
+		fixed, err := consistency.Enforce(raw)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: consistency trial %d: %w", trial, err)
+		}
+		for i := range raw {
+			rawErr[raw[i].Level] += meanAbs(raw[i]) / float64(trials)
+			fixedErr[fixed[i].Level] += meanAbs(fixed[i]) / float64(trials)
+		}
+	}
+
+	table := metrics.Table{
+		Title:   fmt.Sprintf("A9 — hierarchical consistency at εg=%.1f (mean |cell error|, %d trials)", eps, trials),
+		Headers: []string{"level", "raw", "consistent", "improvement"},
+	}
+	rawSeries := metrics.Series{Name: "raw"}
+	fixedSeries := metrics.Series{Name: "consistent"}
+	for i := len(levels) - 1; i >= 0; i-- {
+		lvl := levels[i]
+		improvement := 0.0
+		if rawErr[lvl] > 0 {
+			improvement = 1 - fixedErr[lvl]/rawErr[lvl]
+		}
+		table.AddRow(lvl, rawErr[lvl], fixedErr[lvl], fmt.Sprintf("%.1f%%", improvement*100))
+		rawSeries.X = append(rawSeries.X, float64(lvl))
+		rawSeries.Y = append(rawSeries.Y, rawErr[lvl])
+		fixedSeries.X = append(fixedSeries.X, float64(lvl))
+		fixedSeries.Y = append(fixedSeries.Y, fixedErr[lvl])
+	}
+	fig, err := metrics.RenderASCII([]metrics.Series{rawSeries, fixedSeries}, metrics.PlotOptions{
+		Title: "A9: mean cell error, raw vs consistent (log y)", LogY: true,
+		XLabel: "level", YLabel: "mean |error|",
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Report{
+		Name: "consistency", Title: "A9 — hierarchical constrained inference",
+		Tables:  []metrics.Table{table},
+		Series:  []metrics.Series{rawSeries, fixedSeries},
+		Figures: []string{fig},
+		Notes: []string{
+			"post-processing is free under DP: the consistent release dominates the raw one at every level, with the largest gains where own-level noise is worst",
+		},
+	}, nil
+}

@@ -1,0 +1,158 @@
+// Package experiments regenerates the paper's evaluation (Figure 1) and
+// the ablations listed in DESIGN.md §5 (A1–A6). Every experiment is a
+// named Runner producing a Report of tables, series and ASCII figures;
+// cmd/gdpbench and the repository benchmarks drive this registry.
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/bipartite"
+	"repro/internal/datagen"
+	"repro/internal/hierarchy"
+	"repro/internal/metrics"
+	"repro/internal/partition"
+	"repro/internal/rng"
+)
+
+// Options configures a registry run.
+type Options struct {
+	// Preset names the datagen preset; empty selects dblp-scaled (or
+	// dblp-tiny in Quick mode).
+	Preset string
+	// Seed drives all randomness.
+	Seed uint64
+	// Trials overrides the per-experiment default trial count when > 0.
+	Trials int
+	// Quick shrinks datasets and grids for fast runs (used by tests).
+	Quick bool
+}
+
+// dataset resolves the configured dataset.
+func (o Options) dataset() (datagen.Config, error) {
+	name := o.Preset
+	if name == "" {
+		if o.Quick {
+			name = datagen.PresetDBLPTiny
+		} else {
+			name = datagen.PresetDBLPScaled
+		}
+	}
+	return datagen.ByName(name, o.Seed+1)
+}
+
+// trials returns the effective trial count.
+func (o Options) trials(def, quickDef int) int {
+	if o.Trials > 0 {
+		return o.Trials
+	}
+	if o.Quick {
+		return quickDef
+	}
+	return def
+}
+
+// Report is an experiment's rendered output.
+type Report struct {
+	// Name is the registry key; Title describes the experiment.
+	Name  string `json:"name"`
+	Title string `json:"title"`
+	// Tables holds the numeric results.
+	Tables []metrics.Table `json:"tables"`
+	// Series holds the plottable curves (one set per figure).
+	Series []metrics.Series `json:"series"`
+	// Figures holds ASCII renderings of the series.
+	Figures []string `json:"figures"`
+	// Notes records paper-vs-measured commentary.
+	Notes []string `json:"notes"`
+}
+
+// Runner executes one experiment.
+type Runner func(Options) (*Report, error)
+
+// ErrUnknownExperiment reports a name missing from the registry.
+var ErrUnknownExperiment = errors.New("experiments: unknown experiment")
+
+// registry maps experiment names to runners. Populated in init-free style
+// via the literal below; keys match DESIGN.md §5.
+var registry = map[string]Runner{
+	"figure1":      RunFigure1Registry,
+	"budget-split": RunBudgetSplit,
+	"calibration":  RunCalibration,
+	"partitioner":  RunPartitioner,
+	"adjacency":    RunAdjacency,
+	"delta":        RunDeltaSweep,
+	"scale":        RunScale,
+	"mechanism":    RunMechanism,
+	"topk":         RunTopK,
+	"consistency":  RunConsistency,
+}
+
+// Names lists the registered experiments in sorted order.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run executes the named experiment.
+func Run(name string, opts Options) (*Report, error) {
+	runner, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q (have %v)", ErrUnknownExperiment, name, Names())
+	}
+	return runner(opts)
+}
+
+// epsGrid returns the εg sweep: the paper's 0.1..1 range.
+func epsGrid(quick bool) []float64 {
+	if quick {
+		return []float64{0.1, 0.5, 0.999}
+	}
+	return []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.999}
+}
+
+// paperRounds is the paper's nine specialization rounds; quick runs use
+// fewer so tiny graphs still have multi-record cells.
+func rounds(quick bool) int {
+	if quick {
+		return 6
+	}
+	return 9
+}
+
+// levelsFor returns the released levels: the paper's I9,0..I9,7 (root and
+// root−1 are withheld).
+func levelsFor(r int) []int {
+	hi := r - 2
+	if hi < 0 {
+		hi = 0
+	}
+	levels := make([]int, 0, hi+1)
+	for lvl := 0; lvl <= hi; lvl++ {
+		levels = append(levels, lvl)
+	}
+	return levels
+}
+
+// buildTrialTree generates Phase 1 once for a trial: a private
+// exponential-mechanism hierarchy when phase1Eps > 0, else the balanced
+// baseline.
+func buildTrialTree(g *bipartite.Graph, rnds int, phase1Eps float64, src *rng.Source) (*hierarchy.Tree, error) {
+	var bis partition.Bisector
+	if phase1Eps > 0 {
+		b, err := partition.NewExpMechBisector(phase1Eps, src)
+		if err != nil {
+			return nil, err
+		}
+		bis = b
+	} else {
+		bis = partition.BalancedBisector{}
+	}
+	return hierarchy.Build(g, hierarchy.Options{Rounds: rnds, Bisector: bis})
+}

@@ -1,0 +1,240 @@
+package experiments
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/metrics"
+)
+
+func quickOpts() Options {
+	return Options{Quick: true, Seed: 11}
+}
+
+func TestNamesSortedAndComplete(t *testing.T) {
+	t.Parallel()
+	names := Names()
+	want := []string{"adjacency", "budget-split", "calibration", "consistency", "delta", "figure1", "mechanism", "partitioner", "scale", "topk"}
+	if len(names) != len(want) {
+		t.Fatalf("names = %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("names = %v, want %v", names, want)
+		}
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	t.Parallel()
+	if _, err := Run("nope", quickOpts()); !errors.Is(err, ErrUnknownExperiment) {
+		t.Errorf("unknown experiment error = %v", err)
+	}
+}
+
+func TestOptionsDataset(t *testing.T) {
+	t.Parallel()
+	ds, err := (Options{Quick: true}).dataset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Name != datagen.PresetDBLPTiny {
+		t.Errorf("quick dataset = %q", ds.Name)
+	}
+	ds, err = (Options{}).dataset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Name != datagen.PresetDBLPScaled {
+		t.Errorf("default dataset = %q", ds.Name)
+	}
+	if _, err := (Options{Preset: "bogus"}).dataset(); err == nil {
+		t.Error("bogus preset accepted")
+	}
+}
+
+func TestFigure1QuickShape(t *testing.T) {
+	t.Parallel()
+	cfg, err := DefaultFigure1Config(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunFigure1(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != len(cfg.Levels) {
+		t.Fatalf("series = %d, want %d", len(res.Series), len(cfg.Levels))
+	}
+	// Sensitivities (and hence noise) grow with level.
+	for i := 1; i < len(res.Sensitivities); i++ {
+		if res.Sensitivities[i] < res.Sensitivities[i-1] {
+			t.Errorf("sensitivity not monotone at level index %d: %v", i, res.Sensitivities)
+		}
+	}
+	// Expected RER decreases as eps grows, for every level.
+	for _, s := range res.Expected {
+		for ei := 1; ei < len(s.Y); ei++ {
+			if s.Y[ei] > s.Y[ei-1] {
+				t.Errorf("series %s expected RER increased with eps", s.Name)
+			}
+		}
+	}
+	// The coarsest released level has (weakly) the largest expected RER
+	// at the smallest eps.
+	first := res.Expected[0].Y[0]
+	last := res.Expected[len(res.Expected)-1].Y[0]
+	if last < first {
+		t.Errorf("coarse level expected RER %v below fine level %v", last, first)
+	}
+	// Table shape: one row per eps, one column per level plus eps.
+	if len(res.Table.Rows) != len(cfg.EpsGrid) {
+		t.Errorf("table rows = %d", len(res.Table.Rows))
+	}
+	if len(res.Table.Headers) != len(cfg.Levels)+1 {
+		t.Errorf("table headers = %d", len(res.Table.Headers))
+	}
+}
+
+func TestFigure1Validation(t *testing.T) {
+	t.Parallel()
+	cfg, err := DefaultFigure1Config(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Trials = 0
+	if _, err := RunFigure1(cfg); err == nil {
+		t.Error("zero trials accepted")
+	}
+	cfg.Trials = 1
+	cfg.EpsGrid = nil
+	if _, err := RunFigure1(cfg); err == nil {
+		t.Error("empty grid accepted")
+	}
+}
+
+func TestFigure1DeterministicUnderSeed(t *testing.T) {
+	t.Parallel()
+	cfg, err := DefaultFigure1Config(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Trials = 2
+	a, err := RunFigure1(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunFigure1(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for si := range a.Series {
+		for i := range a.Series[si].Y {
+			if a.Series[si].Y[i] != b.Series[si].Y[i] {
+				t.Fatal("figure1 not deterministic under fixed seed")
+			}
+		}
+	}
+}
+
+func TestFigure1NodeGroupModel(t *testing.T) {
+	t.Parallel()
+	cfg, err := DefaultFigure1Config(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Trials = 1
+	cfg.Model = core.ModelNodeGroups
+	res, err := RunFigure1(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != len(cfg.Levels) {
+		t.Error("node-group figure missing series")
+	}
+}
+
+func TestRegistryRunnersQuick(t *testing.T) {
+	// Each registry entry must produce a well-formed report in quick
+	// mode. Run serially within subtests (they are CPU heavy).
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			report, err := Run(name, quickOpts())
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if report.Name != name {
+				t.Errorf("report name = %q", report.Name)
+			}
+			if len(report.Tables) == 0 {
+				t.Error("report has no tables")
+			}
+			for _, table := range report.Tables {
+				if len(table.Rows) == 0 {
+					t.Errorf("table %q empty", table.Title)
+				}
+				md := table.Markdown()
+				if !strings.Contains(md, "|") {
+					t.Error("markdown render failed")
+				}
+			}
+		})
+	}
+}
+
+func TestBudgetSplitOrdering(t *testing.T) {
+	t.Parallel()
+	report, err := RunBudgetSplit(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per-level mode gives each level the full budget, so its RER must
+	// (on average across levels) be no worse than composed-basic, which
+	// splits the same budget across all levels.
+	var perLevel, composed float64
+	for _, s := range report.Series {
+		var sum float64
+		for _, y := range s.Y {
+			sum += y
+		}
+		switch s.Name {
+		case "per-level":
+			perLevel = sum
+		case "composed-basic":
+			composed = sum
+		}
+	}
+	if perLevel > composed {
+		t.Errorf("per-level total RER %v worse than composed-basic %v", perLevel, composed)
+	}
+}
+
+func TestAdjacencyDominance(t *testing.T) {
+	t.Parallel()
+	report, err := RunAdjacency(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cells, nodes metrics.Series
+	for _, s := range report.Series {
+		switch s.Name {
+		case "cells":
+			cells = s
+		case "node-groups":
+			nodes = s
+		}
+	}
+	if len(cells.Y) == 0 || len(nodes.Y) != len(cells.Y) {
+		t.Fatal("missing series")
+	}
+	for i := range cells.Y {
+		if nodes.Y[i] < cells.Y[i] {
+			t.Errorf("level %v: node-group RER below cell RER", cells.X[i])
+		}
+	}
+}

@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dp"
+	"repro/internal/metrics"
+)
+
+// RunMechanism is ablation A7: the paper's Gaussian mechanism versus the
+// pure-DP Laplace and geometric mechanisms for the per-level count
+// release. For a scalar count the Laplace mechanism needs less noise at
+// the same ε (no δ, no √(2 ln(1.25/δ)) factor); the Gaussian pays that
+// factor to gain (ε, δ) semantics that compose better across many
+// queries. The table makes the trade explicit per level.
+func RunMechanism(opts Options) (*Report, error) {
+	tree, err := standardTree(opts)
+	if err != nil {
+		return nil, err
+	}
+	const eps = 0.5
+	p := dp.Params{Epsilon: eps, Delta: 1e-5}
+	pure := dp.Params{Epsilon: eps}
+	levels := levelsFor(tree.MaxLevel())
+
+	mechs := []struct {
+		name string
+		mech core.NoiseMechanism
+		p    dp.Params
+	}{
+		{name: "gaussian (paper)", mech: core.MechGaussian, p: p},
+		{name: "laplace", mech: core.MechLaplace, p: pure},
+		{name: "geometric", mech: core.MechGeometric, p: pure},
+	}
+
+	table := metrics.Table{
+		Title:   fmt.Sprintf("A7 — noise mechanism at ε=%.1f (expected RER; gaussian uses δ=%g)", eps, p.Delta),
+		Headers: []string{"level"},
+	}
+	for _, m := range mechs {
+		table.Headers = append(table.Headers, m.name)
+	}
+	series := make([]metrics.Series, len(mechs))
+	for mi, m := range mechs {
+		series[mi] = metrics.Series{Name: m.name}
+	}
+	for _, lvl := range levels {
+		row := []any{lvl}
+		for mi, m := range mechs {
+			exp, err := core.ExpectedRERWith(tree, lvl, m.p, core.ModelCells, core.CalibrationClassical, m.mech)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: mechanism %s level %d: %w", m.name, lvl, err)
+			}
+			row = append(row, exp)
+			series[mi].X = append(series[mi].X, float64(lvl))
+			series[mi].Y = append(series[mi].Y, exp)
+		}
+		table.AddRow(row...)
+	}
+	fig, err := metrics.RenderASCII(series, metrics.PlotOptions{
+		Title: "A7: expected RER by noise mechanism (log y)", LogY: true,
+		XLabel: "level", YLabel: "E[RER]",
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Report{
+		Name: "mechanism", Title: "A7 — Gaussian vs Laplace vs geometric noise",
+		Tables: []metrics.Table{table}, Series: series, Figures: []string{fig},
+		Notes: []string{
+			"for a single count per level, pure-DP Laplace/geometric noise beats the classically calibrated Gaussian at equal ε",
+			"the Gaussian's (ε, δ) semantics win back ground under composition across many queries (see A1 composed-advanced)",
+		},
+	}, nil
+}

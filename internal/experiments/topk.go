@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/bipartite"
+	"repro/internal/core"
+	"repro/internal/dp"
+	"repro/internal/metrics"
+	"repro/internal/query"
+	"repro/internal/rng"
+)
+
+// RunTopK is experiment A8 (extension): heavy-hitter identification
+// utility. A data user at each tier computes the top-k heaviest left-side
+// groups ("most prolific author groups") from the released noisy cell
+// histogram; we measure set precision against the exact top-k. This
+// quantifies a *task-level* utility the paper's scalar RER metric cannot
+// see: coarse tiers may have usable counts yet useless rankings.
+func RunTopK(opts Options) (*Report, error) {
+	tree, err := standardTree(opts)
+	if err != nil {
+		return nil, err
+	}
+	trials := opts.trials(20, 4)
+	grid := epsGrid(opts.Quick)
+	const k = 4
+	// Levels with at least 2k side groups so the task is non-trivial.
+	var levels []int
+	for _, lvl := range levelsFor(tree.MaxLevel()) {
+		groups, err := tree.NumSideGroups(lvl)
+		if err != nil {
+			return nil, err
+		}
+		if groups >= 2*k {
+			levels = append(levels, lvl)
+		}
+	}
+	if len(levels) == 0 {
+		return nil, fmt.Errorf("experiments: topk needs a level with >= %d side groups", 2*k)
+	}
+	levels = pickSpread(levels)
+
+	table := metrics.Table{
+		Title:   fmt.Sprintf("A8 — top-%d group precision from released histograms (%d trials)", k, trials),
+		Headers: []string{"εg"},
+	}
+	series := make([]metrics.Series, len(levels))
+	for li, lvl := range levels {
+		table.Headers = append(table.Headers, fmt.Sprintf("level %d", lvl))
+		series[li] = metrics.Series{Name: fmt.Sprintf("level %d", lvl)}
+	}
+	src := rng.New(opts.Seed + 99)
+	for _, eps := range grid {
+		row := []any{eps}
+		for li, lvl := range levels {
+			var sum float64
+			for trial := 0; trial < trials; trial++ {
+				rel, err := core.ReleaseCells(tree, lvl, dp.Params{Epsilon: eps, Delta: 1e-5},
+					core.CalibrationClassical, src.Split(uint64(trial)<<16|uint64(lvl)<<8|uint64(eps*1000)))
+				if err != nil {
+					return nil, err
+				}
+				p, err := query.TopKPrecision(tree, rel, bipartite.Left, k)
+				if err != nil {
+					return nil, err
+				}
+				sum += p
+			}
+			mean := sum / float64(trials)
+			row = append(row, mean)
+			series[li].X = append(series[li].X, eps)
+			series[li].Y = append(series[li].Y, mean)
+		}
+		table.AddRow(row...)
+	}
+	fig, err := metrics.RenderASCII(series, metrics.PlotOptions{
+		Title:  fmt.Sprintf("A8: top-%d precision vs εg", k),
+		XLabel: "εg", YLabel: "precision",
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Report{
+		Name: "topk", Title: "A8 — heavy-hitter identification utility",
+		Tables: []metrics.Table{table}, Series: series, Figures: []string{fig},
+		Notes: []string{
+			"ranking quality tracks the inter-group gap / noise ratio, not RER: coarse levels rank usably despite large RER, while fine levels (many near-equal groups, noise fixed at the level's Δ) rank poorly even where counts look accurate",
+		},
+	}, nil
+}

@@ -1,0 +1,668 @@
+// Package hierarchy builds and represents the multi-level group structure
+// produced by the paper's Phase-1 specialization.
+//
+// Each side of the bipartite graph carries a binary bisection tree: one
+// specialization round splits every current node group of the left side in
+// two and every current node group of the right side in two, each cut
+// chosen by a partition.Bisector (the exponential mechanism in the private
+// configuration). This realizes the paper's "each group in level i is
+// split to 4 subgroups in level i−1; two sub groups correspond to the left
+// side nodes of the bipartite graph and the other two sub groups refer to
+// the right side nodes".
+//
+// Two group semantics are derived from the side trees (DESIGN.md §2):
+//
+//   - Cell model (primary): the level-ℓ groups of the record universe are
+//     the crossings (Li, Rj) of the 2^d left ranges and 2^d right ranges
+//     at depth d = MaxLevel − ℓ. A cell's records are the associations
+//     between its two ranges; cells partition the record universe at every
+//     level, exactly the structure Definition 3 (group-level adjacency)
+//     ranges over. Count-query sensitivity at a level is the largest cell.
+//
+//   - Node-group model (ablation A4): the groups are the side ranges
+//     themselves, and removing a group removes all associations incident
+//     to its nodes; sensitivity is the largest incident-edge sum.
+//
+// Levels follow the paper's numbering: the root (entire dataset) sits at
+// level MaxLevel and groups get four times smaller per level down; with
+// the paper's nine rounds the root is level 9 and level 0 is the finest.
+//
+// Representation: per side, a permutation of node ids plus, per depth, the
+// boundaries of the 2^d contiguous ranges over that permutation. Splits
+// reorder nodes only inside their own range, so deeper levels strictly
+// refine shallower ones and all levels share one permutation.
+package hierarchy
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/bipartite"
+	"repro/internal/partition"
+)
+
+// MaxRounds caps tree depth; 4^12 cells is the largest level a dense
+// per-level cell matrix can reasonably hold.
+const MaxRounds = 12
+
+// Order controls how a range's nodes are arranged before the bisector
+// chooses a prefix cut.
+type Order int
+
+// Orderings. OrderWeightDesc sorts nodes by degree descending with a
+// deterministic tie-break on node id, which lets balance-seeking bisectors
+// find good cuts; OrderNatural keeps the current permutation order.
+const (
+	OrderWeightDesc Order = iota + 1
+	OrderNatural
+)
+
+// Valid reports whether o is a known ordering.
+func (o Order) Valid() bool { return o == OrderWeightDesc || o == OrderNatural }
+
+// Options configures Build.
+type Options struct {
+	// Rounds is the number of specialization rounds; the resulting tree
+	// has Rounds+1 levels with the root at level Rounds. Must be in
+	// [1, MaxRounds].
+	Rounds int
+	// Bisector chooses every cut. Required.
+	Bisector partition.Bisector
+	// Order arranges range nodes before cutting; defaults to
+	// OrderWeightDesc.
+	Order Order
+	// Workers parallelizes the per-range weight computation and ordering
+	// across goroutines. Cut decisions remain serial in range order, so
+	// the built tree is identical for any worker count. Values < 2 run
+	// single-threaded.
+	Workers int
+}
+
+// Errors returned by Build and the accessors.
+var (
+	ErrNilGraph    = errors.New("hierarchy: nil graph")
+	ErrNilBisector = errors.New("hierarchy: nil bisector")
+	ErrBadRounds   = errors.New("hierarchy: rounds must be in [1, 12]")
+	ErrBadLevel    = errors.New("hierarchy: level out of range")
+	ErrInvalid     = errors.New("hierarchy: invalid tree")
+)
+
+// sideTree is the recursive bisection of one node side.
+type sideTree struct {
+	perm []int32 // position -> node id
+	pos  []int32 // node id -> position
+	// bounds[d] holds the 2^d+1 range boundaries at depth d:
+	// range i spans positions [bounds[d][i], bounds[d][i+1]).
+	bounds [][]int32
+}
+
+// Tree is the built hierarchy. It is immutable after Build.
+type Tree struct {
+	graph    *bipartite.Graph
+	maxLevel int
+
+	left  sideTree
+	right sideTree
+
+	// cells[d] is the row-major (2^d)x(2^d) matrix of per-cell record
+	// counts at depth d.
+	cells [][]int64
+
+	privateCuts int
+}
+
+// Build runs Phase-1 specialization and returns the tree.
+func Build(g *bipartite.Graph, opts Options) (*Tree, error) {
+	if g == nil {
+		return nil, ErrNilGraph
+	}
+	if opts.Bisector == nil {
+		return nil, ErrNilBisector
+	}
+	if opts.Rounds < 1 || opts.Rounds > MaxRounds {
+		return nil, fmt.Errorf("%w (got %d)", ErrBadRounds, opts.Rounds)
+	}
+	if opts.Order == 0 {
+		opts.Order = OrderWeightDesc
+	}
+	if !opts.Order.Valid() {
+		return nil, fmt.Errorf("hierarchy: unknown order %d", opts.Order)
+	}
+
+	t := &Tree{
+		graph:    g,
+		maxLevel: opts.Rounds,
+		left:     newSideTree(g.NumLeft()),
+		right:    newSideTree(g.NumRight()),
+	}
+	for d := 0; d < opts.Rounds; d++ {
+		if err := t.splitDepth(&t.left, bipartite.Left, d, opts); err != nil {
+			return nil, fmt.Errorf("hierarchy: splitting left side at depth %d: %w", d, err)
+		}
+		if err := t.splitDepth(&t.right, bipartite.Right, d, opts); err != nil {
+			return nil, fmt.Errorf("hierarchy: splitting right side at depth %d: %w", d, err)
+		}
+	}
+	t.computeCells()
+	return t, nil
+}
+
+func newSideTree(n int) sideTree {
+	st := sideTree{
+		perm:   make([]int32, n),
+		pos:    make([]int32, n),
+		bounds: [][]int32{{0, int32(n)}},
+	}
+	for i := 0; i < n; i++ {
+		st.perm[i] = int32(i)
+		st.pos[i] = int32(i)
+	}
+	return st
+}
+
+// rangeItem pairs a node with its weight during range preparation.
+type rangeItem struct {
+	node   int32
+	weight int64
+}
+
+// splitDepth refines every depth-d range of one side into two, appending
+// the depth d+1 boundaries. Preparation (weight lookup and ordering) is
+// pure per range and fans out across opts.Workers goroutines; the cut
+// decisions run serially in range order so randomized bisectors consume
+// their stream deterministically.
+func (t *Tree) splitDepth(st *sideTree, side bipartite.Side, d int, opts Options) error {
+	cur := st.bounds[d]
+	nRanges := len(cur) - 1
+	prepared := make([][]rangeItem, nRanges)
+
+	prepare := func(i int) {
+		prepared[i] = t.prepareRange(st, side, cur[i], cur[i+1], opts.Order)
+	}
+	if opts.Workers > 1 && nRanges > 1 {
+		var wg sync.WaitGroup
+		indices := make(chan int)
+		workers := opts.Workers
+		if workers > nRanges {
+			workers = nRanges
+		}
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range indices {
+					prepare(i)
+				}
+			}()
+		}
+		for i := 0; i < nRanges; i++ {
+			indices <- i
+		}
+		close(indices)
+		wg.Wait()
+	} else {
+		for i := 0; i < nRanges; i++ {
+			prepare(i)
+		}
+	}
+
+	next := make([]int32, 0, 2*nRanges+1)
+	for i := 0; i < nRanges; i++ {
+		lo := cur[i]
+		cut, err := t.applyCut(st, lo, prepared[i], opts)
+		if err != nil {
+			return fmt.Errorf("range %d [%d,%d): %w", i, lo, cur[i+1], err)
+		}
+		next = append(next, lo, lo+int32(cut))
+	}
+	next = append(next, cur[nRanges])
+	st.bounds = append(st.bounds, next)
+	return nil
+}
+
+// prepareRange materializes and orders the items of [lo, hi). It reads
+// only immutable state (graph degrees, the current permutation span) and
+// is safe to run concurrently across disjoint ranges.
+func (t *Tree) prepareRange(st *sideTree, side bipartite.Side, lo, hi int32, order Order) []rangeItem {
+	n := int(hi - lo)
+	if n == 0 {
+		return nil
+	}
+	items := make([]rangeItem, n)
+	for i := 0; i < n; i++ {
+		node := st.perm[lo+int32(i)]
+		items[i] = rangeItem{node: node, weight: t.graph.Degree(side, node)}
+	}
+	if order == OrderWeightDesc {
+		sort.Slice(items, func(i, j int) bool {
+			if items[i].weight != items[j].weight {
+				return items[i].weight > items[j].weight
+			}
+			return items[i].node < items[j].node
+		})
+	}
+	return items
+}
+
+// applyCut asks the bisector for a cut over the prepared items and writes
+// the order back into the permutation. Ranges with fewer than two nodes
+// return their size (an empty second part).
+func (t *Tree) applyCut(st *sideTree, lo int32, items []rangeItem, opts Options) (int, error) {
+	n := len(items)
+	if n < 2 {
+		return n, nil
+	}
+	weights := make([]int64, n)
+	for i, it := range items {
+		weights[i] = it.weight
+	}
+	cut, err := opts.Bisector.Bisect(weights)
+	if err != nil {
+		return 0, err
+	}
+	if _, ok := opts.Bisector.(*partition.ExpMechBisector); ok {
+		t.privateCuts++
+	}
+	for i, it := range items {
+		st.perm[lo+int32(i)] = it.node
+		st.pos[it.node] = lo + int32(i)
+	}
+	return cut, nil
+}
+
+// computeCells fills the per-depth cell count matrices in one edge scan
+// per depth.
+func (t *Tree) computeCells() {
+	depths := len(t.left.bounds)
+	t.cells = make([][]int64, depths)
+	for d := 0; d < depths; d++ {
+		k := 1 << d
+		counts := make([]int64, k*k)
+		leftIdx := rangeIndexByPosition(t.left.bounds[d], len(t.left.perm))
+		rightIdx := rangeIndexByPosition(t.right.bounds[d], len(t.right.perm))
+		t.graph.ForEachEdge(func(l, r int32) bool {
+			i := leftIdx[t.left.pos[l]]
+			j := rightIdx[t.right.pos[r]]
+			counts[int(i)*k+int(j)]++
+			return true
+		})
+		t.cells[d] = counts
+	}
+}
+
+// rangeIndexByPosition expands range boundaries into a per-position range
+// index lookup.
+func rangeIndexByPosition(bounds []int32, n int) []int32 {
+	idx := make([]int32, n)
+	for i := 0; i < len(bounds)-1; i++ {
+		for p := bounds[i]; p < bounds[i+1]; p++ {
+			idx[p] = int32(i)
+		}
+	}
+	return idx
+}
+
+// Graph returns the underlying graph.
+func (t *Tree) Graph() *bipartite.Graph { return t.graph }
+
+// MaxLevel returns the root's level number.
+func (t *Tree) MaxLevel() int { return t.maxLevel }
+
+// NumPrivateCuts returns how many exponential-mechanism cuts Build made;
+// the release pipeline multiplies it by the per-cut ε for accounting.
+func (t *Tree) NumPrivateCuts() int { return t.privateCuts }
+
+// DepthOfLevel converts a paper-style level number to tree depth.
+func (t *Tree) DepthOfLevel(level int) (int, error) {
+	d := t.maxLevel - level
+	if d < 0 || d >= len(t.left.bounds) {
+		return 0, fmt.Errorf("%w: level %d not in [0,%d]", ErrBadLevel, level, t.maxLevel)
+	}
+	return d, nil
+}
+
+// NumSideGroups returns the number of node groups per side at the level
+// (2^depth).
+func (t *Tree) NumSideGroups(level int) (int, error) {
+	d, err := t.DepthOfLevel(level)
+	if err != nil {
+		return 0, err
+	}
+	return 1 << d, nil
+}
+
+// NumCells returns the number of record groups (cells) at the level
+// (4^depth).
+func (t *Tree) NumCells(level int) (int, error) {
+	k, err := t.NumSideGroups(level)
+	if err != nil {
+		return 0, err
+	}
+	return k * k, nil
+}
+
+// CellEdges returns the record count of cell (i, j) at the level.
+func (t *Tree) CellEdges(level, i, j int) (int64, error) {
+	d, err := t.DepthOfLevel(level)
+	if err != nil {
+		return 0, err
+	}
+	k := 1 << d
+	if i < 0 || i >= k || j < 0 || j >= k {
+		return 0, fmt.Errorf("hierarchy: cell (%d,%d) outside %dx%d grid", i, j, k, k)
+	}
+	return t.cells[d][i*k+j], nil
+}
+
+// LevelCellCounts returns a copy of the row-major cell count matrix at the
+// level.
+func (t *Tree) LevelCellCounts(level int) ([]int64, error) {
+	d, err := t.DepthOfLevel(level)
+	if err != nil {
+		return nil, err
+	}
+	return append([]int64(nil), t.cells[d]...), nil
+}
+
+// CellOfEdge returns the cell coordinates containing association (l, r) at
+// the level.
+func (t *Tree) CellOfEdge(level int, l, r int32) (i, j int, err error) {
+	d, err := t.DepthOfLevel(level)
+	if err != nil {
+		return 0, 0, err
+	}
+	if l < 0 || int(l) >= t.graph.NumLeft() || r < 0 || int(r) >= t.graph.NumRight() {
+		return 0, 0, fmt.Errorf("hierarchy: edge (%d,%d) out of range", l, r)
+	}
+	return findRange(t.left.bounds[d], t.left.pos[l]), findRange(t.right.bounds[d], t.right.pos[r]), nil
+}
+
+// findRange locates the range containing position p via binary search over
+// the boundary array.
+func findRange(bounds []int32, p int32) int {
+	// bounds is sorted; find the last boundary <= p.
+	idx := sort.Search(len(bounds), func(i int) bool { return bounds[i] > p }) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(bounds)-1 {
+		idx = len(bounds) - 2
+	}
+	return idx
+}
+
+// SideGroupNodes materializes the node ids of side group i at the level.
+func (t *Tree) SideGroupNodes(level int, side bipartite.Side, i int) ([]int32, error) {
+	d, err := t.DepthOfLevel(level)
+	if err != nil {
+		return nil, err
+	}
+	st, err := t.sideTree(side)
+	if err != nil {
+		return nil, err
+	}
+	bounds := st.bounds[d]
+	if i < 0 || i >= len(bounds)-1 {
+		return nil, fmt.Errorf("hierarchy: side group %d outside [0,%d)", i, len(bounds)-1)
+	}
+	return append([]int32(nil), st.perm[bounds[i]:bounds[i+1]]...), nil
+}
+
+// SideGroupOfNode returns the index of the side group containing the node
+// at the level.
+func (t *Tree) SideGroupOfNode(level int, side bipartite.Side, node int32) (int, error) {
+	d, err := t.DepthOfLevel(level)
+	if err != nil {
+		return 0, err
+	}
+	st, err := t.sideTree(side)
+	if err != nil {
+		return 0, err
+	}
+	if node < 0 || int(node) >= len(st.pos) {
+		return 0, fmt.Errorf("hierarchy: node %d out of range", node)
+	}
+	return findRange(st.bounds[d], st.pos[node]), nil
+}
+
+func (t *Tree) sideTree(side bipartite.Side) (*sideTree, error) {
+	switch side {
+	case bipartite.Left:
+		return &t.left, nil
+	case bipartite.Right:
+		return &t.right, nil
+	default:
+		return nil, fmt.Errorf("hierarchy: invalid side %v", side)
+	}
+}
+
+// SideGroupIncidentEdges returns, per side group at the level, the number
+// of associations incident to the group's nodes (the node-group model's
+// group weight).
+func (t *Tree) SideGroupIncidentEdges(level int, side bipartite.Side) ([]int64, error) {
+	d, err := t.DepthOfLevel(level)
+	if err != nil {
+		return nil, err
+	}
+	st, err := t.sideTree(side)
+	if err != nil {
+		return nil, err
+	}
+	bounds := st.bounds[d]
+	out := make([]int64, len(bounds)-1)
+	for i := 0; i < len(bounds)-1; i++ {
+		var sum int64
+		for p := bounds[i]; p < bounds[i+1]; p++ {
+			sum += t.graph.Degree(side, st.perm[p])
+		}
+		out[i] = sum
+	}
+	return out, nil
+}
+
+// MaxCellEdges returns the largest cell at the level — the group-DP
+// sensitivity of the association-count query under the cell model.
+func (t *Tree) MaxCellEdges(level int) (int64, error) {
+	d, err := t.DepthOfLevel(level)
+	if err != nil {
+		return 0, err
+	}
+	var max int64
+	for _, c := range t.cells[d] {
+		if c > max {
+			max = c
+		}
+	}
+	return max, nil
+}
+
+// MaxSideGroupIncidentEdges returns the largest incident-edge sum over all
+// side groups (both sides) at the level — the sensitivity under the
+// node-group model.
+func (t *Tree) MaxSideGroupIncidentEdges(level int) (int64, error) {
+	var max int64
+	for _, side := range []bipartite.Side{bipartite.Left, bipartite.Right} {
+		sums, err := t.SideGroupIncidentEdges(level, side)
+		if err != nil {
+			return 0, err
+		}
+		for _, s := range sums {
+			if s > max {
+				max = s
+			}
+		}
+	}
+	return max, nil
+}
+
+// SidePermutation returns a copy of one side's node permutation
+// (position → node id).
+func (t *Tree) SidePermutation(side bipartite.Side) ([]int32, error) {
+	st, err := t.sideTree(side)
+	if err != nil {
+		return nil, err
+	}
+	return append([]int32(nil), st.perm...), nil
+}
+
+// SideBounds returns a copy of one side's range boundaries at a level
+// (2^depth + 1 positions over the permutation).
+func (t *Tree) SideBounds(level int, side bipartite.Side) ([]int32, error) {
+	d, err := t.DepthOfLevel(level)
+	if err != nil {
+		return nil, err
+	}
+	st, err := t.sideTree(side)
+	if err != nil {
+		return nil, err
+	}
+	return append([]int32(nil), st.bounds[d]...), nil
+}
+
+// LevelProfile summarizes one level of the tree.
+type LevelProfile struct {
+	Level         int     `json:"level"`
+	NumCells      int     `json:"num_cells"`
+	NonEmpty      int     `json:"non_empty"`
+	TotalEdges    int64   `json:"total_edges"`
+	MaxCellEdges  int64   `json:"max_cell_edges"`
+	MeanCellEdges float64 `json:"mean_cell_edges"`
+	// Skew is MaxCellEdges divided by the balanced cell size
+	// TotalEdges/NumCells; 1.0 means perfectly even cells. Zero when the
+	// level holds no records.
+	Skew float64 `json:"skew"`
+}
+
+// Profile computes the summary of one level.
+func (t *Tree) Profile(level int) (LevelProfile, error) {
+	d, err := t.DepthOfLevel(level)
+	if err != nil {
+		return LevelProfile{}, err
+	}
+	p := LevelProfile{Level: level, NumCells: len(t.cells[d])}
+	for _, c := range t.cells[d] {
+		p.TotalEdges += c
+		if c > 0 {
+			p.NonEmpty++
+		}
+		if c > p.MaxCellEdges {
+			p.MaxCellEdges = c
+		}
+	}
+	if p.NumCells > 0 {
+		p.MeanCellEdges = float64(p.TotalEdges) / float64(p.NumCells)
+	}
+	if p.TotalEdges > 0 && p.NumCells > 0 {
+		p.Skew = float64(p.MaxCellEdges) / (float64(p.TotalEdges) / float64(p.NumCells))
+	}
+	return p, nil
+}
+
+// SensitivityProfile returns the cell-model sensitivity for every level
+// from the root down; index i holds level MaxLevel−i.
+func (t *Tree) SensitivityProfile() ([]int64, error) {
+	out := make([]int64, len(t.cells))
+	for d := range t.cells {
+		s, err := t.MaxCellEdges(t.maxLevel - d)
+		if err != nil {
+			return nil, err
+		}
+		out[d] = s
+	}
+	return out, nil
+}
+
+// ImbalanceSummary returns the per-level skew (max cell / balanced cell),
+// used by ablation A3 to compare bisectors; index i holds level
+// MaxLevel−i.
+func (t *Tree) ImbalanceSummary() ([]float64, error) {
+	out := make([]float64, len(t.cells))
+	for d := range t.cells {
+		p, err := t.Profile(t.maxLevel - d)
+		if err != nil {
+			return nil, err
+		}
+		out[d] = p.Skew
+	}
+	return out, nil
+}
+
+// Validate checks the structural invariants the rest of the system relies
+// on:
+//
+//   - permutations are bijections and pos arrays their inverses,
+//   - range boundaries are monotone, span the whole side, and every depth
+//     refines the previous one,
+//   - per-level cell counts match a fresh recount and sum to the total
+//     record count.
+func (t *Tree) Validate() error {
+	if err := checkPerm(t.left.perm, t.left.pos); err != nil {
+		return fmt.Errorf("%w: left perm: %v", ErrInvalid, err)
+	}
+	if err := checkPerm(t.right.perm, t.right.pos); err != nil {
+		return fmt.Errorf("%w: right perm: %v", ErrInvalid, err)
+	}
+	for _, st := range []*sideTree{&t.left, &t.right} {
+		n := int32(len(st.perm))
+		for d, bounds := range st.bounds {
+			if len(bounds) != (1<<d)+1 {
+				return fmt.Errorf("%w: depth %d has %d boundaries, want %d", ErrInvalid, d, len(bounds), (1<<d)+1)
+			}
+			if bounds[0] != 0 || bounds[len(bounds)-1] != n {
+				return fmt.Errorf("%w: depth %d boundaries do not span [0,%d]", ErrInvalid, d, n)
+			}
+			for i := 1; i < len(bounds); i++ {
+				if bounds[i] < bounds[i-1] {
+					return fmt.Errorf("%w: depth %d boundaries decrease at %d", ErrInvalid, d, i)
+				}
+			}
+			if d > 0 {
+				prev := st.bounds[d-1]
+				for i, b := range prev {
+					if bounds[2*i] != b {
+						return fmt.Errorf("%w: depth %d does not refine depth %d at %d", ErrInvalid, d, d-1, i)
+					}
+				}
+			}
+		}
+	}
+	total := t.graph.NumEdges()
+	for d := range t.cells {
+		k := 1 << d
+		counts := make([]int64, k*k)
+		leftIdx := rangeIndexByPosition(t.left.bounds[d], len(t.left.perm))
+		rightIdx := rangeIndexByPosition(t.right.bounds[d], len(t.right.perm))
+		t.graph.ForEachEdge(func(l, r int32) bool {
+			counts[int(leftIdx[t.left.pos[l]])*k+int(rightIdx[t.right.pos[r]])]++
+			return true
+		})
+		var sum int64
+		for i, c := range counts {
+			if c != t.cells[d][i] {
+				return fmt.Errorf("%w: depth %d cell %d stored %d, recounted %d", ErrInvalid, d, i, t.cells[d][i], c)
+			}
+			sum += c
+		}
+		if sum != total {
+			return fmt.Errorf("%w: depth %d cells sum to %d, want %d", ErrInvalid, d, sum, total)
+		}
+	}
+	return nil
+}
+
+func checkPerm(perm, pos []int32) error {
+	if len(perm) != len(pos) {
+		return errors.New("perm and pos lengths differ")
+	}
+	for p, node := range perm {
+		if node < 0 || int(node) >= len(perm) {
+			return fmt.Errorf("perm[%d] = %d out of range", p, node)
+		}
+		if pos[node] != int32(p) {
+			return fmt.Errorf("pos[%d] = %d, want %d", node, pos[node], p)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,216 @@
+// Package partition implements Phase 1 of the paper's disclosure pipeline:
+// the specialization step that splits a node side in two, selected through
+// the exponential mechanism so the split itself is differentially private.
+//
+// A bisector sees only an ordered slice of per-item weights (each item is a
+// node of the cell being specialized; its weight is the number of
+// associations it contributes to the cell) and chooses a cut index k: items
+// [0,k) form the first subgroup and [k,n) the second. The private bisector
+// scores each cut by edge balance — utility(k) = −|S_k − (S_n − S_k)| where
+// S_k is the prefix weight sum — and samples a cut through the exponential
+// mechanism. Adding or removing a single association changes any prefix sum
+// by at most 1, so the balance utility has sensitivity 1.
+//
+// Non-private baselines (deterministic balanced cut, uniform random cut,
+// midpoint cut) support ablation A3 in DESIGN.md.
+package partition
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/dp"
+	"repro/internal/rng"
+)
+
+// Errors returned by bisectors.
+var (
+	// ErrTooSmall reports a cell with fewer than two items, which cannot
+	// be split. Callers treat it as "stop specializing this branch".
+	ErrTooSmall = errors.New("partition: fewer than two items to bisect")
+	// ErrNegativeWeight reports an item with a negative weight.
+	ErrNegativeWeight = errors.New("partition: item weights must be non-negative")
+)
+
+// Bisector chooses a cut index in [1, n-1] for a weighted item sequence.
+type Bisector interface {
+	// Bisect returns the cut index for the given per-item weights.
+	Bisect(weights []int64) (int, error)
+	// Name identifies the strategy in experiment output.
+	Name() string
+}
+
+// validate rejects degenerate inputs shared by all bisectors.
+func validate(weights []int64) error {
+	if len(weights) < 2 {
+		return fmt.Errorf("%w (n=%d)", ErrTooSmall, len(weights))
+	}
+	for i, w := range weights {
+		if w < 0 {
+			return fmt.Errorf("%w (item %d = %d)", ErrNegativeWeight, i, w)
+		}
+	}
+	return nil
+}
+
+// balanceUtilities returns utility(k) = -|S_k - (S_n - S_k)| for every cut
+// k in [1, n-1], as float64 for the exponential mechanism.
+func balanceUtilities(weights []int64) []float64 {
+	n := len(weights)
+	var total int64
+	for _, w := range weights {
+		total += w
+	}
+	utilities := make([]float64, n-1)
+	var prefix int64
+	for k := 1; k < n; k++ {
+		prefix += weights[k-1]
+		imbalance := prefix - (total - prefix)
+		if imbalance < 0 {
+			imbalance = -imbalance
+		}
+		utilities[k-1] = -float64(imbalance)
+	}
+	return utilities
+}
+
+// ExpMechBisector selects the cut through the exponential mechanism with
+// the balance utility, consuming ε per invocation.
+type ExpMechBisector struct {
+	mech *dp.Exponential
+	eps  float64
+}
+
+var _ Bisector = (*ExpMechBisector)(nil)
+
+// NewExpMechBisector returns a private bisector spending epsilon per cut.
+func NewExpMechBisector(epsilon float64, src *rng.Source) (*ExpMechBisector, error) {
+	mech, err := dp.NewExponential(epsilon, 1, src)
+	if err != nil {
+		return nil, fmt.Errorf("partition: building exponential mechanism: %w", err)
+	}
+	return &ExpMechBisector{mech: mech, eps: epsilon}, nil
+}
+
+// Epsilon returns the per-cut privacy cost.
+func (b *ExpMechBisector) Epsilon() float64 { return b.eps }
+
+// Bisect implements Bisector.
+func (b *ExpMechBisector) Bisect(weights []int64) (int, error) {
+	if err := validate(weights); err != nil {
+		return 0, err
+	}
+	idx, err := b.mech.Select(balanceUtilities(weights))
+	if err != nil {
+		return 0, err
+	}
+	return idx + 1, nil
+}
+
+// Name implements Bisector.
+func (b *ExpMechBisector) Name() string { return "expmech" }
+
+// BalancedBisector deterministically picks the most edge-balanced cut. It
+// is the non-private skyline for ablation A3.
+type BalancedBisector struct{}
+
+var _ Bisector = BalancedBisector{}
+
+// Bisect implements Bisector.
+func (BalancedBisector) Bisect(weights []int64) (int, error) {
+	if err := validate(weights); err != nil {
+		return 0, err
+	}
+	utilities := balanceUtilities(weights)
+	best := 0
+	for i, u := range utilities {
+		if u > utilities[best] {
+			best = i
+		}
+	}
+	return best + 1, nil
+}
+
+// Name implements Bisector.
+func (BalancedBisector) Name() string { return "balanced" }
+
+// RandomBisector picks a uniform random cut; it models specialization with
+// no utility signal at all.
+type RandomBisector struct {
+	src *rng.Source
+}
+
+var _ Bisector = (*RandomBisector)(nil)
+
+// NewRandomBisector returns a RandomBisector drawing from src.
+func NewRandomBisector(src *rng.Source) (*RandomBisector, error) {
+	if src == nil {
+		return nil, dp.ErrNilSource
+	}
+	return &RandomBisector{src: src}, nil
+}
+
+// Bisect implements Bisector.
+func (b *RandomBisector) Bisect(weights []int64) (int, error) {
+	if err := validate(weights); err != nil {
+		return 0, err
+	}
+	return 1 + b.src.Intn(len(weights)-1), nil
+}
+
+// Name implements Bisector.
+func (b *RandomBisector) Name() string { return "random" }
+
+// MidpointBisector always cuts at n/2, balancing item counts rather than
+// edge weight.
+type MidpointBisector struct{}
+
+var _ Bisector = MidpointBisector{}
+
+// Bisect implements Bisector.
+func (MidpointBisector) Bisect(weights []int64) (int, error) {
+	if err := validate(weights); err != nil {
+		return 0, err
+	}
+	return len(weights) / 2, nil
+}
+
+// Name implements Bisector.
+func (MidpointBisector) Name() string { return "midpoint" }
+
+// CutQuality describes how balanced a chosen cut is, for diagnostics and
+// experiment reporting.
+type CutQuality struct {
+	// LeftWeight and RightWeight are the summed weights of the two parts.
+	LeftWeight  int64
+	RightWeight int64
+	// Imbalance is |LeftWeight − RightWeight| / TotalWeight in [0, 1];
+	// zero for a perfectly balanced cut. It is 0 when the total is 0.
+	Imbalance float64
+}
+
+// Quality evaluates a cut.
+func Quality(weights []int64, cut int) (CutQuality, error) {
+	if err := validate(weights); err != nil {
+		return CutQuality{}, err
+	}
+	if cut < 1 || cut >= len(weights) {
+		return CutQuality{}, fmt.Errorf("partition: cut %d outside [1,%d)", cut, len(weights))
+	}
+	var q CutQuality
+	for i, w := range weights {
+		if i < cut {
+			q.LeftWeight += w
+		} else {
+			q.RightWeight += w
+		}
+	}
+	if total := q.LeftWeight + q.RightWeight; total > 0 {
+		diff := q.LeftWeight - q.RightWeight
+		if diff < 0 {
+			diff = -diff
+		}
+		q.Imbalance = float64(diff) / float64(total)
+	}
+	return q, nil
+}

@@ -1,0 +1,295 @@
+package partition
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestBalanceUtilities(t *testing.T) {
+	t.Parallel()
+	// weights 3,1,2: total 6.
+	// k=1: |3-3| = 0 -> 0
+	// k=2: |4-2| = 2 -> -2
+	utilities := balanceUtilities([]int64{3, 1, 2})
+	want := []float64{0, -2}
+	if len(utilities) != len(want) {
+		t.Fatalf("len = %d, want %d", len(utilities), len(want))
+	}
+	for i := range want {
+		if utilities[i] != want[i] {
+			t.Errorf("u[%d] = %v, want %v", i, utilities[i], want[i])
+		}
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	t.Parallel()
+	bisectors := []Bisector{
+		mustExpMech(t, 1),
+		BalancedBisector{},
+		mustRandom(t),
+		MidpointBisector{},
+	}
+	for _, b := range bisectors {
+		if _, err := b.Bisect(nil); !errors.Is(err, ErrTooSmall) {
+			t.Errorf("%s: nil input error = %v", b.Name(), err)
+		}
+		if _, err := b.Bisect([]int64{5}); !errors.Is(err, ErrTooSmall) {
+			t.Errorf("%s: single item error = %v", b.Name(), err)
+		}
+		if _, err := b.Bisect([]int64{1, -2}); !errors.Is(err, ErrNegativeWeight) {
+			t.Errorf("%s: negative weight error = %v", b.Name(), err)
+		}
+	}
+}
+
+func TestBalancedBisectorExact(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		name    string
+		weights []int64
+		want    int
+	}{
+		{name: "even pair", weights: []int64{1, 1}, want: 1},
+		{name: "front heavy", weights: []int64{10, 1, 1, 1}, want: 1},
+		{name: "uniform four", weights: []int64{2, 2, 2, 2}, want: 2},
+		{name: "back heavy", weights: []int64{1, 1, 1, 10}, want: 3},
+		{name: "all zero", weights: []int64{0, 0, 0}, want: 1}, // ties break to first
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			got, err := BalancedBisector{}.Bisect(tc.weights)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != tc.want {
+				t.Errorf("cut = %d, want %d", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestMidpointBisector(t *testing.T) {
+	t.Parallel()
+	got, err := MidpointBisector{}.Bisect([]int64{1, 2, 3, 4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 2 {
+		t.Errorf("cut = %d, want 2", got)
+	}
+}
+
+func TestRandomBisectorRange(t *testing.T) {
+	t.Parallel()
+	b := mustRandom(t)
+	weights := []int64{1, 1, 1, 1, 1}
+	seen := map[int]bool{}
+	for i := 0; i < 1000; i++ {
+		cut, err := b.Bisect(weights)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cut < 1 || cut >= len(weights) {
+			t.Fatalf("cut %d outside [1,%d)", cut, len(weights))
+		}
+		seen[cut] = true
+	}
+	if len(seen) != len(weights)-1 {
+		t.Errorf("random bisector only produced cuts %v", seen)
+	}
+}
+
+func TestNewRandomBisectorNilSource(t *testing.T) {
+	t.Parallel()
+	if _, err := NewRandomBisector(nil); err == nil {
+		t.Error("nil source accepted")
+	}
+}
+
+func TestExpMechBisectorConcentratesOnBalance(t *testing.T) {
+	t.Parallel()
+	b := mustExpMech(t, 4) // generous budget concentrates hard
+	// Perfect cut is k=2 (3+3 vs 3+3).
+	weights := []int64{3, 3, 3, 3}
+	counts := map[int]int{}
+	const n = 5000
+	for i := 0; i < n; i++ {
+		cut, err := b.Bisect(weights)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[cut]++
+	}
+	if frac := float64(counts[2]) / n; frac < 0.75 {
+		t.Errorf("balanced cut chosen %.2f of the time, want > 0.75 (counts %v)", frac, counts)
+	}
+}
+
+func TestExpMechBisectorRandomizes(t *testing.T) {
+	t.Parallel()
+	// With a small budget every cut should appear.
+	b := mustExpMech(t, 0.01)
+	weights := []int64{5, 1, 1, 1, 5}
+	seen := map[int]bool{}
+	for i := 0; i < 2000; i++ {
+		cut, err := b.Bisect(weights)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[cut] = true
+	}
+	if len(seen) < 3 {
+		t.Errorf("low-budget bisector too deterministic: %v", seen)
+	}
+}
+
+func TestExpMechBisectorEpsilon(t *testing.T) {
+	t.Parallel()
+	b := mustExpMech(t, 0.7)
+	if b.Epsilon() != 0.7 {
+		t.Errorf("Epsilon = %v", b.Epsilon())
+	}
+	if b.Name() != "expmech" {
+		t.Errorf("Name = %q", b.Name())
+	}
+}
+
+func TestNewExpMechBisectorValidation(t *testing.T) {
+	t.Parallel()
+	if _, err := NewExpMechBisector(0, rng.New(1)); err == nil {
+		t.Error("eps=0 accepted")
+	}
+	if _, err := NewExpMechBisector(1, nil); err == nil {
+		t.Error("nil source accepted")
+	}
+}
+
+func TestQuality(t *testing.T) {
+	t.Parallel()
+	q, err := Quality([]int64{3, 1, 2}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.LeftWeight != 3 || q.RightWeight != 3 || q.Imbalance != 0 {
+		t.Errorf("quality = %+v", q)
+	}
+	q, err = Quality([]int64{3, 1, 2}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.LeftWeight != 4 || q.RightWeight != 2 || math.Abs(q.Imbalance-2.0/6.0) > 1e-12 {
+		t.Errorf("quality = %+v", q)
+	}
+	if _, err := Quality([]int64{1, 2}, 0); err == nil {
+		t.Error("cut=0 accepted")
+	}
+	if _, err := Quality([]int64{1, 2}, 2); err == nil {
+		t.Error("cut=n accepted")
+	}
+	// All-zero weights: imbalance defined as 0.
+	q, err = Quality([]int64{0, 0}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Imbalance != 0 {
+		t.Errorf("zero-weight imbalance = %v", q.Imbalance)
+	}
+}
+
+// TestQuickCutsInRange: every bisector returns cuts within [1, n-1] and
+// never errors on valid input.
+func TestQuickCutsInRange(t *testing.T) {
+	t.Parallel()
+	src := rng.New(42)
+	expMech := mustExpMech(t, 0.5)
+	random := mustRandom(t)
+	f := func(seed uint64) bool {
+		r := src.Split(seed)
+		n := r.Intn(64) + 2
+		weights := make([]int64, n)
+		for i := range weights {
+			weights[i] = int64(r.Intn(100))
+		}
+		for _, b := range []Bisector{expMech, BalancedBisector{}, random, MidpointBisector{}} {
+			cut, err := b.Bisect(weights)
+			if err != nil {
+				return false
+			}
+			if cut < 1 || cut >= n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestExpMechBeatsRandomOnImbalance compares mean cut imbalance: with a
+// skewed weight vector, the exponential mechanism should find more
+// balanced cuts than uniform random cutting. This is the mechanism-level
+// version of ablation A3.
+func TestExpMechBeatsRandomOnImbalance(t *testing.T) {
+	t.Parallel()
+	expMech := mustExpMech(t, 1)
+	random := mustRandom(t)
+	src := rng.New(333)
+	const rounds = 300
+	var expTotal, randTotal float64
+	for round := 0; round < rounds; round++ {
+		r := src.Split(uint64(round))
+		weights := make([]int64, 40)
+		for i := range weights {
+			weights[i] = int64(r.Intn(20))
+		}
+		weights[0] = 200 // strong skew
+		cutE, err := expMech.Bisect(weights)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cutR, err := random.Bisect(weights)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qe, err := Quality(weights, cutE)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qr, err := Quality(weights, cutR)
+		if err != nil {
+			t.Fatal(err)
+		}
+		expTotal += qe.Imbalance
+		randTotal += qr.Imbalance
+	}
+	if expTotal >= randTotal {
+		t.Errorf("expmech mean imbalance %.4f not better than random %.4f",
+			expTotal/rounds, randTotal/rounds)
+	}
+}
+
+func mustExpMech(t *testing.T, eps float64) *ExpMechBisector {
+	t.Helper()
+	b, err := NewExpMechBisector(eps, rng.New(uint64(math.Float64bits(eps))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func mustRandom(t *testing.T) *RandomBisector {
+	t.Helper()
+	b, err := NewRandomBisector(rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}

@@ -1,0 +1,116 @@
+package query
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bipartite"
+	"repro/internal/core"
+	"repro/internal/hierarchy"
+	"repro/internal/metrics"
+)
+
+// MarginalCounts returns the per-side-group association counts implied by
+// a noisy cell release: row sums for the left side, column sums for the
+// right side. Because a level's cells partition the records by (left
+// group, right group), the exact row sum equals the left group's incident
+// edge count, so the released marginal is an εg-group-DP estimate of
+// "how many associations does this author group account for?" — the
+// paper's motivating sensitive aggregate.
+func MarginalCounts(c core.CellRelease, side bipartite.Side) ([]float64, error) {
+	if !side.Valid() {
+		return nil, fmt.Errorf("query: invalid side %v", side)
+	}
+	k := c.SideGroups
+	if k <= 0 || len(c.Counts) != k*k {
+		return nil, fmt.Errorf("query: malformed cell release (%d counts for k=%d)", len(c.Counts), k)
+	}
+	out := make([]float64, k)
+	for i := 0; i < k; i++ {
+		for j := 0; j < k; j++ {
+			switch side {
+			case bipartite.Left:
+				out[i] += c.Counts[i*k+j]
+			case bipartite.Right:
+				out[i] += c.Counts[j*k+i]
+			}
+		}
+	}
+	return out, nil
+}
+
+// MarginalError compares released marginals against the exact incident
+// edge counts from the hierarchy and summarizes the absolute error.
+func MarginalError(t *hierarchy.Tree, c core.CellRelease, side bipartite.Side) (metrics.Summary, error) {
+	if t == nil {
+		return metrics.Summary{}, ErrNilTree
+	}
+	released, err := MarginalCounts(c, side)
+	if err != nil {
+		return metrics.Summary{}, err
+	}
+	exact, err := t.SideGroupIncidentEdges(c.Level, side)
+	if err != nil {
+		return metrics.Summary{}, err
+	}
+	if len(exact) != len(released) {
+		return metrics.Summary{}, fmt.Errorf("query: release has %d groups, tree has %d", len(released), len(exact))
+	}
+	errs := make([]float64, len(exact))
+	for i := range exact {
+		errs[i] = metrics.AbsError(released[i], float64(exact[i]))
+	}
+	return metrics.Summarize(errs)
+}
+
+// TopKGroups returns the indices of the k largest released marginals on a
+// side, descending — the noisy "heaviest author groups" list a data user
+// would compute.
+func TopKGroups(c core.CellRelease, side bipartite.Side, k int) ([]int, error) {
+	marginals, err := MarginalCounts(c, side)
+	if err != nil {
+		return nil, err
+	}
+	if k <= 0 || k > len(marginals) {
+		return nil, fmt.Errorf("query: k=%d outside [1,%d]", k, len(marginals))
+	}
+	idx := make([]int, len(marginals))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return marginals[idx[a]] > marginals[idx[b]] })
+	return idx[:k], nil
+}
+
+// TopKPrecision measures how many of the released top-k groups are truly
+// in the exact top-k (set precision in [0, 1]): the utility of heavy-
+// hitter identification at a privilege tier.
+func TopKPrecision(t *hierarchy.Tree, c core.CellRelease, side bipartite.Side, k int) (float64, error) {
+	if t == nil {
+		return 0, ErrNilTree
+	}
+	released, err := TopKGroups(c, side, k)
+	if err != nil {
+		return 0, err
+	}
+	exact, err := t.SideGroupIncidentEdges(c.Level, side)
+	if err != nil {
+		return 0, err
+	}
+	idx := make([]int, len(exact))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return exact[idx[a]] > exact[idx[b]] })
+	truth := make(map[int]bool, k)
+	for _, i := range idx[:k] {
+		truth[i] = true
+	}
+	hits := 0
+	for _, i := range released {
+		if truth[i] {
+			hits++
+		}
+	}
+	return float64(hits) / float64(k), nil
+}

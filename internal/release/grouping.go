@@ -1,0 +1,162 @@
+package release
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/bipartite"
+	"repro/internal/hierarchy"
+)
+
+// Grouping is the published description of the Phase-1 group structure:
+// which entity belongs to which group at every released level. Without it
+// a data user cannot interpret the per-group histograms, so the paper's
+// model treats the grouping itself as part of the disclosure (it is built
+// privately, via the exponential mechanism, which is what Phase 1's
+// budget buys).
+//
+// Representation mirrors the hierarchy's internals: one permutation per
+// side plus, per level, the group boundaries over that permutation. The
+// JSON form is therefore linear in the node count, not in the group
+// count × node count.
+type Grouping struct {
+	MaxLevel  int     `json:"max_level"`
+	LeftPerm  []int32 `json:"left_perm"`
+	RightPerm []int32 `json:"right_perm"`
+	// Levels holds boundaries per published level, coarse to fine.
+	Levels []GroupingLevel `json:"levels"`
+
+	// posL/posR are inverse permutations, built lazily on first use.
+	posL, posR []int32
+}
+
+// GroupingLevel is one level's boundaries.
+type GroupingLevel struct {
+	Level       int     `json:"level"`
+	LeftBounds  []int32 `json:"left_bounds"`
+	RightBounds []int32 `json:"right_bounds"`
+}
+
+// GroupingFromTree extracts the grouping for the given levels.
+func GroupingFromTree(t *hierarchy.Tree, levels []int) (*Grouping, error) {
+	if t == nil {
+		return nil, hierarchy.ErrNilGraph
+	}
+	lp, err := t.SidePermutation(bipartite.Left)
+	if err != nil {
+		return nil, err
+	}
+	rp, err := t.SidePermutation(bipartite.Right)
+	if err != nil {
+		return nil, err
+	}
+	g := &Grouping{MaxLevel: t.MaxLevel(), LeftPerm: lp, RightPerm: rp}
+	sorted := append([]int(nil), levels...)
+	sort.Sort(sort.Reverse(sort.IntSlice(sorted)))
+	for _, lvl := range sorted {
+		lb, err := t.SideBounds(lvl, bipartite.Left)
+		if err != nil {
+			return nil, err
+		}
+		rb, err := t.SideBounds(lvl, bipartite.Right)
+		if err != nil {
+			return nil, err
+		}
+		g.Levels = append(g.Levels, GroupingLevel{Level: lvl, LeftBounds: lb, RightBounds: rb})
+	}
+	return g, nil
+}
+
+// ErrBadGrouping reports an inconsistent grouping.
+var ErrBadGrouping = errors.New("release: invalid grouping")
+
+// Validate checks permutations and boundaries.
+func (g *Grouping) Validate() error {
+	for side, perm := range map[string][]int32{"left": g.LeftPerm, "right": g.RightPerm} {
+		seen := make([]bool, len(perm))
+		for _, v := range perm {
+			if v < 0 || int(v) >= len(perm) || seen[v] {
+				return fmt.Errorf("%w: %s permutation is not a bijection", ErrBadGrouping, side)
+			}
+			seen[v] = true
+		}
+	}
+	for _, lvl := range g.Levels {
+		if lvl.Level < 0 || lvl.Level > g.MaxLevel {
+			return fmt.Errorf("%w: level %d outside [0,%d]", ErrBadGrouping, lvl.Level, g.MaxLevel)
+		}
+		for side, pair := range map[string]struct {
+			bounds []int32
+			n      int
+		}{
+			"left":  {lvl.LeftBounds, len(g.LeftPerm)},
+			"right": {lvl.RightBounds, len(g.RightPerm)},
+		} {
+			b := pair.bounds
+			if len(b) < 2 || b[0] != 0 || int(b[len(b)-1]) != pair.n {
+				return fmt.Errorf("%w: level %d %s bounds do not span the side", ErrBadGrouping, lvl.Level, side)
+			}
+			for i := 1; i < len(b); i++ {
+				if b[i] < b[i-1] {
+					return fmt.Errorf("%w: level %d %s bounds decrease", ErrBadGrouping, lvl.Level, side)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// GroupOf returns the group index of a node at a published level — the
+// consumer-side "which neighbourhood is patient 123 in?" lookup.
+func (g *Grouping) GroupOf(side bipartite.Side, node int32, level int) (int, error) {
+	var perm []int32
+	var pos *[]int32
+	var boundsFor func(GroupingLevel) []int32
+	switch side {
+	case bipartite.Left:
+		perm, pos = g.LeftPerm, &g.posL
+		boundsFor = func(l GroupingLevel) []int32 { return l.LeftBounds }
+	case bipartite.Right:
+		perm, pos = g.RightPerm, &g.posR
+		boundsFor = func(l GroupingLevel) []int32 { return l.RightBounds }
+	default:
+		return 0, fmt.Errorf("%w: invalid side %v", ErrBadGrouping, side)
+	}
+	if node < 0 || int(node) >= len(perm) {
+		return 0, fmt.Errorf("%w: node %d outside side of %d", ErrBadGrouping, node, len(perm))
+	}
+	if *pos == nil {
+		inv := make([]int32, len(perm))
+		for p, n := range perm {
+			inv[n] = int32(p)
+		}
+		*pos = inv
+	}
+	for _, lvl := range g.Levels {
+		if lvl.Level != level {
+			continue
+		}
+		bounds := boundsFor(lvl)
+		p := (*pos)[node]
+		idx := sort.Search(len(bounds), func(i int) bool { return bounds[i] > p }) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(bounds)-1 {
+			idx = len(bounds) - 2
+		}
+		return idx, nil
+	}
+	return 0, fmt.Errorf("%w: level %d not published", ErrBadGrouping, level)
+}
+
+// NumGroups returns the per-side group count at a published level.
+func (g *Grouping) NumGroups(level int) (int, error) {
+	for _, lvl := range g.Levels {
+		if lvl.Level == level {
+			return len(lvl.LeftBounds) - 1, nil
+		}
+	}
+	return 0, fmt.Errorf("%w: level %d not published", ErrBadGrouping, level)
+}

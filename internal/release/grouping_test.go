@@ -1,0 +1,150 @@
+package release
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/bipartite"
+)
+
+func groupedRelease(t *testing.T) *Release {
+	t.Helper()
+	p, err := New(defaultBudget(), WithRounds(4), WithSeed(5),
+		WithGrouping(true), WithCellHistograms(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := p.Run(testGraph(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rel
+}
+
+func TestGroupingPublished(t *testing.T) {
+	t.Parallel()
+	rel := groupedRelease(t)
+	if rel.Grouping == nil {
+		t.Fatal("grouping not published")
+	}
+	if err := rel.Grouping.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// One GroupingLevel per released level.
+	if len(rel.Grouping.Levels) != len(rel.Counts.Levels) {
+		t.Errorf("grouping levels = %d, releases = %d", len(rel.Grouping.Levels), len(rel.Counts.Levels))
+	}
+}
+
+func TestGroupingMatchesTree(t *testing.T) {
+	t.Parallel()
+	rel := groupedRelease(t)
+	tree := rel.Tree()
+	g := rel.Grouping
+	// Every node's group per level matches the tree's assignment.
+	for _, lvl := range rel.Levels() {
+		for node := int32(0); node < int32(tree.Graph().NumLeft()); node += 7 {
+			want, err := tree.SideGroupOfNode(lvl, bipartite.Left, node)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := g.GroupOf(bipartite.Left, node, lvl)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("level %d node %d: grouping says %d, tree says %d", lvl, node, got, want)
+			}
+		}
+		k, err := g.NumGroups(lvl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		kTree, err := tree.NumSideGroups(lvl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k != kTree {
+			t.Errorf("level %d groups = %d, want %d", lvl, k, kTree)
+		}
+	}
+}
+
+func TestGroupingErrors(t *testing.T) {
+	t.Parallel()
+	rel := groupedRelease(t)
+	g := rel.Grouping
+	if _, err := g.GroupOf(bipartite.Side(0), 0, 0); !errors.Is(err, ErrBadGrouping) {
+		t.Errorf("invalid side: %v", err)
+	}
+	if _, err := g.GroupOf(bipartite.Left, -1, 0); !errors.Is(err, ErrBadGrouping) {
+		t.Errorf("negative node: %v", err)
+	}
+	if _, err := g.GroupOf(bipartite.Left, 0, 99); !errors.Is(err, ErrBadGrouping) {
+		t.Errorf("unpublished level: %v", err)
+	}
+	if _, err := g.NumGroups(99); !errors.Is(err, ErrBadGrouping) {
+		t.Errorf("unpublished level groups: %v", err)
+	}
+}
+
+func TestGroupingValidateCatchesCorruption(t *testing.T) {
+	t.Parallel()
+	rel := groupedRelease(t)
+	g := rel.Grouping
+	// Break the permutation.
+	old := g.LeftPerm[0]
+	g.LeftPerm[0] = g.LeftPerm[1]
+	if err := g.Validate(); !errors.Is(err, ErrBadGrouping) {
+		t.Errorf("corrupt perm: %v", err)
+	}
+	g.LeftPerm[0] = old
+	// Break bounds.
+	g.Levels[0].LeftBounds[0] = 5
+	if err := g.Validate(); !errors.Is(err, ErrBadGrouping) {
+		t.Errorf("corrupt bounds: %v", err)
+	}
+}
+
+func TestGroupingSurvivesJSONRoundTrip(t *testing.T) {
+	t.Parallel()
+	rel := groupedRelease(t)
+	var buf bytes.Buffer
+	if err := rel.WriteJSON(&buf, false); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Grouping == nil {
+		t.Fatal("grouping lost in round trip")
+	}
+	// Consumer-side lookup works on the loaded artifact.
+	lvl := rel.Levels()[1]
+	want, err := rel.Grouping.GroupOf(bipartite.Left, 3, lvl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := loaded.Grouping.GroupOf(bipartite.Left, 3, lvl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("loaded grouping GroupOf = %d, want %d", got, want)
+	}
+}
+
+func TestReadJSONRejectsCorruptGrouping(t *testing.T) {
+	t.Parallel()
+	rel := groupedRelease(t)
+	rel.Grouping.Levels[0].LeftBounds[0] = 99
+	var buf bytes.Buffer
+	if err := rel.WriteJSON(&buf, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadJSON(&buf); !errors.Is(err, ErrBadArtifact) {
+		t.Errorf("corrupt grouping accepted: %v", err)
+	}
+}

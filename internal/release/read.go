@@ -1,0 +1,81 @@
+package release
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// ErrBadArtifact reports a release JSON that fails validation.
+var ErrBadArtifact = errors.New("release: invalid artifact")
+
+// ReadJSON parses a release artifact previously produced by WriteJSON and
+// validates its internal consistency, so data users can load published
+// files defensively. The curator-side tree and audit trail are not part
+// of the JSON and remain nil.
+func ReadJSON(r io.Reader) (*Release, error) {
+	dec := json.NewDecoder(r)
+	var rel Release
+	if err := dec.Decode(&rel); err != nil {
+		return nil, fmt.Errorf("%w: decoding: %v", ErrBadArtifact, err)
+	}
+	if err := validateArtifact(&rel); err != nil {
+		return nil, err
+	}
+	return &rel, nil
+}
+
+func validateArtifact(rel *Release) error {
+	if rel.Rounds < 1 {
+		return fmt.Errorf("%w: rounds %d", ErrBadArtifact, rel.Rounds)
+	}
+	if !(rel.BudgetEpsilon > 0) {
+		return fmt.Errorf("%w: budget epsilon %v", ErrBadArtifact, rel.BudgetEpsilon)
+	}
+	if len(rel.Counts.Levels) == 0 {
+		return fmt.Errorf("%w: no level releases", ErrBadArtifact)
+	}
+	seen := make(map[int]bool, len(rel.Counts.Levels))
+	for i, lr := range rel.Counts.Levels {
+		if lr.Level < 0 || lr.Level > rel.Rounds {
+			return fmt.Errorf("%w: level release %d has level %d outside [0,%d]",
+				ErrBadArtifact, i, lr.Level, rel.Rounds)
+		}
+		if seen[lr.Level] {
+			return fmt.Errorf("%w: duplicate release for level %d", ErrBadArtifact, lr.Level)
+		}
+		seen[lr.Level] = true
+		if lr.Sensitivity < 0 {
+			return fmt.Errorf("%w: level %d negative sensitivity", ErrBadArtifact, lr.Level)
+		}
+		if math.IsNaN(lr.NoisyCount) || math.IsInf(lr.NoisyCount, 0) {
+			return fmt.Errorf("%w: level %d noisy count %v", ErrBadArtifact, lr.Level, lr.NoisyCount)
+		}
+		if !(lr.Epsilon > 0) {
+			return fmt.Errorf("%w: level %d epsilon %v", ErrBadArtifact, lr.Level, lr.Epsilon)
+		}
+	}
+	if rel.Grouping != nil {
+		if err := rel.Grouping.Validate(); err != nil {
+			return fmt.Errorf("%w: %v", ErrBadArtifact, err)
+		}
+	}
+	for i, c := range rel.Cells {
+		if c.SideGroups < 1 || len(c.Counts) != c.SideGroups*c.SideGroups {
+			return fmt.Errorf("%w: cell release %d has %d counts for %d side groups",
+				ErrBadArtifact, i, len(c.Counts), c.SideGroups)
+		}
+		if !seen[c.Level] {
+			return fmt.Errorf("%w: cell release %d for level %d without a count release",
+				ErrBadArtifact, i, c.Level)
+		}
+		for _, v := range c.Counts {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("%w: cell release %d contains non-finite count", ErrBadArtifact, i)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,126 @@
+package release
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+// publishedArtifact runs a pipeline and returns the publishable JSON.
+func publishedArtifact(t *testing.T, opts ...Option) []byte {
+	t.Helper()
+	base := []Option{WithRounds(4), WithSeed(5), WithCellHistograms(true)}
+	p, err := New(defaultBudget(), append(base, opts...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := p.Run(testGraph(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rel.WriteJSON(&buf, false); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestReadJSONRoundTrip(t *testing.T) {
+	t.Parallel()
+	blob := publishedArtifact(t)
+	rel, err := ReadJSON(bytes.NewReader(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Rounds != 4 || len(rel.Counts.Levels) != 3 || len(rel.Cells) != 3 {
+		t.Errorf("artifact = rounds %d, %d counts, %d cells", rel.Rounds, len(rel.Counts.Levels), len(rel.Cells))
+	}
+	// Published artifacts carry no exact counts.
+	for _, lr := range rel.Counts.Levels {
+		if lr.TrueCount != 0 {
+			t.Error("published artifact leaked true count")
+		}
+	}
+	// Views work on loaded artifacts.
+	v, err := rel.ViewFor(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Cells == nil {
+		t.Error("loaded artifact lost cell histograms")
+	}
+}
+
+func TestReadJSONRejectsGarbage(t *testing.T) {
+	t.Parallel()
+	if _, err := ReadJSON(strings.NewReader("not json")); !errors.Is(err, ErrBadArtifact) {
+		t.Errorf("garbage: %v", err)
+	}
+	if _, err := ReadJSON(strings.NewReader("{}")); !errors.Is(err, ErrBadArtifact) {
+		t.Errorf("empty object: %v", err)
+	}
+}
+
+func TestReadJSONValidation(t *testing.T) {
+	t.Parallel()
+	blob := publishedArtifact(t)
+	cases := []struct {
+		name   string
+		mutate func(*Release)
+	}{
+		{name: "level out of range", mutate: func(r *Release) { r.Counts.Levels[0].Level = 99 }},
+		{name: "duplicate level", mutate: func(r *Release) { r.Counts.Levels[1].Level = r.Counts.Levels[0].Level }},
+		{name: "negative sensitivity", mutate: func(r *Release) { r.Counts.Levels[0].Sensitivity = -1 }},
+		{name: "zero level epsilon", mutate: func(r *Release) { r.Counts.Levels[0].Epsilon = 0 }},
+		{name: "zero rounds", mutate: func(r *Release) { r.Rounds = 0 }},
+		{name: "zero budget", mutate: func(r *Release) { r.BudgetEpsilon = 0 }},
+		{name: "no levels", mutate: func(r *Release) { r.Counts.Levels = nil }},
+		{name: "cell grid mismatch", mutate: func(r *Release) { r.Cells[0].SideGroups = 7 }},
+		{name: "orphan cell release", mutate: func(r *Release) { r.Cells[0].Level = 99 }},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			var rel Release
+			if err := json.Unmarshal(blob, &rel); err != nil {
+				t.Fatal(err)
+			}
+			tc.mutate(&rel)
+			mutated, err := json.Marshal(&rel)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := ReadJSON(bytes.NewReader(mutated)); !errors.Is(err, ErrBadArtifact) {
+				t.Errorf("error = %v, want ErrBadArtifact", err)
+			}
+		})
+	}
+}
+
+// TestValidateArtifactNonFinite exercises the non-finite checks directly;
+// valid JSON cannot carry NaN/Inf, but in-memory artifacts can.
+func TestValidateArtifactNonFinite(t *testing.T) {
+	t.Parallel()
+	blob := publishedArtifact(t)
+	load := func() *Release {
+		var rel Release
+		if err := json.Unmarshal(blob, &rel); err != nil {
+			t.Fatal(err)
+		}
+		return &rel
+	}
+	rel := load()
+	rel.Counts.Levels[0].NoisyCount = math.NaN()
+	if err := validateArtifact(rel); !errors.Is(err, ErrBadArtifact) {
+		t.Errorf("nan noisy count: %v", err)
+	}
+	rel = load()
+	rel.Cells[0].Counts[0] = math.Inf(1)
+	if err := validateArtifact(rel); !errors.Is(err, ErrBadArtifact) {
+		t.Errorf("inf cell count: %v", err)
+	}
+}

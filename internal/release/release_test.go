@@ -1,0 +1,642 @@
+package release
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/dp"
+	"repro/internal/hierarchy"
+	"repro/internal/partition"
+
+	"repro/internal/bipartite"
+)
+
+func testGraph(t testing.TB) *bipartite.Graph {
+	t.Helper()
+	g, err := datagen.Generate(datagen.Config{
+		Name: "test", NumLeft: 300, NumRight: 500, NumEdges: 3000,
+		LeftZipf: 1.9, RightZipf: 2.8, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func defaultBudget() dp.Params { return dp.Params{Epsilon: 0.9, Delta: 1e-5} }
+
+func TestNewValidation(t *testing.T) {
+	t.Parallel()
+	if _, err := New(dp.Params{}); err == nil {
+		t.Error("invalid budget accepted")
+	}
+	bad := []Option{
+		WithRounds(0),
+		WithRounds(hierarchy.MaxRounds + 1),
+		WithLevels(nil),
+		WithMode(Mode(9)),
+		WithModel(core.GroupModel(9)),
+		WithCalibration(core.Calibration(9)),
+		WithPhase1Epsilon(-1),
+		WithBisector(nil),
+		WithOrder(hierarchy.Order(9)),
+	}
+	for i, opt := range bad {
+		if _, err := New(defaultBudget(), opt); !errors.Is(err, ErrBadOption) {
+			t.Errorf("bad option %d error = %v", i, err)
+		}
+	}
+	// Level beyond rounds.
+	if _, err := New(defaultBudget(), WithRounds(3), WithLevels([]int{5})); !errors.Is(err, ErrBadOption) {
+		t.Error("out-of-range level accepted")
+	}
+}
+
+func TestModeString(t *testing.T) {
+	t.Parallel()
+	if ModePerLevel.String() != "per-level" ||
+		ModeComposedBasic.String() != "composed-basic" ||
+		ModeComposedAdvanced.String() != "composed-advanced" {
+		t.Error("unexpected mode names")
+	}
+	if !strings.Contains(Mode(7).String(), "7") {
+		t.Error("invalid mode should render its number")
+	}
+}
+
+func TestRunDefaultsPaperSetup(t *testing.T) {
+	t.Parallel()
+	p, err := New(defaultBudget(), WithRounds(6), WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := testGraph(t)
+	rel, err := p.Run(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Default levels are 0..rounds-2.
+	want := []int{0, 1, 2, 3, 4}
+	got := rel.Levels()
+	if len(got) != len(want) {
+		t.Fatalf("levels = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("levels = %v, want %v", got, want)
+		}
+	}
+	if rel.Dataset.NumEdges != g.NumEdges() {
+		t.Errorf("dataset stats edges = %d", rel.Dataset.NumEdges)
+	}
+	if rel.ModeName != "per-level" || rel.ModelName != "cells" || rel.CalibName != "classical" {
+		t.Errorf("config names = %s/%s/%s", rel.ModeName, rel.ModelName, rel.CalibName)
+	}
+	if len(rel.Profiles) != 7 {
+		t.Errorf("profiles = %d, want 7", len(rel.Profiles))
+	}
+	if rel.Tree() == nil {
+		t.Error("tree not exposed")
+	}
+	// RER grows with level (noise scales with group size).
+	var prevSigma float64 = -1
+	for _, lr := range rel.Counts.Levels {
+		if lr.Sigma < prevSigma {
+			t.Errorf("sigma decreased at level %d", lr.Level)
+		}
+		prevSigma = lr.Sigma
+	}
+}
+
+func TestRunNilGraph(t *testing.T) {
+	t.Parallel()
+	p, err := New(defaultBudget())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Run(nil); !errors.Is(err, ErrNilGraph) {
+		t.Errorf("nil graph: %v", err)
+	}
+}
+
+func TestRunDeterministicUnderSeed(t *testing.T) {
+	t.Parallel()
+	g := testGraph(t)
+	run := func() *Release {
+		p, err := New(defaultBudget(), WithRounds(5), WithSeed(42), WithPhase1Epsilon(0.1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rel, err := p.Run(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rel
+	}
+	a, b := run(), run()
+	for i := range a.Counts.Levels {
+		if a.Counts.Levels[i].NoisyCount != b.Counts.Levels[i].NoisyCount {
+			t.Fatalf("level %d noisy counts differ under same seed", i)
+		}
+	}
+	// A different seed changes the noise.
+	p2, err := New(defaultBudget(), WithRounds(5), WithSeed(43), WithPhase1Epsilon(0.1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := p2.Run(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a.Counts.Levels {
+		if a.Counts.Levels[i].NoisyCount != c.Counts.Levels[i].NoisyCount {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical noise")
+	}
+}
+
+func TestRunPrivatePhase1Accounting(t *testing.T) {
+	t.Parallel()
+	g := testGraph(t)
+	const perCut = 0.05
+	p, err := New(defaultBudget(), WithRounds(4), WithSeed(1), WithPhase1Epsilon(perCut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := p.Run(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 2 * 4 * perCut
+	if math.Abs(rel.Phase1Epsilon-want) > 1e-12 {
+		t.Errorf("Phase1Epsilon = %v, want %v", rel.Phase1Epsilon, want)
+	}
+	// Audit trail contains phase1 and phase2 entries.
+	var p1, p2 int
+	for _, op := range rel.Audit {
+		switch {
+		case strings.HasPrefix(op.Label, "phase1/"):
+			p1++
+		case strings.HasPrefix(op.Label, "phase2/"):
+			p2++
+		}
+	}
+	if p1 != 8 {
+		t.Errorf("phase1 audit ops = %d, want 8", p1)
+	}
+	if p2 != len(rel.Counts.Levels) {
+		t.Errorf("phase2 audit ops = %d, want %d", p2, len(rel.Counts.Levels))
+	}
+}
+
+func TestRunNonPrivatePhase1HasNoCost(t *testing.T) {
+	t.Parallel()
+	p, err := New(defaultBudget(), WithRounds(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := p.Run(testGraph(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Phase1Epsilon != 0 {
+		t.Errorf("Phase1Epsilon = %v, want 0", rel.Phase1Epsilon)
+	}
+}
+
+func TestRunComposedBasicSplitsBudget(t *testing.T) {
+	t.Parallel()
+	g := testGraph(t)
+	p, err := New(defaultBudget(), WithRounds(5), WithMode(ModeComposedBasic), WithSeed(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := p.Run(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nQueries := float64(len(rel.Counts.Levels))
+	wantPer := defaultBudget().Epsilon / nQueries
+	for _, lr := range rel.Counts.Levels {
+		if math.Abs(lr.Epsilon-wantPer) > 1e-12 {
+			t.Errorf("level %d epsilon = %v, want %v", lr.Level, lr.Epsilon, wantPer)
+		}
+	}
+	if rel.SequentialCostEpsilon > defaultBudget().Epsilon*(1+1e-9) {
+		t.Errorf("composed sequential cost %v exceeds budget", rel.SequentialCostEpsilon)
+	}
+}
+
+func TestRunComposedAdvancedBeatsBasic(t *testing.T) {
+	t.Parallel()
+	g := testGraph(t)
+	runMode := func(m Mode) *Release {
+		p, err := New(defaultBudget(), WithRounds(6), WithMode(m), WithSeed(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rel, err := p.Run(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rel
+	}
+	basic := runMode(ModeComposedBasic)
+	adv := runMode(ModeComposedAdvanced)
+	// Advanced composition should grant each query at least as much ε
+	// when there are several queries... with only 5 queries the advanced
+	// bound can actually be worse; just verify both run and report
+	// consistent budgets.
+	if basic.Counts.Levels[0].Epsilon <= 0 || adv.Counts.Levels[0].Epsilon <= 0 {
+		t.Error("per-query epsilon not positive")
+	}
+	if adv.Counts.Levels[0].Delta <= 0 {
+		t.Error("advanced mode must spend delta per query")
+	}
+}
+
+func TestRunComposedAdvancedRequiresDelta(t *testing.T) {
+	t.Parallel()
+	p, err := New(dp.Params{Epsilon: 1}, WithRounds(4), WithMode(ModeComposedAdvanced))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Run(testGraph(t)); !errors.Is(err, ErrBadOption) {
+		t.Errorf("pure-dp advanced error = %v", err)
+	}
+}
+
+func TestRunParallelVsSequentialCost(t *testing.T) {
+	t.Parallel()
+	p, err := New(defaultBudget(), WithRounds(5), WithSeed(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := p.Run(testGraph(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per-level mode: parallel cost = εg, sequential = levels × εg.
+	if math.Abs(rel.ParallelCostEpsilon-defaultBudget().Epsilon) > 1e-12 {
+		t.Errorf("parallel cost = %v", rel.ParallelCostEpsilon)
+	}
+	wantSeq := float64(len(rel.Counts.Levels)) * defaultBudget().Epsilon
+	if math.Abs(rel.SequentialCostEpsilon-wantSeq) > 1e-9 {
+		t.Errorf("sequential cost = %v, want %v", rel.SequentialCostEpsilon, wantSeq)
+	}
+}
+
+func TestRunWithCellHistograms(t *testing.T) {
+	t.Parallel()
+	p, err := New(defaultBudget(), WithRounds(4), WithCellHistograms(true), WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := p.Run(testGraph(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rel.Cells) != len(rel.Counts.Levels) {
+		t.Fatalf("cells = %d, counts = %d", len(rel.Cells), len(rel.Counts.Levels))
+	}
+	v, err := rel.ViewFor(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Cells == nil {
+		t.Error("view missing cell histogram")
+	}
+	k := v.Cells.SideGroups
+	if len(v.Cells.Counts) != k*k {
+		t.Errorf("cell grid = %d counts for k=%d", len(v.Cells.Counts), k)
+	}
+}
+
+func TestViewFor(t *testing.T) {
+	t.Parallel()
+	p, err := New(defaultBudget(), WithRounds(4), WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := p.Run(testGraph(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := rel.ViewFor(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Level != 2 || v.Count.Level != 2 || v.Cells != nil {
+		t.Errorf("view = %+v", v)
+	}
+	if _, err := rel.ViewFor(42); err == nil {
+		t.Error("missing level accepted")
+	}
+}
+
+func TestWithBisectorOverride(t *testing.T) {
+	t.Parallel()
+	p, err := New(defaultBudget(), WithRounds(4), WithBisector(partition.MidpointBisector{}), WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := p.Run(testGraph(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Phase1Epsilon != 0 {
+		t.Error("non-private override should cost nothing")
+	}
+}
+
+func TestClassicalCalibrationRejectsLargeEpsilon(t *testing.T) {
+	t.Parallel()
+	p, err := New(dp.Params{Epsilon: 1.5, Delta: 1e-5}, WithRounds(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Run(testGraph(t)); err == nil {
+		t.Error("classical calibration accepted epsilon >= 1")
+	}
+	// Analytic calibration handles it.
+	p2, err := New(dp.Params{Epsilon: 1.5, Delta: 1e-5}, WithRounds(4),
+		WithCalibration(core.CalibrationAnalytic))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p2.Run(testGraph(t)); err != nil {
+		t.Errorf("analytic calibration failed: %v", err)
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	t.Parallel()
+	p, err := New(defaultBudget(), WithRounds(4), WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := p.Run(testGraph(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var pub bytes.Buffer
+	if err := rel.WriteJSON(&pub, false); err != nil {
+		t.Fatal(err)
+	}
+	var decoded Release
+	if err := json.Unmarshal(pub.Bytes(), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	for _, lr := range decoded.Counts.Levels {
+		if lr.TrueCount != 0 {
+			t.Error("published json leaks true count")
+		}
+		if lr.NoisyCount == 0 {
+			t.Error("published json lost noisy count")
+		}
+	}
+
+	var priv bytes.Buffer
+	if err := rel.WriteJSON(&priv, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(priv.Bytes(), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Counts.Levels[0].TrueCount == 0 {
+		t.Error("private json missing true count")
+	}
+}
+
+func TestWithMechanismLaplacePureDP(t *testing.T) {
+	t.Parallel()
+	// Laplace mechanism handles a pure budget (no delta) and stays
+	// integral-free but valid even for eps >= 1.
+	p, err := New(dp.Params{Epsilon: 1.5}, WithRounds(4), WithSeed(5),
+		WithMechanism(core.MechLaplace))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := p.Run(testGraph(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.MechName != "laplace" {
+		t.Errorf("MechName = %q", rel.MechName)
+	}
+	for _, lr := range rel.Counts.Levels {
+		if lr.MechName != "laplace" || lr.Delta != 0 {
+			t.Errorf("level release = %+v", lr)
+		}
+	}
+	if _, err := New(dp.Params{Epsilon: 1}, WithMechanism(core.NoiseMechanism(9))); !errors.Is(err, ErrBadOption) {
+		t.Error("bad mechanism accepted")
+	}
+}
+
+func TestWithMechanismGeometricIntegral(t *testing.T) {
+	t.Parallel()
+	p, err := New(dp.Params{Epsilon: 0.9}, WithRounds(4), WithSeed(6),
+		WithMechanism(core.MechGeometric))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := p.Run(testGraph(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, lr := range rel.Counts.Levels {
+		if lr.NoisyCount != math.Trunc(lr.NoisyCount) {
+			t.Errorf("geometric release non-integral: %v", lr.NoisyCount)
+		}
+	}
+}
+
+func TestComposedRDPMode(t *testing.T) {
+	t.Parallel()
+	g := testGraph(t)
+	budget := dp.Params{Epsilon: 1.0, Delta: 1e-5}
+	p, err := New(budget, WithRounds(5), WithSeed(3), WithMode(ModeComposedRDP))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := p.Run(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.ModeName != "composed-rdp" {
+		t.Errorf("mode = %q", rel.ModeName)
+	}
+	// The RDP-composed sequential cost is the configured budget.
+	if math.Abs(rel.SequentialCostEpsilon-budget.Epsilon) > 1e-9 {
+		t.Errorf("sequential cost = %v, want %v", rel.SequentialCostEpsilon, budget.Epsilon)
+	}
+	// Equal RDP shares: Δ/σ must be (nearly) constant across levels.
+	var ratio float64
+	for i, lr := range rel.Counts.Levels {
+		if lr.Sigma <= 0 || lr.Sensitivity <= 0 {
+			t.Fatalf("level %d: sigma %v sens %d", lr.Level, lr.Sigma, lr.Sensitivity)
+		}
+		r := float64(lr.Sensitivity) / lr.Sigma
+		if i == 0 {
+			ratio = r
+			continue
+		}
+		if math.Abs(r-ratio)/ratio > 1e-9 {
+			t.Errorf("level %d RDP share ratio %v != %v", lr.Level, r, ratio)
+		}
+		// Honest per-level epsilon is positive and below the total.
+		if lr.Epsilon <= 0 || lr.Epsilon >= budget.Epsilon {
+			t.Errorf("level %d advertised epsilon %v", lr.Level, lr.Epsilon)
+		}
+	}
+	if rel.CalibName != "classical" {
+		// CalibName records the configured calibration even though
+		// per-level releases use the rdp path; per-level CalibName says
+		// "rdp".
+		t.Logf("release calibration label = %q", rel.CalibName)
+	}
+	for _, lr := range rel.Counts.Levels {
+		if lr.CalibName != "rdp" {
+			t.Errorf("level calibration = %q, want rdp", lr.CalibName)
+		}
+	}
+}
+
+func TestComposedRDPBeatsBasicForManyQueries(t *testing.T) {
+	t.Parallel()
+	g := testGraph(t)
+	budget := dp.Params{Epsilon: 1.0, Delta: 1e-5}
+	run := func(mode Mode) *Release {
+		p, err := New(budget, WithRounds(6), WithSeed(3), WithMode(mode), WithCellHistograms(true))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rel, err := p.Run(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rel
+	}
+	basic := run(ModeComposedBasic)
+	rdp := run(ModeComposedRDP)
+	// Same global budget; RDP should afford each level less noise (10
+	// queries here).
+	for i := range basic.Counts.Levels {
+		if rdp.Counts.Levels[i].Sigma >= basic.Counts.Levels[i].Sigma {
+			t.Errorf("level %d: rdp sigma %v not below basic %v",
+				basic.Counts.Levels[i].Level, rdp.Counts.Levels[i].Sigma, basic.Counts.Levels[i].Sigma)
+		}
+	}
+}
+
+func TestComposedRDPValidation(t *testing.T) {
+	t.Parallel()
+	g := testGraph(t)
+	// Requires delta.
+	p, err := New(dp.Params{Epsilon: 1}, WithRounds(4), WithMode(ModeComposedRDP))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Run(g); !errors.Is(err, ErrBadOption) {
+		t.Errorf("pure budget: %v", err)
+	}
+	// Requires the gaussian mechanism.
+	p2, err := New(dp.Params{Epsilon: 1, Delta: 1e-5}, WithRounds(4),
+		WithMode(ModeComposedRDP), WithMechanism(core.MechLaplace))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p2.Run(g); !errors.Is(err, ErrBadOption) {
+		t.Errorf("laplace + rdp: %v", err)
+	}
+}
+
+func TestWithConsistency(t *testing.T) {
+	t.Parallel()
+	p, err := New(defaultBudget(), WithRounds(4), WithSeed(5),
+		WithCellHistograms(true), WithConsistency(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := p.Run(testGraph(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cells ordered coarse-first after enforcement; every parent equals
+	// its children's sum.
+	if len(rel.Cells) < 2 {
+		t.Fatal("expected multiple cell releases")
+	}
+	for d := 0; d < len(rel.Cells)-1; d++ {
+		parent, child := rel.Cells[d], rel.Cells[d+1]
+		if child.SideGroups != 2*parent.SideGroups {
+			t.Fatalf("cells not ordered coarse-first: k=%d then k=%d", parent.SideGroups, child.SideGroups)
+		}
+		k, ck := parent.SideGroups, child.SideGroups
+		for i := 0; i < k; i++ {
+			for j := 0; j < k; j++ {
+				var sum float64
+				for a := 0; a < 2; a++ {
+					for b := 0; b < 2; b++ {
+						sum += child.Counts[(2*i+a)*ck+(2*j+b)]
+					}
+				}
+				if math.Abs(parent.Counts[i*k+j]-sum) > 1e-6 {
+					t.Fatalf("inconsistent after WithConsistency at (%d,%d)", i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestWithConsistencyRequiresHistograms(t *testing.T) {
+	t.Parallel()
+	p, err := New(defaultBudget(), WithRounds(4), WithConsistency(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Run(testGraph(t)); !errors.Is(err, ErrBadOption) {
+		t.Errorf("consistency without histograms: %v", err)
+	}
+}
+
+func TestNodeGroupModelRuns(t *testing.T) {
+	t.Parallel()
+	p, err := New(defaultBudget(), WithRounds(4), WithModel(core.ModelNodeGroups), WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := p.Run(testGraph(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.ModelName != "node-groups" {
+		t.Errorf("model = %q", rel.ModelName)
+	}
+	// Node-group sensitivity is at least cell sensitivity at each level.
+	pCells, err := New(defaultBudget(), WithRounds(4), WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	relCells, err := pCells.Run(testGraph(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rel.Counts.Levels {
+		if rel.Counts.Levels[i].Sensitivity < relCells.Counts.Levels[i].Sensitivity {
+			t.Errorf("level %d: node-group sensitivity below cell sensitivity", i)
+		}
+	}
+}

@@ -1,0 +1,241 @@
+// Package repro is the public API of the group-differential-privacy
+// library, a from-scratch Go reproduction of
+//
+//	Palanisamy, Li, Krishnamurthy. "Group Differential Privacy-preserving
+//	Disclosure of Multi-level Association Graphs", IEEE ICDCS 2017.
+//
+// The library discloses bipartite association graphs (authors×papers,
+// patients×drugs, viewers×movies) at multiple information levels: every
+// level carries εg-group differential privacy for the groups formed at
+// that level of a privately built hierarchy, so higher-privilege users
+// receive less-perturbed data while aggregate information about coarser
+// groups stays protected.
+//
+// Quick start:
+//
+//	g, _ := repro.GenerateDataset(repro.PresetDBLPTiny, 1)
+//	pipe, _ := repro.NewPipeline(repro.Params{Epsilon: 0.9, Delta: 1e-5},
+//	    repro.WithRounds(6), repro.WithSeed(7))
+//	rel, _ := pipe.Run(g)
+//	view, _ := rel.ViewFor(3) // what a privilege-3 user sees
+//
+// The facade re-exports the stable surface of the internal packages; see
+// DESIGN.md for the full system inventory and EXPERIMENTS.md for the
+// paper-vs-measured evaluation.
+package repro
+
+import (
+	"io"
+
+	"repro/internal/bipartite"
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/dp"
+	"repro/internal/experiments"
+	"repro/internal/hierarchy"
+	"repro/internal/query"
+	"repro/internal/release"
+	"repro/internal/rng"
+)
+
+// Core data types.
+type (
+	// Graph is an immutable bipartite association graph.
+	Graph = bipartite.Graph
+	// GraphBuilder accumulates associations and freezes them into a Graph.
+	GraphBuilder = bipartite.Builder
+	// Edge is one association record.
+	Edge = bipartite.Edge
+	// Side selects the left or right node side.
+	Side = bipartite.Side
+	// Stats summarizes a graph's shape.
+	Stats = bipartite.Stats
+
+	// Params is an (ε, δ) differential-privacy budget.
+	Params = dp.Params
+
+	// Pipeline is the configured two-phase discloser.
+	Pipeline = release.Pipeline
+	// Release is the published multi-level artifact.
+	Release = release.Release
+	// View is what one privilege tier receives.
+	View = release.View
+	// Option configures NewPipeline.
+	Option = release.Option
+	// Mode selects the budget mode.
+	Mode = release.Mode
+
+	// GroupModel selects group-adjacency semantics.
+	GroupModel = core.GroupModel
+	// Calibration selects the Gaussian calibration.
+	Calibration = core.Calibration
+	// LevelRelease is one level's noisy count answer.
+	LevelRelease = core.LevelRelease
+	// CellRelease is one level's noisy subgraph histogram.
+	CellRelease = core.CellRelease
+	// GroupUniverse describes one level's group partition.
+	GroupUniverse = core.GroupUniverse
+
+	// Tree is the multi-level group hierarchy (curator-side state).
+	Tree = hierarchy.Tree
+
+	// DatasetConfig describes a synthetic dataset.
+	DatasetConfig = datagen.Config
+
+	// ExperimentOptions configures RunExperiment.
+	ExperimentOptions = experiments.Options
+	// ExperimentReport is an experiment's rendered output.
+	ExperimentReport = experiments.Report
+)
+
+// Graph sides.
+const (
+	Left  = bipartite.Left
+	Right = bipartite.Right
+)
+
+// Budget modes (see release.Mode).
+const (
+	ModePerLevel         = release.ModePerLevel
+	ModeComposedBasic    = release.ModeComposedBasic
+	ModeComposedAdvanced = release.ModeComposedAdvanced
+	ModeComposedRDP      = release.ModeComposedRDP
+)
+
+// Group models (see core.GroupModel).
+const (
+	ModelCells      = core.ModelCells
+	ModelNodeGroups = core.ModelNodeGroups
+	ModelIndividual = core.ModelIndividual
+)
+
+// Gaussian calibrations (see core.Calibration).
+const (
+	CalibrationClassical = core.CalibrationClassical
+	CalibrationAnalytic  = core.CalibrationAnalytic
+)
+
+// Dataset presets (see internal/datagen).
+const (
+	PresetDBLPFull   = datagen.PresetDBLPFull
+	PresetDBLPScaled = datagen.PresetDBLPScaled
+	PresetDBLPTiny   = datagen.PresetDBLPTiny
+	PresetPharmacy   = datagen.PresetPharmacy
+	PresetMovies     = datagen.PresetMovies
+)
+
+// NewGraphBuilder returns an empty graph builder with a capacity hint.
+func NewGraphBuilder(edgeCapacity int) *GraphBuilder {
+	return bipartite.NewBuilder(edgeCapacity)
+}
+
+// FromEdges builds a Graph from explicit edges and side sizes.
+func FromEdges(numLeft, numRight int32, edges []Edge) (*Graph, error) {
+	return bipartite.FromEdges(numLeft, numRight, edges)
+}
+
+// LoadTSV reads "left<TAB>right" association lines.
+func LoadTSV(r io.Reader) (*Graph, error) { return bipartite.LoadTSV(r) }
+
+// SaveTSV writes one association per line.
+func SaveTSV(w io.Writer, g *Graph) error { return bipartite.SaveTSV(w, g) }
+
+// LoadDBLPXML parses a DBLP-style XML dump into an author-paper graph.
+func LoadDBLPXML(r io.Reader) (*Graph, error) { return bipartite.LoadDBLPXML(r) }
+
+// EncodeBinary writes the compact binary graph format.
+func EncodeBinary(w io.Writer, g *Graph) error { return bipartite.EncodeBinary(w, g) }
+
+// DecodeBinary reads the compact binary graph format.
+func DecodeBinary(r io.Reader) (*Graph, error) { return bipartite.DecodeBinary(r) }
+
+// ComputeStats summarizes a graph.
+func ComputeStats(g *Graph) Stats { return bipartite.ComputeStats(g) }
+
+// GenerateDataset builds a synthetic dataset from a preset name.
+func GenerateDataset(preset string, seed uint64) (*Graph, error) {
+	cfg, err := datagen.ByName(preset, seed)
+	if err != nil {
+		return nil, err
+	}
+	return datagen.Generate(cfg)
+}
+
+// GenerateCustom builds a synthetic dataset from an explicit config.
+func GenerateCustom(cfg DatasetConfig) (*Graph, error) { return datagen.Generate(cfg) }
+
+// NewPipeline returns a configured two-phase disclosure pipeline.
+func NewPipeline(budget Params, opts ...Option) (*Pipeline, error) {
+	return release.New(budget, opts...)
+}
+
+// Pipeline options, re-exported from internal/release.
+var (
+	WithRounds         = release.WithRounds
+	WithLevels         = release.WithLevels
+	WithMode           = release.WithMode
+	WithModel          = release.WithModel
+	WithCalibration    = release.WithCalibration
+	WithMechanism      = release.WithMechanism
+	WithPhase1Epsilon  = release.WithPhase1Epsilon
+	WithOrder          = release.WithOrder
+	WithCellHistograms = release.WithCellHistograms
+	WithConsistency    = release.WithConsistency
+	WithGrouping       = release.WithGrouping
+	WithSeed           = release.WithSeed
+	WithWorkers        = release.WithWorkers
+)
+
+// Grouping is the published node → group assignment per level.
+type Grouping = release.Grouping
+
+// GroupSensitivity returns the count-query sensitivity at a level of a
+// built hierarchy under the given adjacency model.
+func GroupSensitivity(t *Tree, level int, model GroupModel) (int64, error) {
+	return core.Sensitivity(t, level, model)
+}
+
+// UniverseAt describes the group partition at one level.
+func UniverseAt(t *Tree, level int, model GroupModel) (GroupUniverse, error) {
+	return core.Universe(t, level, model)
+}
+
+// RunExperiment executes a named experiment ("figure1", "budget-split",
+// "calibration", "partitioner", "adjacency", "delta", "scale").
+func RunExperiment(name string, opts ExperimentOptions) (*ExperimentReport, error) {
+	return experiments.Run(name, opts)
+}
+
+// ExperimentNames lists the available experiments.
+func ExperimentNames() []string { return experiments.Names() }
+
+// NewRandomSeed returns an OS-entropy seed for production (non-
+// reproducible) releases.
+func NewRandomSeed() (uint64, error) { return rng.NewRandomSeed() }
+
+// NoiseMechanism selects the Phase-2 noise distribution for advanced
+// release paths (see core.ReleaseCountWith).
+type NoiseMechanism = core.NoiseMechanism
+
+// Noise mechanisms (see core.NoiseMechanism).
+const (
+	MechGaussian  = core.MechGaussian
+	MechLaplace   = core.MechLaplace
+	MechGeometric = core.MechGeometric
+)
+
+// ReadRelease parses and validates a published artifact produced by
+// Release.WriteJSON, for the data-user side.
+func ReadRelease(r io.Reader) (*Release, error) { return release.ReadJSON(r) }
+
+// MarginalCounts returns per-side-group association counts implied by a
+// noisy cell release (row/column sums of the cell grid).
+func MarginalCounts(c CellRelease, side Side) ([]float64, error) {
+	return query.MarginalCounts(c, side)
+}
+
+// TopKGroups returns the indices of the k heaviest side groups according
+// to a noisy cell release.
+func TopKGroups(c CellRelease, side Side, k int) ([]int, error) {
+	return query.TopKGroups(c, side, k)
+}

@@ -1,0 +1,141 @@
+package repro_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro"
+)
+
+// TestPublicAPIEndToEnd exercises the documented quick-start path.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	t.Parallel()
+	g, err := repro.GenerateDataset(repro.PresetDBLPTiny, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe, err := repro.NewPipeline(repro.Params{Epsilon: 0.9, Delta: 1e-5},
+		repro.WithRounds(6),
+		repro.WithSeed(7),
+		repro.WithPhase1Epsilon(0.1),
+		repro.WithCellHistograms(true),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := pipe.Run(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	view, err := rel.ViewFor(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if view.Count.NoisyCount == 0 || view.Cells == nil {
+		t.Errorf("view = %+v", view)
+	}
+	var buf bytes.Buffer
+	if err := rel.WriteJSON(&buf, false); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "noisy_count") {
+		t.Error("published json missing noisy counts")
+	}
+}
+
+func TestPublicGraphHelpers(t *testing.T) {
+	t.Parallel()
+	g, err := repro.FromEdges(2, 2, []repro.Edge{{Left: 0, Right: 1}, {Left: 1, Right: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tsv bytes.Buffer
+	if err := repro.SaveTSV(&tsv, g); err != nil {
+		t.Fatal(err)
+	}
+	back, err := repro.LoadTSV(&tsv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumEdges() != 2 {
+		t.Errorf("tsv round trip lost edges: %d", back.NumEdges())
+	}
+	var bin bytes.Buffer
+	if err := repro.EncodeBinary(&bin, g); err != nil {
+		t.Fatal(err)
+	}
+	back2, err := repro.DecodeBinary(&bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back2.NumEdges() != 2 {
+		t.Errorf("binary round trip lost edges: %d", back2.NumEdges())
+	}
+	stats := repro.ComputeStats(g)
+	if stats.NumEdges != 2 {
+		t.Errorf("stats = %+v", stats)
+	}
+}
+
+func TestPublicSensitivityHelpers(t *testing.T) {
+	t.Parallel()
+	g, err := repro.GenerateDataset(repro.PresetDBLPTiny, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe, err := repro.NewPipeline(repro.Params{Epsilon: 0.5, Delta: 1e-5},
+		repro.WithRounds(5), repro.WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := pipe.Run(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree := rel.Tree()
+	sens, err := repro.GroupSensitivity(tree, 2, repro.ModelCells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sens <= 0 {
+		t.Errorf("sensitivity = %d", sens)
+	}
+	u, err := repro.UniverseAt(tree, 2, repro.ModelCells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.MaxGroupRecords != sens {
+		t.Errorf("universe max %d != sensitivity %d", u.MaxGroupRecords, sens)
+	}
+}
+
+func TestPublicExperimentRegistry(t *testing.T) {
+	t.Parallel()
+	names := repro.ExperimentNames()
+	if len(names) != 10 {
+		t.Fatalf("experiments = %v", names)
+	}
+	report, err := repro.RunExperiment("adjacency", repro.ExperimentOptions{Quick: true, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Name != "adjacency" || len(report.Tables) == 0 {
+		t.Errorf("report = %+v", report)
+	}
+}
+
+func TestNewRandomSeed(t *testing.T) {
+	t.Parallel()
+	a, err := repro.NewRandomSeed()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := repro.NewRandomSeed()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Error("entropy seeds collided")
+	}
+}
