@@ -140,9 +140,32 @@ func BenchmarkPhase1Specialization(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := hierarchy.Build(g, hierarchy.Options{Rounds: 6, Bisector: bis}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(g.NumEdges()) * 8)
+}
+
+// BenchmarkPhase1SpecializationParallel is the same build with the worker
+// pool engaged; the produced tree is bit-identical to the serial one.
+func BenchmarkPhase1SpecializationParallel(b *testing.B) {
+	g, err := datagen.Generate(datagen.DBLPTiny(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := rng.New(2)
+	bis, err := partition.NewExpMechBisector(0.1, src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := hierarchy.Build(g, hierarchy.Options{Rounds: 6, Bisector: bis, Workers: 4}); err != nil {
 			b.Fatal(err)
 		}
 	}

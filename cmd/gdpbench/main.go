@@ -8,18 +8,40 @@
 //	gdpbench -exp figure1
 //	gdpbench -exp all -quick
 //	gdpbench -exp figure1 -preset dblp-scaled -trials 20 -csv out/
+//	gdpbench -exp all -quick -benchjson out/
+//
+// -benchjson writes one machine-readable BENCH_<experiment>.json per
+// experiment (configuration plus wall time), the perf-trajectory record
+// CI and regression tooling diff across commits.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
+	"time"
 
 	"repro"
 	"repro/internal/experiments"
 )
+
+// benchRecord is the machine-readable result of one timed experiment
+// run. Preset is the resolved dataset name, never empty; Trials echoes
+// the -trials override, where 0 means the experiment's own default.
+type benchRecord struct {
+	Experiment string  `json:"experiment"`
+	Preset     string  `json:"preset"`
+	Quick      bool    `json:"quick"`
+	Trials     int     `json:"trials"`
+	Seed       uint64  `json:"seed"`
+	Workers    int     `json:"workers"`
+	WallMS     float64 `json:"wall_ms"`
+	UnixMS     int64   `json:"unix_ms"`
+}
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
@@ -31,36 +53,74 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("gdpbench", flag.ContinueOnError)
 	var (
-		exp    = fs.String("exp", "figure1", fmt.Sprintf("experiment name or 'all' %v", experiments.Names()))
-		preset = fs.String("preset", "", "dataset preset override (default dblp-scaled, dblp-tiny with -quick)")
-		seed   = fs.Uint64("seed", 1, "random seed")
-		trials = fs.Int("trials", 0, "trial count override (0 = experiment default)")
-		quick  = fs.Bool("quick", false, "shrink datasets and grids for a fast run")
-		csvDir = fs.String("csv", "", "also write each table as CSV into this directory")
+		exp      = fs.String("exp", "figure1", fmt.Sprintf("experiment name or 'all' %v", experiments.Names()))
+		preset   = fs.String("preset", "", "dataset preset override (default dblp-scaled, dblp-tiny with -quick)")
+		seed     = fs.Uint64("seed", 1, "random seed")
+		trials   = fs.Int("trials", 0, "trial count override (0 = experiment default)")
+		quick    = fs.Bool("quick", false, "shrink datasets and grids for a fast run")
+		csvDir   = fs.String("csv", "", "also write each table as CSV into this directory")
+		workers  = fs.Int("workers", runtime.GOMAXPROCS(0), "phase-1 build parallelism (results identical for any value)")
+		benchDir = fs.String("benchjson", "", "write a machine-readable BENCH_<experiment>.json per experiment into this directory")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	opts := repro.ExperimentOptions{
-		Preset: *preset,
-		Seed:   *seed,
-		Trials: *trials,
-		Quick:  *quick,
+		Preset:  *preset,
+		Seed:    *seed,
+		Trials:  *trials,
+		Quick:   *quick,
+		Workers: *workers,
 	}
 	names := []string{*exp}
 	if *exp == "all" {
 		names = experiments.Names()
 	}
 	for _, name := range names {
+		start := time.Now()
 		report, err := repro.RunExperiment(name, opts)
 		if err != nil {
 			return fmt.Errorf("experiment %s: %w", name, err)
 		}
+		elapsed := time.Since(start)
 		if err := emit(report, *csvDir); err != nil {
 			return err
 		}
+		if *benchDir != "" {
+			rec := benchRecord{
+				Experiment: name,
+				Preset:     opts.EffectivePreset(),
+				Quick:      *quick,
+				Trials:     *trials,
+				Seed:       *seed,
+				Workers:    *workers,
+				WallMS:     float64(elapsed.Nanoseconds()) / 1e6,
+				UnixMS:     start.UnixMilli(),
+			}
+			if err := writeBenchJSON(*benchDir, rec); err != nil {
+				return err
+			}
+		}
 	}
+	return nil
+}
+
+// writeBenchJSON writes one experiment's timing record to
+// dir/BENCH_<experiment>.json.
+func writeBenchJSON(dir string, rec benchRecord) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(dir, fmt.Sprintf("BENCH_%s.json", sanitize(rec.Experiment)))
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("(bench record written to %s)\n\n", path)
 	return nil
 }
 

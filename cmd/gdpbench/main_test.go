@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -31,6 +32,27 @@ func TestRunWithCSVOutput(t *testing.T) {
 	}
 	if !strings.Contains(string(blob), ",") {
 		t.Error("CSV content malformed")
+	}
+}
+
+func TestRunWithBenchJSON(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-exp", "adjacency", "-quick", "-workers", "2", "-benchjson", dir}); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(filepath.Join(dir, "BENCH_adjacency.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec benchRecord
+	if err := json.Unmarshal(blob, &rec); err != nil {
+		t.Fatalf("bench record is not valid JSON: %v", err)
+	}
+	if rec.Experiment != "adjacency" || !rec.Quick || rec.Workers != 2 {
+		t.Errorf("bench record = %+v", rec)
+	}
+	if rec.WallMS <= 0 {
+		t.Errorf("wall_ms = %v, want > 0", rec.WallMS)
 	}
 }
 

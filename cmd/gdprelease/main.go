@@ -12,6 +12,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"repro"
@@ -46,6 +47,7 @@ func run(args []string) error {
 		cells       = fs.Bool("cells", false, "also release per-level cell histograms")
 		includeTrue = fs.Bool("include-true", false, "include exact counts in the JSON (curator-side output)")
 		audit       = fs.Bool("audit", false, "print the privacy audit trail to stderr")
+		workers     = fs.Int("workers", runtime.GOMAXPROCS(0), "phase-1 build parallelism (the release is identical for any value)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -68,6 +70,7 @@ func run(args []string) error {
 		repro.WithSeed(effSeed),
 		repro.WithPhase1Epsilon(*phase1),
 		repro.WithCellHistograms(*cells),
+		repro.WithWorkers(*workers),
 	}
 	m, err := parseMode(*mode)
 	if err != nil {

@@ -168,6 +168,25 @@ func (g *Graph) ForEachEdge(fn func(l, r int32) bool) {
 	}
 }
 
+// AdjacencyView exposes the CSR arrays of side s without a per-edge
+// callback: off has NumSide(s)+1 entries and adj holds the concatenated,
+// sorted neighbor lists, so the neighbors of node i on side s are
+// adj[off[i]:off[i+1]]. Iterating adj in order visits every association
+// exactly once (left-major for s == Left). Both slices alias the graph's
+// internal storage and must not be modified; hot paths such as the
+// hierarchy's single-scan cell aggregation use this view to stream edges
+// at memory bandwidth instead of paying a function call per edge.
+func (g *Graph) AdjacencyView(s Side) (off []int64, adj []int32) {
+	switch s {
+	case Left:
+		return g.leftOff, g.leftAdj
+	case Right:
+		return g.rightOff, g.rightAdj
+	default:
+		panic("bipartite: AdjacencyView called with invalid side")
+	}
+}
+
 // Edges materializes all associations in left-major order. Prefer
 // ForEachEdge for large graphs.
 func (g *Graph) Edges() []Edge {

@@ -86,6 +86,62 @@ func TestDegreesAndNeighbors(t *testing.T) {
 	}
 }
 
+func TestAdjacencyView(t *testing.T) {
+	t.Parallel()
+	g := buildTestGraph(t)
+	for _, side := range []Side{Left, Right} {
+		off, adj := g.AdjacencyView(side)
+		if len(off) != g.NumSide(side)+1 {
+			t.Fatalf("%v offsets length = %d, want %d", side, len(off), g.NumSide(side)+1)
+		}
+		if int64(len(adj)) != g.NumEdges() {
+			t.Fatalf("%v adjacency length = %d, want %d", side, len(adj), g.NumEdges())
+		}
+		for id := int32(0); id < int32(g.NumSide(side)); id++ {
+			row := adj[off[id]:off[id+1]]
+			want := g.Neighbors(side, id)
+			if len(row) != len(want) {
+				t.Fatalf("%v node %d row length = %d, want %d", side, id, len(row), len(want))
+			}
+			for i := range want {
+				if row[i] != want[i] {
+					t.Errorf("%v node %d neighbor %d = %d, want %d", side, id, i, row[i], want[i])
+				}
+			}
+		}
+	}
+	// The left-major walk of the view enumerates the same edge sequence as
+	// ForEachEdge.
+	off, adj := g.AdjacencyView(Left)
+	var viaCallback []Edge
+	g.ForEachEdge(func(l, r int32) bool {
+		viaCallback = append(viaCallback, Edge{l, r})
+		return true
+	})
+	var viaView []Edge
+	for l := int32(0); l < int32(g.NumLeft()); l++ {
+		for _, r := range adj[off[l]:off[l+1]] {
+			viaView = append(viaView, Edge{l, r})
+		}
+	}
+	if len(viaView) != len(viaCallback) {
+		t.Fatalf("view walk saw %d edges, callback %d", len(viaView), len(viaCallback))
+	}
+	for i := range viaView {
+		if viaView[i] != viaCallback[i] {
+			t.Errorf("edge %d: view %v, callback %v", i, viaView[i], viaCallback[i])
+		}
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("AdjacencyView accepted invalid side")
+			}
+		}()
+		g.AdjacencyView(Side(0))
+	}()
+}
+
 func TestHasEdge(t *testing.T) {
 	t.Parallel()
 	g := buildTestGraph(t)

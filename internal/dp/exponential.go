@@ -58,6 +58,56 @@ func (m *Exponential) Select(utilities []float64) (int, error) {
 	return best, nil
 }
 
+// SelectFast samples exactly the same distribution as Select and
+// SelectLSE via inverse-CDF over softmax probabilities, but into a
+// caller-provided scratch buffer: no allocation in steady state, one
+// uniform draw per call regardless of domain size, and one exponential
+// per candidate — about half the transcendental cost of the Gumbel-max
+// path, which pays two logarithms per candidate. It is the hot-path
+// sampler for Phase-1 specialization, where Build invokes the mechanism
+// once per cut over every node of the side. The (possibly grown) scratch
+// is returned for reuse; its contents are the probability vector. The
+// arithmetic mirrors Probabilities/SelectLSE operation for operation, so
+// given identical source states the three samplers pick identical
+// candidates (cross-checked in tests).
+func (m *Exponential) SelectFast(utilities, scratch []float64) (int, []float64, error) {
+	if len(utilities) == 0 {
+		return 0, scratch, ErrEmptyDomain
+	}
+	if cap(scratch) < len(utilities) {
+		scratch = make([]float64, len(utilities))
+	}
+	probs := scratch[:len(utilities)]
+	scale := m.epsilon / (2 * m.utilitySens)
+	maxScore := math.Inf(-1)
+	for i, u := range utilities {
+		if math.IsNaN(u) {
+			return 0, scratch, fmt.Errorf("dp: utility %d is NaN", i)
+		}
+		probs[i] = scale * u
+		if probs[i] > maxScore {
+			maxScore = probs[i]
+		}
+	}
+	var norm float64
+	for i, s := range probs {
+		probs[i] = math.Exp(s - maxScore)
+		norm += probs[i]
+	}
+	for i := range probs {
+		probs[i] /= norm
+	}
+	u := m.src.Float64()
+	var cum float64
+	for i, p := range probs {
+		cum += p
+		if u < cum {
+			return i, probs, nil
+		}
+	}
+	return len(probs) - 1, probs, nil
+}
+
 // SelectLSE samples the same distribution by explicit inverse-CDF over
 // softmax probabilities computed with the log-sum-exp trick. It exists to
 // cross-validate Select in tests and for callers that also need the

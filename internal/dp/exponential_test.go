@@ -163,6 +163,60 @@ func TestSelectLSEMatchesProbabilities(t *testing.T) {
 	}
 }
 
+// TestSelectFastMatchesSelectLSE asserts the allocation-free sampler
+// makes exactly the choices SelectLSE makes given identical RNG states —
+// the two share the inverse-CDF arithmetic operation for operation.
+func TestSelectFastMatchesSelectLSE(t *testing.T) {
+	t.Parallel()
+	mFast, err := NewExponential(1.2, 1, rng.New(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mLSE, err := NewExponential(1.2, 1, rng.New(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(22)
+	var scratch []float64
+	for trial := 0; trial < 2000; trial++ {
+		utilities := make([]float64, 2+r.Intn(40))
+		for i := range utilities {
+			utilities[i] = -float64(r.Intn(50))
+		}
+		var fastIdx int
+		fastIdx, scratch, err = mFast.SelectFast(utilities, scratch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lseIdx, probs, err := mLSE.SelectLSE(utilities)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fastIdx != lseIdx {
+			t.Fatalf("trial %d: SelectFast chose %d, SelectLSE chose %d", trial, fastIdx, lseIdx)
+		}
+		for i := range probs {
+			if scratch[i] != probs[i] {
+				t.Fatalf("trial %d: probability %d differs: %v vs %v", trial, i, scratch[i], probs[i])
+			}
+		}
+	}
+}
+
+func TestSelectFastErrors(t *testing.T) {
+	t.Parallel()
+	m, err := NewExponential(1, 1, rng.New(23))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := m.SelectFast(nil, nil); !errors.Is(err, ErrEmptyDomain) {
+		t.Errorf("SelectFast(nil): %v", err)
+	}
+	if _, _, err := m.SelectFast([]float64{0, math.NaN()}, nil); err == nil {
+		t.Error("SelectFast accepted NaN utility")
+	}
+}
+
 func TestSelectSingleCandidate(t *testing.T) {
 	t.Parallel()
 	m, err := NewExponential(1, 1, rng.New(8))

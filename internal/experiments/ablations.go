@@ -49,6 +49,7 @@ func RunBudgetSplit(opts Options) (*Report, error) {
 				release.WithMode(mode),
 				release.WithSeed(opts.Seed+uint64(trial)*7919),
 				release.WithPhase1Epsilon(0.1),
+				release.WithWorkers(opts.Workers),
 			)
 			if err != nil {
 				return nil, err
@@ -214,7 +215,7 @@ func RunPartitioner(opts Options) (*Report, error) {
 	for ei, e := range entries {
 		skewTable.Headers = append(skewTable.Headers, e.name)
 		rerTable.Headers = append(rerTable.Headers, e.name)
-		tree, err := hierarchy.Build(g, hierarchy.Options{Rounds: r, Bisector: e.bis})
+		tree, err := hierarchy.Build(g, hierarchy.Options{Rounds: r, Bisector: e.bis, Workers: opts.Workers})
 		if err != nil {
 			return nil, fmt.Errorf("experiments: partitioner %s: %w", e.name, err)
 		}
@@ -395,7 +396,7 @@ func RunScale(opts Options) (*Report, error) {
 		genMS := time.Since(t0).Seconds() * 1000
 
 		t1 := time.Now()
-		tree, err := buildTrialTree(g, r, 0.1, rng.New(opts.Seed+uint64(edges)+1))
+		tree, err := buildTrialTree(g, r, 0.1, opts.Workers, rng.New(opts.Seed+uint64(edges)+1))
 		if err != nil {
 			return nil, err
 		}
@@ -437,6 +438,7 @@ func standardTree(opts Options) (*hierarchy.Tree, error) {
 	return hierarchy.Build(g, hierarchy.Options{
 		Rounds:   rounds(opts.Quick),
 		Bisector: partition.BalancedBisector{},
+		Workers:  opts.Workers,
 	})
 }
 

@@ -28,19 +28,26 @@ type Options struct {
 	Trials int
 	// Quick shrinks datasets and grids for fast runs (used by tests).
 	Quick bool
+	// Workers parallelizes Phase-1 range preparation and the cell scan of
+	// every hierarchy build; results are identical for any value.
+	Workers int
+}
+
+// EffectivePreset returns the dataset preset a run with these options
+// actually uses: the explicit Preset, or the quick/full default.
+func (o Options) EffectivePreset() string {
+	if o.Preset != "" {
+		return o.Preset
+	}
+	if o.Quick {
+		return datagen.PresetDBLPTiny
+	}
+	return datagen.PresetDBLPScaled
 }
 
 // dataset resolves the configured dataset.
 func (o Options) dataset() (datagen.Config, error) {
-	name := o.Preset
-	if name == "" {
-		if o.Quick {
-			name = datagen.PresetDBLPTiny
-		} else {
-			name = datagen.PresetDBLPScaled
-		}
-	}
-	return datagen.ByName(name, o.Seed+1)
+	return datagen.ByName(o.EffectivePreset(), o.Seed+1)
 }
 
 // trials returns the effective trial count.
@@ -142,8 +149,8 @@ func levelsFor(r int) []int {
 
 // buildTrialTree generates Phase 1 once for a trial: a private
 // exponential-mechanism hierarchy when phase1Eps > 0, else the balanced
-// baseline.
-func buildTrialTree(g *bipartite.Graph, rnds int, phase1Eps float64, src *rng.Source) (*hierarchy.Tree, error) {
+// baseline. workers parallelizes the build without changing its output.
+func buildTrialTree(g *bipartite.Graph, rnds int, phase1Eps float64, workers int, src *rng.Source) (*hierarchy.Tree, error) {
 	var bis partition.Bisector
 	if phase1Eps > 0 {
 		b, err := partition.NewExpMechBisector(phase1Eps, src)
@@ -154,5 +161,5 @@ func buildTrialTree(g *bipartite.Graph, rnds int, phase1Eps float64, src *rng.So
 	} else {
 		bis = partition.BalancedBisector{}
 	}
-	return hierarchy.Build(g, hierarchy.Options{Rounds: rnds, Bisector: bis})
+	return hierarchy.Build(g, hierarchy.Options{Rounds: rnds, Bisector: bis, Workers: workers})
 }

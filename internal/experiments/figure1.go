@@ -46,6 +46,9 @@ type Figure1Config struct {
 	Calib core.Calibration
 	// Seed drives all randomness.
 	Seed uint64
+	// Workers parallelizes each trial's hierarchy build; the produced
+	// figures are identical for any value.
+	Workers int
 }
 
 // DefaultFigure1Config mirrors the paper's setup on the scaled dataset.
@@ -66,6 +69,7 @@ func DefaultFigure1Config(opts Options) (Figure1Config, error) {
 		Model:         core.ModelCells,
 		Calib:         core.CalibrationClassical,
 		Seed:          opts.Seed,
+		Workers:       opts.Workers,
 	}, nil
 }
 
@@ -114,7 +118,7 @@ func RunFigure1(cfg Figure1Config) (*Figure1Result, error) {
 
 	for trial := 0; trial < cfg.Trials; trial++ {
 		trialSrc := src.Split(uint64(trial))
-		tree, err := buildTrialTree(g, cfg.Rounds, cfg.Phase1Epsilon, trialSrc.Split(1))
+		tree, err := buildTrialTree(g, cfg.Rounds, cfg.Phase1Epsilon, cfg.Workers, trialSrc.Split(1))
 		if err != nil {
 			return nil, fmt.Errorf("experiments: trial %d phase 1: %w", trial, err)
 		}

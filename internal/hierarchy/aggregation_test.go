@@ -1,0 +1,266 @@
+package hierarchy
+
+import (
+	"testing"
+
+	"repro/internal/bipartite"
+	"repro/internal/partition"
+	"repro/internal/rng"
+)
+
+// naiveCellCounts recounts the depth-d cell matrix the slow way — one
+// full edge pass with a per-edge binary search over the range boundaries,
+// the seed implementation's algorithm — sharing no code with the
+// single-scan aggregation it cross-checks.
+func naiveCellCounts(tree *Tree, d int) []int64 {
+	k := 1 << d
+	counts := make([]int64, k*k)
+	tree.graph.ForEachEdge(func(l, r int32) bool {
+		i := findRange(tree.left.bounds[d], tree.left.pos[l])
+		j := findRange(tree.right.bounds[d], tree.right.pos[r])
+		counts[i*k+j]++
+		return true
+	})
+	return counts
+}
+
+// randomGraph builds a reproducible random bipartite graph.
+func randomGraph(t testing.TB, nl, nr, edges int, seed uint64) *bipartite.Graph {
+	t.Helper()
+	r := rng.New(seed)
+	b := bipartite.NewBuilder(edges)
+	b.SetNumLeft(int32(nl))
+	b.SetNumRight(int32(nr))
+	for i := 0; i < edges; i++ {
+		b.AddEdge(int32(r.Intn(nl)), int32(r.Intn(nr)))
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestCellAggregationMatchesNaiveRecount is the golden equivalence test
+// for the single-scan bottom-up cell matrices: at every depth of trees
+// over random graphs of several sizes and seeds, the aggregated matrix
+// must be bit-identical to a naive per-depth recount.
+func TestCellAggregationMatchesNaiveRecount(t *testing.T) {
+	t.Parallel()
+	shapes := []struct{ nl, nr, edges, rounds int }{
+		{8, 8, 40, 3},
+		{50, 70, 400, 4},
+		{200, 300, 3000, 5},
+		{512, 256, 8000, 6},
+	}
+	for _, shape := range shapes {
+		for seed := uint64(1); seed <= 3; seed++ {
+			g := randomGraph(t, shape.nl, shape.nr, shape.edges, seed)
+			bis, err := partition.NewExpMechBisector(0.5, rng.New(seed+100))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, b := range []partition.Bisector{partition.BalancedBisector{}, bis} {
+				tree, err := Build(g, Options{Rounds: shape.rounds, Bisector: b})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for d := 0; d <= shape.rounds; d++ {
+					want := naiveCellCounts(tree, d)
+					got := tree.cells[d]
+					if len(got) != len(want) {
+						t.Fatalf("%dx%d seed %d %s: depth %d has %d cells, want %d",
+							shape.nl, shape.nr, seed, b.Name(), d, len(got), len(want))
+					}
+					for i := range want {
+						if got[i] != want[i] {
+							t.Fatalf("%dx%d seed %d %s: depth %d cell %d aggregated %d, naive %d",
+								shape.nl, shape.nr, seed, b.Name(), d, i, got[i], want[i])
+						}
+					}
+				}
+				if err := tree.Validate(); err != nil {
+					t.Fatalf("%dx%d seed %d %s: %v", shape.nl, shape.nr, seed, b.Name(), err)
+				}
+			}
+		}
+	}
+}
+
+// TestBuildWorkersBitIdentical asserts the full internal state — not just
+// cell counts — is identical between serial and parallel builds, and that
+// both validate.
+func TestBuildWorkersBitIdentical(t *testing.T) {
+	t.Parallel()
+	g := randomGraph(t, 300, 450, 6000, 7)
+	build := func(workers int) *Tree {
+		bis, err := partition.NewExpMechBisector(0.3, rng.New(99))
+		if err != nil {
+			t.Fatal(err)
+		}
+		tree, err := Build(g, Options{Rounds: 5, Bisector: bis, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tree.Validate(); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return tree
+	}
+	serial := build(1)
+	parallel := build(4)
+	for side, pair := range map[string][2]*sideTree{
+		"left":  {&serial.left, &parallel.left},
+		"right": {&serial.right, &parallel.right},
+	} {
+		a, b := pair[0], pair[1]
+		for p := range a.perm {
+			if a.perm[p] != b.perm[p] {
+				t.Fatalf("%s perm differs at %d: %d vs %d", side, p, a.perm[p], b.perm[p])
+			}
+		}
+		for n := range a.pos {
+			if a.pos[n] != b.pos[n] {
+				t.Fatalf("%s pos differs at %d", side, n)
+			}
+		}
+		for d := range a.bounds {
+			for i := range a.bounds[d] {
+				if a.bounds[d][i] != b.bounds[d][i] {
+					t.Fatalf("%s bounds differ at depth %d index %d", side, d, i)
+				}
+			}
+		}
+		for p := range a.degPrefix {
+			if a.degPrefix[p] != b.degPrefix[p] {
+				t.Fatalf("%s degPrefix differs at %d", side, p)
+			}
+		}
+	}
+	for d := range serial.cells {
+		for i := range serial.cells[d] {
+			if serial.cells[d][i] != parallel.cells[d][i] {
+				t.Fatalf("cells differ at depth %d index %d", d, i)
+			}
+		}
+	}
+	if serial.NumPrivateCuts() != parallel.NumPrivateCuts() {
+		t.Fatalf("private cuts differ: %d vs %d", serial.NumPrivateCuts(), parallel.NumPrivateCuts())
+	}
+}
+
+// TestSideGroupIncidentEdgesMatchesNaive cross-checks the degree-prefix
+// answers against a naive per-node degree sum.
+func TestSideGroupIncidentEdgesMatchesNaive(t *testing.T) {
+	t.Parallel()
+	g := randomGraph(t, 120, 90, 1500, 3)
+	tree, err := Build(g, Options{Rounds: 4, Bisector: partition.BalancedBisector{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for level := 0; level <= tree.MaxLevel(); level++ {
+		for _, side := range []bipartite.Side{bipartite.Left, bipartite.Right} {
+			got, err := tree.SideGroupIncidentEdges(level, side)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range got {
+				nodes, err := tree.SideGroupNodes(level, side, i)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var want int64
+				for _, node := range nodes {
+					want += g.Degree(side, node)
+				}
+				if got[i] != want {
+					t.Fatalf("level %d side %v group %d: prefix sum %d, naive %d", level, side, i, got[i], want)
+				}
+			}
+		}
+	}
+}
+
+// TestRadixSortMatchesComparisonSort pins the radix path to compareItems'
+// total order on adversarial weight distributions.
+func TestRadixSortMatchesComparisonSort(t *testing.T) {
+	t.Parallel()
+	r := rng.New(41)
+	for trial := 0; trial < 20; trial++ {
+		n := radixMinLen + r.Intn(500)
+		ref := make([]rangeItem, n)
+		for i := range ref {
+			w := int64(r.Intn(5)) // heavy ties
+			if trial%2 == 0 {
+				w = int64(r.Intn(1 << 20))
+			}
+			ref[i] = rangeItem{node: int32(i), weight: w}
+		}
+		// Shuffle node ids so ties exercise the node tie-break.
+		for i := n - 1; i > 0; i-- {
+			j := r.Intn(i + 1)
+			ref[i].node, ref[j].node = ref[j].node, ref[i].node
+		}
+		got := append([]rangeItem(nil), ref...)
+		var maxW int64
+		for _, it := range ref {
+			if it.weight > maxW {
+				maxW = it.weight
+			}
+		}
+		radixSortItems(got, make([]uint64, n), make([]uint64, n), maxW)
+		slicesSortRef(ref)
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("trial %d: index %d radix %+v, comparison %+v", trial, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+func slicesSortRef(items []rangeItem) {
+	for i := 1; i < len(items); i++ {
+		for j := i; j > 0 && compareItems(items[j], items[j-1]) < 0; j-- {
+			items[j], items[j-1] = items[j-1], items[j]
+		}
+	}
+}
+
+// BenchmarkComputeCells isolates the cell-matrix computation: one edge
+// scan at the deepest level plus bottom-up aggregation, across worker
+// counts. The graph is dense enough (300k edges over a 64×64 deepest
+// grid) that the sharded scan engages for the parallel case.
+func BenchmarkComputeCells(b *testing.B) {
+	g := randomGraph(b, 2000, 3000, 300000, 5)
+	tree, err := Build(g, Options{Rounds: 6, Bisector: partition.BalancedBisector{}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		b.Run(map[int]string{1: "workers1", 4: "workers4"}[workers], func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				tree.computeCells(workers)
+			}
+		})
+	}
+}
+
+// BenchmarkSideGroupSums measures the O(groups) incident-edge answers
+// over every level of a deep tree.
+func BenchmarkSideGroupSums(b *testing.B) {
+	g := randomGraph(b, 2000, 3000, 50000, 6)
+	tree, err := Build(g, Options{Rounds: 8, Bisector: partition.BalancedBisector{}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for level := 0; level <= tree.MaxLevel(); level++ {
+			if _, err := tree.MaxSideGroupIncidentEdges(level); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

@@ -147,7 +147,7 @@ func DecodeBinary(r io.Reader, g *bipartite.Graph) (*Tree, error) {
 	}
 	t.privateCuts = int(cuts)
 
-	t.computeCells()
+	t.finalize(0)
 	if err := t.Validate(); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadTreeFormat, err)
 	}

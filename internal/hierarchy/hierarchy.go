@@ -31,11 +31,32 @@
 // boundaries of the 2^d contiguous ranges over that permutation. Splits
 // reorder nodes only inside their own range, so deeper levels strictly
 // refine shallower ones and all levels share one permutation.
+//
+// # Complexity and parallelism
+//
+// Build runs in O(E + n·log n + n·rounds + Σ_d 4^d) time: the per-cell
+// record counts are computed once at the deepest level in a single scan
+// of the edge array (zero-callback CSR view, sharded across
+// Options.Workers goroutines with per-worker count buffers merged at the
+// end) and every coarser level is derived by summing 2×2 child blocks
+// bottom-up — never by rescanning edges. The bisector ordering is a
+// static total order (degree descending, node id ascending), so each side
+// is sorted once in the first round and every deeper range — a contiguous
+// span of a sorted span — needs no further preparation: its weights are
+// read straight from a position-indexed weight array maintained alongside
+// the permutation. Per-side degree prefix sums over the final permutation
+// make SideGroupIncidentEdges O(groups) per call. Range preparation, when
+// it does run, reuses two position-indexed scratch buffers for the whole
+// build and fans out over one worker pool that stays alive across all
+// rounds; only the cut decisions are serial, in range order, so
+// randomized bisectors consume their stream deterministically and the
+// built tree is bit-identical for every worker count.
 package hierarchy
 
 import (
 	"errors"
 	"fmt"
+	"slices"
 	"sort"
 	"sync"
 
@@ -46,6 +67,16 @@ import (
 // MaxRounds caps tree depth; 4^12 cells is the largest level a dense
 // per-level cell matrix can reasonably hold.
 const MaxRounds = 12
+
+// maxShardCells caps the combined size of the per-worker count buffers
+// the sharded deepest-level scan allocates (in int64 cells). Past it the
+// scan falls back to a single pass: at that depth the merge and the
+// buffers themselves would cost more than the edge scan saves.
+const maxShardCells = 1 << 24
+
+// minShardEdges is the edge count below which sharding the cell scan is
+// not worth the goroutine handoff.
+const minShardEdges = 1 << 14
 
 // Order controls how a range's nodes are arranged before the bisector
 // chooses a prefix cut.
@@ -73,10 +104,10 @@ type Options struct {
 	// Order arranges range nodes before cutting; defaults to
 	// OrderWeightDesc.
 	Order Order
-	// Workers parallelizes the per-range weight computation and ordering
-	// across goroutines. Cut decisions remain serial in range order, so
-	// the built tree is identical for any worker count. Values < 2 run
-	// single-threaded.
+	// Workers parallelizes the per-range weight computation and ordering,
+	// and shards the deepest-level cell scan, across goroutines. Cut
+	// decisions remain serial in range order, so the built tree is
+	// identical for any worker count. Values < 2 run single-threaded.
 	Workers int
 }
 
@@ -96,6 +127,19 @@ type sideTree struct {
 	// bounds[d] holds the 2^d+1 range boundaries at depth d:
 	// range i spans positions [bounds[d][i], bounds[d][i+1]).
 	bounds [][]int32
+	// weightByPos[p] is the degree of perm[p], maintained alongside every
+	// permutation write so range weights never need a fresh lookup pass.
+	weightByPos []int64
+	// inOrder records that every current range already sits in bisector
+	// order. Ordering is a static total order (degree desc, node asc), so
+	// once one specialization round has sorted the side, every deeper
+	// range is a contiguous span of a sorted span and stays sorted; from
+	// then on splitting skips preparation entirely.
+	inOrder bool
+	// degPrefix[p] is the summed degree of perm[0:p] under the final
+	// permutation, so any depth's group-incident-edge sums are boundary
+	// differences. Filled by finalize.
+	degPrefix []int64
 }
 
 // Tree is the built hierarchy. It is immutable after Build.
@@ -107,7 +151,8 @@ type Tree struct {
 	right sideTree
 
 	// cells[d] is the row-major (2^d)x(2^d) matrix of per-cell record
-	// counts at depth d.
+	// counts at depth d. Only cells[maxDepth] is counted from edges; every
+	// coarser matrix is the 2×2 block aggregation of its child.
 	cells [][]int64
 
 	privateCuts int
@@ -137,15 +182,19 @@ func Build(g *bipartite.Graph, opts Options) (*Tree, error) {
 		left:     newSideTree(g.NumLeft()),
 		right:    newSideTree(g.NumRight()),
 	}
+	t.left.initWeights(g, bipartite.Left, opts.Order)
+	t.right.initWeights(g, bipartite.Right, opts.Order)
+	bs := newBuildState(t, opts)
+	defer bs.close()
 	for d := 0; d < opts.Rounds; d++ {
-		if err := t.splitDepth(&t.left, bipartite.Left, d, opts); err != nil {
+		if err := t.splitDepth(&t.left, bipartite.Left, d, bs); err != nil {
 			return nil, fmt.Errorf("hierarchy: splitting left side at depth %d: %w", d, err)
 		}
-		if err := t.splitDepth(&t.right, bipartite.Right, d, opts); err != nil {
+		if err := t.splitDepth(&t.right, bipartite.Right, d, bs); err != nil {
 			return nil, fmt.Errorf("hierarchy: splitting right side at depth %d: %w", d, err)
 		}
 	}
-	t.computeCells()
+	t.finalize(opts.Workers)
 	return t, nil
 }
 
@@ -162,146 +211,382 @@ func newSideTree(n int) sideTree {
 	return st
 }
 
+// initWeights fills weightByPos for the initial identity permutation.
+// OrderNatural keeps permutation order, so the side starts in bisector
+// order; OrderWeightDesc needs one sorting pass first.
+func (st *sideTree) initWeights(g *bipartite.Graph, side bipartite.Side, order Order) {
+	st.weightByPos = make([]int64, len(st.perm))
+	for p, node := range st.perm {
+		st.weightByPos[p] = g.Degree(side, node)
+	}
+	st.inOrder = order == OrderNatural
+}
+
 // rangeItem pairs a node with its weight during range preparation.
 type rangeItem struct {
 	node   int32
 	weight int64
 }
 
+// compareItems orders by weight descending with a deterministic node-id
+// tie-break: a total order, so any (unstable) sort yields the same
+// permutation.
+func compareItems(a, b rangeItem) int {
+	switch {
+	case a.weight > b.weight:
+		return -1
+	case a.weight < b.weight:
+		return 1
+	default:
+		return int(a.node) - int(b.node)
+	}
+}
+
+// buildState carries the scratch that lives for the whole Build: two
+// position-indexed buffers (the ranges of any one depth are disjoint
+// [lo, hi) position spans, so concurrent workers write disjoint subslices
+// without synchronization) and the worker pool. Nothing here is
+// reallocated between rounds.
+type buildState struct {
+	opts    Options
+	private bool        // Bisector spends budget per cut (partition.PrivacyConsumer)
+	items   []rangeItem // node+weight per position of the side being split
+	weights []int64     // weights in prepared order, the bisector's input
+	keys    []uint64    // radix-sort keys, position-indexed like items
+	tmpKeys []uint64    // radix-sort ping-pong buffer
+	pool    *workerPool
+}
+
+func newBuildState(t *Tree, opts Options) *buildState {
+	n := len(t.left.perm)
+	if r := len(t.right.perm); r > n {
+		n = r
+	}
+	bs := &buildState{
+		opts:    opts,
+		items:   make([]rangeItem, n),
+		weights: make([]int64, n),
+		keys:    make([]uint64, n),
+		tmpKeys: make([]uint64, n),
+	}
+	if pc, ok := opts.Bisector.(partition.PrivacyConsumer); ok {
+		bs.private = pc.Private()
+	}
+	if opts.Workers > 1 {
+		bs.pool = newWorkerPool(opts.Workers)
+	}
+	return bs
+}
+
+func (bs *buildState) close() {
+	if bs.pool != nil {
+		bs.pool.close()
+	}
+}
+
+// workerPool is a fixed set of goroutines that processes integer-indexed
+// task batches. One pool serves every split round of a Build, so range
+// preparation spawns goroutines once, not per depth. (The final cell
+// scan manages its own short-lived goroutines instead: finalize also
+// runs for decoded trees, which never have a pool.)
+type workerPool struct {
+	tasks chan int
+	wg    sync.WaitGroup
+	run   func(int)
+}
+
+func newWorkerPool(workers int) *workerPool {
+	p := &workerPool{tasks: make(chan int, 4*workers)}
+	for w := 0; w < workers; w++ {
+		go func() {
+			for i := range p.tasks {
+				p.run(i)
+				p.wg.Done()
+			}
+		}()
+	}
+	return p
+}
+
+// dispatch runs run(0..n-1) across the pool and returns when all calls
+// completed. It must not be called concurrently with itself: the previous
+// batch's wg.Wait orders all worker reads of p.run before the next write.
+func (p *workerPool) dispatch(n int, run func(int)) {
+	p.run = run
+	p.wg.Add(n)
+	for i := 0; i < n; i++ {
+		p.tasks <- i
+	}
+	p.wg.Wait()
+}
+
+func (p *workerPool) close() { close(p.tasks) }
+
 // splitDepth refines every depth-d range of one side into two, appending
-// the depth d+1 boundaries. Preparation (weight lookup and ordering) is
-// pure per range and fans out across opts.Workers goroutines; the cut
-// decisions run serially in range order so randomized bisectors consume
-// their stream deterministically.
-func (t *Tree) splitDepth(st *sideTree, side bipartite.Side, d int, opts Options) error {
+// the depth d+1 boundaries. On an unordered side, preparation (weight
+// lookup and ordering) is pure per range and fans out across the pool;
+// once the side is in bisector order — after the first OrderWeightDesc
+// round, or from the start for OrderNatural — preparation vanishes and
+// each range's weights are read straight from weightByPos. The cut
+// decisions always run serially in range order so randomized bisectors
+// consume their stream deterministically.
+func (t *Tree) splitDepth(st *sideTree, side bipartite.Side, d int, bs *buildState) error {
 	cur := st.bounds[d]
 	nRanges := len(cur) - 1
-	prepared := make([][]rangeItem, nRanges)
 
-	prepare := func(i int) {
-		prepared[i] = t.prepareRange(st, side, cur[i], cur[i+1], opts.Order)
-	}
-	if opts.Workers > 1 && nRanges > 1 {
-		var wg sync.WaitGroup
-		indices := make(chan int)
-		workers := opts.Workers
-		if workers > nRanges {
-			workers = nRanges
-		}
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for i := range indices {
-					prepare(i)
-				}
-			}()
-		}
-		for i := 0; i < nRanges; i++ {
-			indices <- i
-		}
-		close(indices)
-		wg.Wait()
-	} else {
-		for i := 0; i < nRanges; i++ {
-			prepare(i)
+	reorder := !st.inOrder
+	if reorder {
+		if bs.pool != nil && nRanges > 1 {
+			bs.pool.dispatch(nRanges, func(i int) {
+				t.prepareRange(st, cur[i], cur[i+1], bs)
+			})
+		} else {
+			for i := 0; i < nRanges; i++ {
+				t.prepareRange(st, cur[i], cur[i+1], bs)
+			}
 		}
 	}
 
 	next := make([]int32, 0, 2*nRanges+1)
 	for i := 0; i < nRanges; i++ {
-		lo := cur[i]
-		cut, err := t.applyCut(st, lo, prepared[i], opts)
+		lo, hi := cur[i], cur[i+1]
+		cut, err := t.applyCut(st, lo, hi, reorder, bs)
 		if err != nil {
-			return fmt.Errorf("range %d [%d,%d): %w", i, lo, cur[i+1], err)
+			return fmt.Errorf("range %d [%d,%d): %w", i, lo, hi, err)
 		}
 		next = append(next, lo, lo+int32(cut))
 	}
 	next = append(next, cur[nRanges])
 	st.bounds = append(st.bounds, next)
+	// Ordering is a static total order over nodes, so the freshly written
+	// (or verified) ranges and every contiguous subrange of them remain in
+	// order for all deeper rounds.
+	st.inOrder = true
 	return nil
 }
 
-// prepareRange materializes and orders the items of [lo, hi). It reads
-// only immutable state (graph degrees, the current permutation span) and
-// is safe to run concurrently across disjoint ranges.
-func (t *Tree) prepareRange(st *sideTree, side bipartite.Side, lo, hi int32, order Order) []rangeItem {
-	n := int(hi - lo)
-	if n == 0 {
-		return nil
+// radixMinLen is the range size below which the comparison sort beats the
+// radix sort's fixed bucket overhead.
+const radixMinLen = 128
+
+// prepareRange sorts the items of [lo, hi) into the shared scratch. It
+// reads only immutable state (graph degrees, the current permutation
+// span) and writes only its own position span, so disjoint ranges prepare
+// concurrently. Large ranges with 32-bit weight spread take an LSD radix
+// sort over a packed (weight desc, node asc) key — the same total order
+// compareItems defines, so the result is identical.
+func (t *Tree) prepareRange(st *sideTree, lo, hi int32, bs *buildState) {
+	if hi <= lo {
+		return
 	}
-	items := make([]rangeItem, n)
-	for i := 0; i < n; i++ {
-		node := st.perm[lo+int32(i)]
-		items[i] = rangeItem{node: node, weight: t.graph.Degree(side, node)}
+	items := bs.items[lo:hi]
+	var maxWeight int64
+	for i := range items {
+		p := lo + int32(i)
+		w := st.weightByPos[p]
+		items[i] = rangeItem{node: st.perm[p], weight: w}
+		if w > maxWeight {
+			maxWeight = w
+		}
 	}
-	if order == OrderWeightDesc {
-		sort.Slice(items, func(i, j int) bool {
-			if items[i].weight != items[j].weight {
-				return items[i].weight > items[j].weight
-			}
-			return items[i].node < items[j].node
-		})
+	if len(items) >= radixMinLen && maxWeight < 1<<31 {
+		radixSortItems(items, bs.keys[lo:hi], bs.tmpKeys[lo:hi], maxWeight)
+	} else {
+		slices.SortFunc(items, compareItems)
 	}
-	return items
+	weights := bs.weights[lo:hi]
+	for i := range items {
+		weights[i] = items[i].weight
+	}
 }
 
-// applyCut asks the bisector for a cut over the prepared items and writes
-// the order back into the permutation. Ranges with fewer than two nodes
-// return their size (an empty second part).
-func (t *Tree) applyCut(st *sideTree, lo int32, items []rangeItem, opts Options) (int, error) {
-	n := len(items)
+// radixSortItems sorts items by (weight desc, node asc) via an LSD radix
+// sort on the packed 64-bit key (maxWeight−weight)<<32 | node, whose
+// ascending order is exactly compareItems' total order. Digit histograms
+// are gathered in one pass and passes whose digit is constant across all
+// keys are skipped, so a typical degree distribution costs 4–5 scatter
+// passes. keys and tmp are caller scratch of len(items).
+func radixSortItems(items []rangeItem, keys, tmp []uint64, maxWeight int64) {
+	for i, it := range items {
+		keys[i] = uint64(maxWeight-it.weight)<<32 | uint64(uint32(it.node))
+	}
+	var counts [8][256]int32
+	for _, k := range keys {
+		for b := 0; b < 8; b++ {
+			counts[b][(k>>(8*b))&0xff]++
+		}
+	}
+	n := int32(len(keys))
+	src, dst := keys, tmp
+	for b := 0; b < 8; b++ {
+		c := &counts[b]
+		if c[(src[0]>>(8*b))&0xff] == n {
+			continue // every key shares this digit
+		}
+		var sum int32
+		for d := 0; d < 256; d++ {
+			c[d], sum = sum, sum+c[d]
+		}
+		for _, k := range src {
+			d := (k >> (8 * b)) & 0xff
+			dst[c[d]] = k
+			c[d]++
+		}
+		src, dst = dst, src
+	}
+	for i, k := range src {
+		items[i] = rangeItem{node: int32(uint32(k)), weight: maxWeight - int64(k>>32)}
+	}
+}
+
+// applyCut asks the bisector for a cut over the range's ordered weights
+// and, when the range was freshly prepared, writes the order back into
+// the permutation. Ranges with fewer than two nodes return their size (an
+// empty second part).
+func (t *Tree) applyCut(st *sideTree, lo, hi int32, reorder bool, bs *buildState) (int, error) {
+	n := int(hi - lo)
 	if n < 2 {
+		// 0- and 1-item ranges cannot be cut; a 1-item "sort" is already
+		// the identity, so there is nothing to write back either.
 		return n, nil
 	}
-	weights := make([]int64, n)
-	for i, it := range items {
-		weights[i] = it.weight
+	weights := st.weightByPos[lo:hi]
+	if reorder {
+		weights = bs.weights[lo:hi]
 	}
-	cut, err := opts.Bisector.Bisect(weights)
+	cut, err := bs.opts.Bisector.Bisect(weights)
 	if err != nil {
 		return 0, err
 	}
-	if _, ok := opts.Bisector.(*partition.ExpMechBisector); ok {
+	if bs.private {
 		t.privateCuts++
 	}
-	for i, it := range items {
-		st.perm[lo+int32(i)] = it.node
-		st.pos[it.node] = lo + int32(i)
+	if reorder {
+		for i, it := range bs.items[lo:hi] {
+			p := lo + int32(i)
+			st.perm[p] = it.node
+			st.pos[it.node] = p
+			st.weightByPos[p] = it.weight
+		}
 	}
 	return cut, nil
 }
 
-// computeCells fills the per-depth cell count matrices in one edge scan
-// per depth.
-func (t *Tree) computeCells() {
+// finalize derives everything Build's accessors serve: the deepest cell
+// matrix from one sharded edge scan, every coarser matrix by 2×2 block
+// aggregation, and the per-side degree prefix sums. DecodeBinary calls it
+// too, so decoded trees answer queries through the same fast paths.
+func (t *Tree) finalize(workers int) {
+	t.computeCells(workers)
+	t.left.computeDegreePrefix(t.graph, bipartite.Left)
+	t.right.computeDegreePrefix(t.graph, bipartite.Right)
+}
+
+// computeCells fills the per-depth cell count matrices: one edge scan at
+// the deepest level, then bottom-up aggregation. Total work is
+// O(E + Σ_d 4^d) regardless of depth count.
+func (t *Tree) computeCells(workers int) {
 	depths := len(t.left.bounds)
 	t.cells = make([][]int64, depths)
-	for d := 0; d < depths; d++ {
-		k := 1 << d
-		counts := make([]int64, k*k)
-		leftIdx := rangeIndexByPosition(t.left.bounds[d], len(t.left.perm))
-		rightIdx := rangeIndexByPosition(t.right.bounds[d], len(t.right.perm))
-		t.graph.ForEachEdge(func(l, r int32) bool {
-			i := leftIdx[t.left.pos[l]]
-			j := rightIdx[t.right.pos[r]]
-			counts[int(i)*k+int(j)]++
-			return true
-		})
-		t.cells[d] = counts
+	dmax := depths - 1
+	k := 1 << dmax
+	leftGroup := t.left.groupOfNode(dmax)
+	rightGroup := t.right.groupOfNode(dmax)
+	t.cells[dmax] = t.scanCells(k, leftGroup, rightGroup, workers)
+	for d := dmax; d > 0; d-- {
+		t.cells[d-1] = aggregateCells(t.cells[d], 1<<d)
 	}
 }
 
-// rangeIndexByPosition expands range boundaries into a per-position range
-// index lookup.
-func rangeIndexByPosition(bounds []int32, n int) []int32 {
-	idx := make([]int32, n)
+// scanCells counts edges into a k×k matrix using the zero-callback CSR
+// view, sharded over contiguous edge spans when workers and the matrix
+// size allow; per-worker buffers are merged at the end so no shard ever
+// touches another's counts. Sharding only engages when the edge scan
+// dominates: allocating and merging shards·k² counters must cost less
+// than the scan it parallelizes, so sparse-but-deep levels stay serial.
+func (t *Tree) scanCells(k int, leftGroup, rightGroup []int32, workers int) []int64 {
+	counts := make([]int64, k*k)
+	off, adj := t.graph.AdjacencyView(bipartite.Left)
+	numEdges := int64(len(adj))
+	shards := workers
+	shardCells := int64(shards) * int64(k) * int64(k)
+	if shards < 2 || numEdges < minShardEdges || shardCells > maxShardCells || shardCells > numEdges {
+		countEdgeSpan(counts, off, adj, 0, numEdges, leftGroup, rightGroup, k)
+		return counts
+	}
+	parts := make([][]int64, shards)
+	var wg sync.WaitGroup
+	for s := 0; s < shards; s++ {
+		lo := numEdges * int64(s) / int64(shards)
+		hi := numEdges * int64(s+1) / int64(shards)
+		parts[s] = make([]int64, k*k)
+		wg.Add(1)
+		go func(buf []int64, lo, hi int64) {
+			defer wg.Done()
+			countEdgeSpan(buf, off, adj, lo, hi, leftGroup, rightGroup, k)
+		}(parts[s], lo, hi)
+	}
+	wg.Wait()
+	for _, part := range parts {
+		for i, c := range part {
+			counts[i] += c
+		}
+	}
+	return counts
+}
+
+// countEdgeSpan counts edges [lo, hi) of the left-major edge array into
+// counts. The owning left node of edge lo is found by binary search, then
+// the scan is a straight walk over the adjacency slice.
+func countEdgeSpan(counts []int64, off []int64, adj []int32, lo, hi int64, leftGroup, rightGroup []int32, k int) {
+	if lo >= hi {
+		return
+	}
+	l := sort.Search(len(off)-1, func(i int) bool { return off[i+1] > lo })
+	for e := lo; e < hi; e++ {
+		for e >= off[l+1] {
+			l++
+		}
+		counts[int(leftGroup[l])*k+int(rightGroup[adj[e]])]++
+	}
+}
+
+// aggregateCells derives the depth d−1 cell matrix from depth d: parent
+// cell (i, j) is the sum of the 2×2 child block {2i, 2i+1}×{2j, 2j+1},
+// because each side's depth-d ranges pairwise refine the depth d−1 ones.
+func aggregateCells(child []int64, kc int) []int64 {
+	kp := kc / 2
+	parent := make([]int64, kp*kp)
+	for i := 0; i < kp; i++ {
+		top := child[2*i*kc : (2*i+1)*kc]
+		bottom := child[(2*i+1)*kc : (2*i+2)*kc]
+		row := parent[i*kp : (i+1)*kp]
+		for j := 0; j < kp; j++ {
+			row[j] = top[2*j] + top[2*j+1] + bottom[2*j] + bottom[2*j+1]
+		}
+	}
+	return parent
+}
+
+// groupOfNode expands the depth-d range boundaries into a node-id →
+// range-index lookup.
+func (st *sideTree) groupOfNode(d int) []int32 {
+	idx := make([]int32, len(st.perm))
+	bounds := st.bounds[d]
 	for i := 0; i < len(bounds)-1; i++ {
 		for p := bounds[i]; p < bounds[i+1]; p++ {
-			idx[p] = int32(i)
+			idx[st.perm[p]] = int32(i)
 		}
 	}
 	return idx
+}
+
+// computeDegreePrefix fills degPrefix over the final permutation.
+func (st *sideTree) computeDegreePrefix(g *bipartite.Graph, side bipartite.Side) {
+	st.degPrefix = make([]int64, len(st.perm)+1)
+	for p, node := range st.perm {
+		st.degPrefix[p+1] = st.degPrefix[p] + g.Degree(side, node)
+	}
 }
 
 // Graph returns the underlying graph.
@@ -310,7 +595,8 @@ func (t *Tree) Graph() *bipartite.Graph { return t.graph }
 // MaxLevel returns the root's level number.
 func (t *Tree) MaxLevel() int { return t.maxLevel }
 
-// NumPrivateCuts returns how many exponential-mechanism cuts Build made;
+// NumPrivateCuts returns how many budget-consuming cuts Build made (the
+// bisector implemented partition.PrivacyConsumer and reported Private);
 // the release pipeline multiplies it by the per-cut ε for accounting.
 func (t *Tree) NumPrivateCuts() int { return t.privateCuts }
 
@@ -440,7 +726,8 @@ func (t *Tree) sideTree(side bipartite.Side) (*sideTree, error) {
 
 // SideGroupIncidentEdges returns, per side group at the level, the number
 // of associations incident to the group's nodes (the node-group model's
-// group weight).
+// group weight). Each group is one degree-prefix-sum difference, so a call
+// costs O(groups), not O(nodes).
 func (t *Tree) SideGroupIncidentEdges(level int, side bipartite.Side) ([]int64, error) {
 	d, err := t.DepthOfLevel(level)
 	if err != nil {
@@ -452,12 +739,8 @@ func (t *Tree) SideGroupIncidentEdges(level int, side bipartite.Side) ([]int64, 
 	}
 	bounds := st.bounds[d]
 	out := make([]int64, len(bounds)-1)
-	for i := 0; i < len(bounds)-1; i++ {
-		var sum int64
-		for p := bounds[i]; p < bounds[i+1]; p++ {
-			sum += t.graph.Degree(side, st.perm[p])
-		}
-		out[i] = sum
+	for i := range out {
+		out[i] = st.degPrefix[bounds[i+1]] - st.degPrefix[bounds[i]]
 	}
 	return out, nil
 }
@@ -480,7 +763,7 @@ func (t *Tree) MaxCellEdges(level int) (int64, error) {
 
 // MaxSideGroupIncidentEdges returns the largest incident-edge sum over all
 // side groups (both sides) at the level — the sensitivity under the
-// node-group model.
+// node-group model. O(groups) via the degree prefix sums.
 func (t *Tree) MaxSideGroupIncidentEdges(level int) (int64, error) {
 	var max int64
 	for _, side := range []bipartite.Side{bipartite.Left, bipartite.Right} {
@@ -595,8 +878,14 @@ func (t *Tree) ImbalanceSummary() ([]float64, error) {
 //   - permutations are bijections and pos arrays their inverses,
 //   - range boundaries are monotone, span the whole side, and every depth
 //     refines the previous one,
-//   - per-level cell counts match a fresh recount and sum to the total
-//     record count.
+//   - the deepest cell matrix matches a fresh single-scan recount and
+//     sums to the total record count, and every coarser matrix equals the
+//     2×2 block aggregation of its child (which, with the recount, pins
+//     all levels to the edges),
+//   - the degree prefix sums are monotone and end at the record count.
+//
+// The cell checks cost O(E + Σ_d 4^d) — one edge scan total, not one per
+// depth.
 func (t *Tree) Validate() error {
 	if err := checkPerm(t.left.perm, t.left.pos); err != nil {
 		return fmt.Errorf("%w: left perm: %v", ErrInvalid, err)
@@ -604,7 +893,13 @@ func (t *Tree) Validate() error {
 	if err := checkPerm(t.right.perm, t.right.pos); err != nil {
 		return fmt.Errorf("%w: right perm: %v", ErrInvalid, err)
 	}
-	for _, st := range []*sideTree{&t.left, &t.right} {
+	total := t.graph.NumEdges()
+	for _, sd := range []struct {
+		name string
+		st   *sideTree
+		side bipartite.Side
+	}{{"left", &t.left, bipartite.Left}, {"right", &t.right, bipartite.Right}} {
+		st := sd.st
 		n := int32(len(st.perm))
 		for d, bounds := range st.bounds {
 			if len(bounds) != (1<<d)+1 {
@@ -627,26 +922,40 @@ func (t *Tree) Validate() error {
 				}
 			}
 		}
-	}
-	total := t.graph.NumEdges()
-	for d := range t.cells {
-		k := 1 << d
-		counts := make([]int64, k*k)
-		leftIdx := rangeIndexByPosition(t.left.bounds[d], len(t.left.perm))
-		rightIdx := rangeIndexByPosition(t.right.bounds[d], len(t.right.perm))
-		t.graph.ForEachEdge(func(l, r int32) bool {
-			counts[int(leftIdx[t.left.pos[l]])*k+int(rightIdx[t.right.pos[r]])]++
-			return true
-		})
-		var sum int64
-		for i, c := range counts {
-			if c != t.cells[d][i] {
-				return fmt.Errorf("%w: depth %d cell %d stored %d, recounted %d", ErrInvalid, d, i, t.cells[d][i], c)
-			}
-			sum += c
+		if len(st.degPrefix) != int(n)+1 {
+			return fmt.Errorf("%w: %s degree prefix has %d entries, want %d", ErrInvalid, sd.name, len(st.degPrefix), n+1)
 		}
-		if sum != total {
-			return fmt.Errorf("%w: depth %d cells sum to %d, want %d", ErrInvalid, d, sum, total)
+		for p, node := range st.perm {
+			if st.degPrefix[p+1]-st.degPrefix[p] != t.graph.Degree(sd.side, node) {
+				return fmt.Errorf("%w: %s degree prefix wrong at position %d", ErrInvalid, sd.name, p)
+			}
+		}
+		if st.degPrefix[n] != total {
+			return fmt.Errorf("%w: %s degree prefix sums to %d, want %d", ErrInvalid, sd.name, st.degPrefix[n], total)
+		}
+	}
+	if len(t.cells) != len(t.left.bounds) {
+		return fmt.Errorf("%w: %d cell matrices for %d depths", ErrInvalid, len(t.cells), len(t.left.bounds))
+	}
+	dmax := len(t.cells) - 1
+	k := 1 << dmax
+	recount := t.scanCells(k, t.left.groupOfNode(dmax), t.right.groupOfNode(dmax), 1)
+	var sum int64
+	for i, c := range recount {
+		if c != t.cells[dmax][i] {
+			return fmt.Errorf("%w: depth %d cell %d stored %d, recounted %d", ErrInvalid, dmax, i, t.cells[dmax][i], c)
+		}
+		sum += c
+	}
+	if sum != total {
+		return fmt.Errorf("%w: depth %d cells sum to %d, want %d", ErrInvalid, dmax, sum, total)
+	}
+	for d := dmax; d > 0; d-- {
+		want := aggregateCells(t.cells[d], 1<<d)
+		for i, c := range want {
+			if c != t.cells[d-1][i] {
+				return fmt.Errorf("%w: depth %d cell %d stored %d, child blocks sum to %d", ErrInvalid, d-1, i, t.cells[d-1][i], c)
+			}
 		}
 	}
 	return nil

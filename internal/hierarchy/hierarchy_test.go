@@ -344,6 +344,37 @@ func TestNumPrivateCuts(t *testing.T) {
 	}
 }
 
+// forwardingBisector wraps another bisector, forwarding privacy status
+// through partition.PrivacyConsumer — the pattern applyCut must account
+// for without knowing concrete types.
+type forwardingBisector struct {
+	inner partition.Bisector
+}
+
+func (f forwardingBisector) Bisect(weights []int64) (int, error) { return f.inner.Bisect(weights) }
+func (f forwardingBisector) Name() string                        { return "wrapped-" + f.inner.Name() }
+func (f forwardingBisector) Private() bool {
+	pc, ok := f.inner.(partition.PrivacyConsumer)
+	return ok && pc.Private()
+}
+
+func TestWrappedPrivateBisectorCounted(t *testing.T) {
+	t.Parallel()
+	g := smallGraph(t)
+	inner, err := partition.NewExpMechBisector(0.5, rng.New(17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrapped := buildTree(t, g, 2, forwardingBisector{inner: inner})
+	if wrapped.NumPrivateCuts() == 0 {
+		t.Error("wrapped private bisector not counted")
+	}
+	nonPrivate := buildTree(t, g, 2, forwardingBisector{inner: partition.BalancedBisector{}})
+	if n := nonPrivate.NumPrivateCuts(); n != 0 {
+		t.Errorf("wrapped non-private bisector counted %d cuts", n)
+	}
+}
+
 func TestDepthOfLevel(t *testing.T) {
 	t.Parallel()
 	tree := buildTree(t, smallGraph(t), 3, partition.BalancedBisector{})

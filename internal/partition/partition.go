@@ -34,10 +34,23 @@ var (
 
 // Bisector chooses a cut index in [1, n-1] for a weighted item sequence.
 type Bisector interface {
-	// Bisect returns the cut index for the given per-item weights.
+	// Bisect returns the cut index for the given per-item weights. The
+	// weights slice is read-only: implementations must not modify or
+	// retain it — hierarchy.Build hands bisectors a view of live internal
+	// state on its hot path.
 	Bisect(weights []int64) (int, error)
 	// Name identifies the strategy in experiment output.
 	Name() string
+}
+
+// PrivacyConsumer is implemented by bisectors that spend privacy budget
+// on every cut. Callers that meter Phase-1 spending (hierarchy.Build's
+// private-cut counter) check for this interface instead of asserting a
+// concrete type, so wrappers and custom private bisectors are accounted
+// correctly: a wrapper should forward Private to the bisector it wraps.
+type PrivacyConsumer interface {
+	// Private reports whether each Bisect call consumes privacy budget.
+	Private() bool
 }
 
 // validate rejects degenerate inputs shared by all bisectors.
@@ -53,15 +66,16 @@ func validate(weights []int64) error {
 	return nil
 }
 
-// balanceUtilities returns utility(k) = -|S_k - (S_n - S_k)| for every cut
-// k in [1, n-1], as float64 for the exponential mechanism.
-func balanceUtilities(weights []int64) []float64 {
+// appendBalanceUtilities appends utility(k) = -|S_k - (S_n - S_k)| for
+// every cut k in [1, n-1] to dst (as float64 for the exponential
+// mechanism) and returns the extended slice. Passing a reused dst[:0]
+// makes the computation allocation-free in steady state.
+func appendBalanceUtilities(dst []float64, weights []int64) []float64 {
 	n := len(weights)
 	var total int64
 	for _, w := range weights {
 		total += w
 	}
-	utilities := make([]float64, n-1)
 	var prefix int64
 	for k := 1; k < n; k++ {
 		prefix += weights[k-1]
@@ -69,19 +83,35 @@ func balanceUtilities(weights []int64) []float64 {
 		if imbalance < 0 {
 			imbalance = -imbalance
 		}
-		utilities[k-1] = -float64(imbalance)
+		dst = append(dst, -float64(imbalance))
 	}
-	return utilities
+	return dst
+}
+
+// balanceUtilities materializes a fresh utility slice; kept for tests and
+// one-shot callers.
+func balanceUtilities(weights []int64) []float64 {
+	return appendBalanceUtilities(make([]float64, 0, len(weights)-1), weights)
 }
 
 // ExpMechBisector selects the cut through the exponential mechanism with
-// the balance utility, consuming ε per invocation.
+// the balance utility, consuming ε per invocation. It samples through
+// dp.Exponential.SelectFast — the allocation-free inverse-CDF path, one
+// uniform draw per cut — and reuses internal scratch buffers across
+// calls, so a single ExpMechBisector is not safe for concurrent use (its
+// RNG stream already is not); hierarchy.Build serializes all cut
+// decisions.
 type ExpMechBisector struct {
 	mech *dp.Exponential
 	eps  float64
+	util []float64 // balance utilities, reused across Bisect calls
+	prob []float64 // SelectFast scratch, reused across Bisect calls
 }
 
-var _ Bisector = (*ExpMechBisector)(nil)
+var (
+	_ Bisector        = (*ExpMechBisector)(nil)
+	_ PrivacyConsumer = (*ExpMechBisector)(nil)
+)
 
 // NewExpMechBisector returns a private bisector spending epsilon per cut.
 func NewExpMechBisector(epsilon float64, src *rng.Source) (*ExpMechBisector, error) {
@@ -100,7 +130,9 @@ func (b *ExpMechBisector) Bisect(weights []int64) (int, error) {
 	if err := validate(weights); err != nil {
 		return 0, err
 	}
-	idx, err := b.mech.Select(balanceUtilities(weights))
+	b.util = appendBalanceUtilities(b.util[:0], weights)
+	idx, prob, err := b.mech.SelectFast(b.util, b.prob)
+	b.prob = prob
 	if err != nil {
 		return 0, err
 	}
@@ -110,25 +142,39 @@ func (b *ExpMechBisector) Bisect(weights []int64) (int, error) {
 // Name implements Bisector.
 func (b *ExpMechBisector) Name() string { return "expmech" }
 
+// Private implements PrivacyConsumer.
+func (b *ExpMechBisector) Private() bool { return true }
+
 // BalancedBisector deterministically picks the most edge-balanced cut. It
 // is the non-private skyline for ablation A3.
 type BalancedBisector struct{}
 
 var _ Bisector = BalancedBisector{}
 
-// Bisect implements Bisector.
+// Bisect implements Bisector. It scans prefix sums directly — no utility
+// slice is materialized — and keeps the earliest most-balanced cut, the
+// same choice the utility-argmax formulation makes.
 func (BalancedBisector) Bisect(weights []int64) (int, error) {
 	if err := validate(weights); err != nil {
 		return 0, err
 	}
-	utilities := balanceUtilities(weights)
-	best := 0
-	for i, u := range utilities {
-		if u > utilities[best] {
-			best = i
+	var total int64
+	for _, w := range weights {
+		total += w
+	}
+	best, bestImbalance := 1, int64(-1)
+	var prefix int64
+	for k := 1; k < len(weights); k++ {
+		prefix += weights[k-1]
+		imbalance := 2*prefix - total
+		if imbalance < 0 {
+			imbalance = -imbalance
+		}
+		if bestImbalance < 0 || imbalance < bestImbalance {
+			best, bestImbalance = k, imbalance
 		}
 	}
-	return best + 1, nil
+	return best, nil
 }
 
 // Name implements Bisector.

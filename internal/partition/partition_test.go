@@ -26,6 +26,46 @@ func TestBalanceUtilities(t *testing.T) {
 	}
 }
 
+// TestBalancedBisectorMatchesUtilityArgmax pins the scan-based Bisect to
+// the utility-argmax formulation it replaced: earliest maximum utility.
+func TestBalancedBisectorMatchesUtilityArgmax(t *testing.T) {
+	t.Parallel()
+	r := rng.New(33)
+	for trial := 0; trial < 200; trial++ {
+		weights := make([]int64, 2+r.Intn(60))
+		for i := range weights {
+			weights[i] = int64(r.Intn(20))
+		}
+		got, err := (BalancedBisector{}).Bisect(weights)
+		if err != nil {
+			t.Fatal(err)
+		}
+		utilities := balanceUtilities(weights)
+		want := 0
+		for i, u := range utilities {
+			if u > utilities[want] {
+				want = i
+			}
+		}
+		if got != want+1 {
+			t.Fatalf("trial %d weights %v: Bisect %d, argmax %d", trial, weights, got, want+1)
+		}
+	}
+}
+
+// TestPrivacyConsumer checks which bisectors report budget consumption.
+func TestPrivacyConsumer(t *testing.T) {
+	t.Parallel()
+	if !mustExpMech(t, 1).Private() {
+		t.Error("ExpMechBisector must report Private")
+	}
+	for _, b := range []Bisector{BalancedBisector{}, MidpointBisector{}, mustRandom(t)} {
+		if _, ok := b.(PrivacyConsumer); ok {
+			t.Errorf("%s unexpectedly implements PrivacyConsumer", b.Name())
+		}
+	}
+}
+
 func TestValidateErrors(t *testing.T) {
 	t.Parallel()
 	bisectors := []Bisector{
