@@ -10,6 +10,7 @@
 package repro_test
 
 import (
+	"fmt"
 	"testing"
 
 	"repro"
@@ -208,5 +209,91 @@ func BenchmarkEndToEndPipeline(b *testing.B) {
 		if _, err := pipe.Run(g); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// releaseCellsTree builds the nine-round tree the Phase-2 benchmarks
+// release from (4^9 = 262144 cells at the deepest level).
+func releaseCellsTree(b *testing.B) *hierarchy.Tree {
+	b.Helper()
+	g, err := datagen.Generate(datagen.DBLPTiny(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	tree, err := hierarchy.Build(g, hierarchy.Options{Rounds: 9, Bisector: partition.BalancedBisector{}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tree
+}
+
+// BenchmarkReleaseCells isolates the Phase-2 noisy histogram release at
+// the deepest level through the engine hot path: one batched ziggurat
+// fill into a reused buffer (core.ReleaseCellsInto). The pre-refactor
+// per-cell polar loop measured 5,734,665 ns/op and 2 allocs/op on this
+// setup; the engine path must stay ≥3× faster and allocation-free.
+func BenchmarkReleaseCells(b *testing.B) {
+	tree := releaseCellsTree(b)
+	src := rng.New(5)
+	p := dp.Params{Epsilon: 0.5, Delta: 1e-5}
+	cells, err := tree.NumCells(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var rel core.CellRelease
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := core.ReleaseCellsInto(&rel, tree, 0, p, core.CalibrationClassical, src); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(cells) * 8)
+}
+
+// BenchmarkReleaseCellsAlloc is the same release through the allocating
+// public wrapper (a fresh Counts slice per call), the path publishers
+// retaining every histogram pay.
+func BenchmarkReleaseCellsAlloc(b *testing.B) {
+	tree := releaseCellsTree(b)
+	src := rng.New(5)
+	p := dp.Params{Epsilon: 0.5, Delta: 1e-5}
+	cells, err := tree.NumCells(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.ReleaseCells(tree, 0, p, core.CalibrationClassical, src); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(cells) * 8)
+}
+
+// BenchmarkParallelTrials runs the Figure 1 trial loop serially and over
+// a four-lane fan-out on a pre-generated graph (RunFigure1On, so dataset
+// synthesis does not mask the loop); the produced figures are
+// bit-identical, only the wall time differs.
+func BenchmarkParallelTrials(b *testing.B) {
+	g, err := datagen.Generate(datagen.DBLPTiny(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			cfg, err := experiments.DefaultFigure1Config(experiments.Options{Quick: true, Seed: 1, Workers: workers})
+			if err != nil {
+				b.Fatal(err)
+			}
+			cfg.Trials = 16
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.RunFigure1On(g, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

@@ -26,7 +26,13 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/dp"
 	"repro/internal/experiments"
+	"repro/internal/hierarchy"
+	"repro/internal/partition"
+	"repro/internal/rng"
 )
 
 // benchRecord is the machine-readable result of one timed experiment
@@ -41,6 +47,29 @@ type benchRecord struct {
 	Workers    int     `json:"workers"`
 	WallMS     float64 `json:"wall_ms"`
 	UnixMS     int64   `json:"unix_ms"`
+}
+
+// phase2Record is the Phase-2 throughput record written alongside the
+// per-experiment timings: the batched cell-histogram release at the
+// deepest level of a nine-round tree (the BenchmarkReleaseCells setup)
+// and the Figure-1 trial loop serial vs fanned out, so BENCH_phase2.json
+// tracks noise-injection and trial throughput across commits.
+type phase2Record struct {
+	// Cells is the released histogram size (4^9).
+	Cells int `json:"cells"`
+	// ReleaseCellsNsPerOp is the mean wall time of one batched release
+	// through the reusable-buffer engine path; CellsPerSec is the implied
+	// noise throughput.
+	ReleaseCellsNsPerOp float64 `json:"release_cells_ns_per_op"`
+	CellsPerSec         float64 `json:"release_cells_per_sec"`
+	// TrialsSerialMS and TrialsParallelMS time the same Figure-1 trial
+	// loop with one lane and with Workers lanes (bit-identical outputs).
+	Trials           int     `json:"figure1_trials"`
+	TrialsSerialMS   float64 `json:"figure1_trials_serial_ms"`
+	TrialsParallelMS float64 `json:"figure1_trials_parallel_ms"`
+	Workers          int     `json:"workers"`
+	Seed             uint64  `json:"seed"`
+	UnixMS           int64   `json:"unix_ms"`
 }
 
 func main() {
@@ -59,7 +88,7 @@ func run(args []string) error {
 		trials   = fs.Int("trials", 0, "trial count override (0 = experiment default)")
 		quick    = fs.Bool("quick", false, "shrink datasets and grids for a fast run")
 		csvDir   = fs.String("csv", "", "also write each table as CSV into this directory")
-		workers  = fs.Int("workers", runtime.GOMAXPROCS(0), "phase-1 build parallelism (results identical for any value)")
+		workers  = fs.Int("workers", runtime.GOMAXPROCS(0), "experiment parallelism: trial fan-out and phase-1 builds (results identical for any value)")
 		benchDir = fs.String("benchjson", "", "write a machine-readable BENCH_<experiment>.json per experiment into this directory")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -103,6 +132,87 @@ func run(args []string) error {
 			}
 		}
 	}
+	// The Phase-2 throughput record rides along with the full perf-
+	// trajectory sweep only, so single-experiment bench runs stay
+	// proportional to what was asked.
+	if *benchDir != "" && *exp == "all" {
+		if err := writePhase2Bench(*benchDir, *seed, *workers); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writePhase2Bench measures the Phase-2 release engine in-process and
+// writes BENCH_phase2.json: the batched deepest-level histogram release
+// and the parallel trial fan-out.
+func writePhase2Bench(dir string, seed uint64, workers int) error {
+	g, err := datagen.Generate(datagen.DBLPTiny(seed))
+	if err != nil {
+		return err
+	}
+	tree, err := hierarchy.Build(g, hierarchy.Options{Rounds: 9, Bisector: partition.BalancedBisector{}})
+	if err != nil {
+		return err
+	}
+	cells, err := tree.NumCells(0)
+	if err != nil {
+		return err
+	}
+	src := rng.New(seed + 1)
+	p := dp.Params{Epsilon: 0.5, Delta: 1e-5}
+	var rel core.CellRelease
+	const releaseIters = 25
+	start := time.Now()
+	for i := 0; i < releaseIters; i++ {
+		if err := core.ReleaseCellsInto(&rel, tree, 0, p, core.CalibrationClassical, src); err != nil {
+			return err
+		}
+	}
+	nsPerOp := float64(time.Since(start).Nanoseconds()) / releaseIters
+
+	cfg, err := experiments.DefaultFigure1Config(experiments.Options{Quick: true, Seed: seed, Workers: 1})
+	if err != nil {
+		return err
+	}
+	cfg.Trials = 8
+	timeTrials := func(w int) (float64, error) {
+		cfg.Workers = w
+		t0 := time.Now()
+		if _, err := experiments.RunFigure1On(g, cfg); err != nil {
+			return 0, err
+		}
+		return float64(time.Since(t0).Nanoseconds()) / 1e6, nil
+	}
+	serialMS, err := timeTrials(1)
+	if err != nil {
+		return err
+	}
+	parallelMS, err := timeTrials(workers)
+	if err != nil {
+		return err
+	}
+
+	rec := phase2Record{
+		Cells:               cells,
+		ReleaseCellsNsPerOp: nsPerOp,
+		CellsPerSec:         float64(cells) / (nsPerOp / 1e9),
+		Trials:              cfg.Trials,
+		TrialsSerialMS:      serialMS,
+		TrialsParallelMS:    parallelMS,
+		Workers:             workers,
+		Seed:                seed,
+		UnixMS:              time.Now().UnixMilli(),
+	}
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(dir, "BENCH_phase2.json")
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("(phase-2 bench record written to %s)\n\n", path)
 	return nil
 }
 

@@ -54,6 +54,34 @@ func TestRunWithBenchJSON(t *testing.T) {
 	if rec.WallMS <= 0 {
 		t.Errorf("wall_ms = %v, want > 0", rec.WallMS)
 	}
+	// Single-experiment runs must not pay the Phase-2 sweep.
+	if _, err := os.Stat(filepath.Join(dir, "BENCH_phase2.json")); err == nil {
+		t.Error("phase-2 record written for a single-experiment run")
+	}
+}
+
+func TestPhase2BenchRecord(t *testing.T) {
+	dir := t.TempDir()
+	if err := writePhase2Bench(dir, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(filepath.Join(dir, "BENCH_phase2.json"))
+	if err != nil {
+		t.Fatalf("phase-2 record missing: %v", err)
+	}
+	var p2 phase2Record
+	if err := json.Unmarshal(blob, &p2); err != nil {
+		t.Fatalf("phase-2 record is not valid JSON: %v", err)
+	}
+	if p2.Cells != 1<<18 {
+		t.Errorf("cells = %d, want %d", p2.Cells, 1<<18)
+	}
+	if p2.ReleaseCellsNsPerOp <= 0 || p2.CellsPerSec <= 0 {
+		t.Errorf("release throughput not measured: %+v", p2)
+	}
+	if p2.TrialsSerialMS <= 0 || p2.TrialsParallelMS <= 0 || p2.Workers != 2 {
+		t.Errorf("trial timings not measured: %+v", p2)
+	}
 }
 
 func TestRunUnknownExperiment(t *testing.T) {

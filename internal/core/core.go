@@ -254,10 +254,7 @@ func ReleaseCount(t *hierarchy.Tree, level int, p dp.Params, model GroupModel, c
 		return LevelRelease{}, err
 	}
 	trueCount := t.Graph().NumEdges()
-	noisy := float64(trueCount)
-	if sigma > 0 {
-		noisy += src.NormalSigma(sigma)
-	}
+	noisy := float64(trueCount) + gaussianScalar(src, sigma)
 	rel := LevelRelease{
 		Level: level, Model: model, Calibration: calib,
 		ModelName: model.String(), CalibName: calib.String(),
@@ -269,6 +266,19 @@ func ReleaseCount(t *hierarchy.Tree, level int, p dp.Params, model GroupModel, c
 		rel.RER = math.Abs(noisy-float64(trueCount)) / float64(trueCount)
 	}
 	return rel, nil
+}
+
+// gaussianScalar draws one N(0, σ²) variate through the same batched
+// ziggurat sampler the histogram releases use (a one-element fill), so
+// every Gaussian release path shares one noise source. σ ≤ 0 (empty
+// dataset) draws nothing.
+func gaussianScalar(src *rng.Source, sigma float64) float64 {
+	if sigma <= 0 {
+		return 0
+	}
+	var noise [1]float64
+	src.NormalsSigma(noise[:], sigma)
+	return noise[0]
 }
 
 // ExpectedRER returns the expected relative error rate of a level release
@@ -300,11 +310,16 @@ type CellRelease struct {
 	Level       int         `json:"level"`
 	Model       GroupModel  `json:"-"`
 	Calibration Calibration `json:"-"`
-	Params      dp.Params   `json:"-"`
-	Epsilon     float64     `json:"epsilon"`
-	Delta       float64     `json:"delta"`
-	Sensitivity int64       `json:"sensitivity"`
-	Sigma       float64     `json:"sigma"`
+	// ModelName and CalibName serialize the provenance the enum fields
+	// above cannot (they are json:"-"), mirroring LevelRelease; published
+	// cell histograms carry how their noise was derived.
+	ModelName   string    `json:"model"`
+	CalibName   string    `json:"calibration"`
+	Params      dp.Params `json:"-"`
+	Epsilon     float64   `json:"epsilon"`
+	Delta       float64   `json:"delta"`
+	Sensitivity int64     `json:"sensitivity"`
+	Sigma       float64   `json:"sigma"`
 	// Counts holds the noisy per-cell record counts, row-major over the
 	// (k × k) cell grid of the level.
 	Counts []float64 `json:"counts"`
@@ -319,44 +334,84 @@ type CellRelease struct {
 // the count query's: Δℓ = max cell size. Per-coordinate Gaussian noise at
 // that scale therefore gives εg-group DP for the whole histogram.
 func ReleaseCells(t *hierarchy.Tree, level int, p dp.Params, calib Calibration, src *rng.Source) (CellRelease, error) {
+	var rel CellRelease
+	if err := ReleaseCellsInto(&rel, t, level, p, calib, src); err != nil {
+		return CellRelease{}, err
+	}
+	return rel, nil
+}
+
+// ReleaseCellsInto is ReleaseCells writing into dst, reusing dst.Counts'
+// capacity — the release engine's hot path: a caller looping releases
+// (experiment trials, repeated queries at one level) passes the same dst
+// every iteration and the per-release allocations drop to zero. The
+// whole level's noise comes from one batched ziggurat fill
+// (rng.Source.NormalsSigma) instead of one scalar Normal call per cell;
+// the output distribution is the same N(count, σ²) per coordinate.
+func ReleaseCellsInto(dst *CellRelease, t *hierarchy.Tree, level int, p dp.Params, calib Calibration, src *rng.Source) error {
 	if t == nil {
-		return CellRelease{}, ErrNilTree
+		return ErrNilTree
 	}
 	if src == nil {
-		return CellRelease{}, dp.ErrNilSource
+		return dp.ErrNilSource
 	}
 	if err := p.Validate(); err != nil {
-		return CellRelease{}, err
+		return err
 	}
 	sens, err := Sensitivity(t, level, ModelCells)
 	if err != nil {
-		return CellRelease{}, err
+		return err
 	}
 	sigma, err := Sigma(p, sens, calib)
 	if err != nil {
-		return CellRelease{}, err
+		return err
 	}
-	counts, err := t.LevelCellCounts(level)
+	return releaseCellsResolved(dst, t, level, sens, sigma, calib, calib.String(), p, src)
+}
+
+// releaseCellsResolved assembles a cell release once the sensitivity and
+// noise scale are settled — the tail shared by the calibrated
+// (ReleaseCellsInto) and externally scaled (ReleaseCellsSigmaInto)
+// paths, so the release shape is defined in exactly one place.
+func releaseCellsResolved(dst *CellRelease, t *hierarchy.Tree, level int, sens int64, sigma float64, calib Calibration, calibName string, p dp.Params, src *rng.Source) error {
+	counts, err := t.LevelCellCountsView(level)
 	if err != nil {
-		return CellRelease{}, err
+		return err
 	}
 	k, err := t.NumSideGroups(level)
 	if err != nil {
-		return CellRelease{}, err
+		return err
 	}
-	noisy := make([]float64, len(counts))
-	for i, c := range counts {
-		noisy[i] = float64(c)
-		if sigma > 0 {
-			noisy[i] += src.NormalSigma(sigma)
-		}
-	}
-	return CellRelease{
+	*dst = CellRelease{
 		Level: level, Model: ModelCells, Calibration: calib,
+		ModelName: ModelCells.String(), CalibName: calibName,
 		Params: p, Epsilon: p.Epsilon, Delta: p.Delta,
 		Sensitivity: sens, Sigma: sigma,
-		Counts: noisy, SideGroups: k,
-	}, nil
+		Counts: noisyCells(dst.Counts, counts, sigma, src), SideGroups: k,
+	}
+	return nil
+}
+
+// noisyCells fills buf (grown if its capacity is short) with
+// counts + N(0, σ²) noise from one batched fill. σ = 0 (empty dataset)
+// copies the counts unchanged.
+func noisyCells(buf []float64, counts []int64, sigma float64, src *rng.Source) []float64 {
+	if cap(buf) < len(counts) {
+		buf = make([]float64, len(counts))
+	} else {
+		buf = buf[:len(counts)]
+	}
+	if sigma > 0 {
+		src.NormalsSigma(buf, sigma)
+		for i, c := range counts {
+			buf[i] += float64(c)
+		}
+	} else {
+		for i, c := range counts {
+			buf[i] = float64(c)
+		}
+	}
+	return buf
 }
 
 // SumCells returns the total association count implied by a cell release

@@ -29,10 +29,7 @@ func ReleaseCountSigma(t *hierarchy.Tree, level int, model GroupModel, sigma flo
 		return LevelRelease{}, err
 	}
 	trueCount := t.Graph().NumEdges()
-	noisy := float64(trueCount)
-	if sigma > 0 {
-		noisy += src.NormalSigma(sigma)
-	}
+	noisy := float64(trueCount) + gaussianScalar(src, sigma)
 	rel := LevelRelease{
 		Level: level, Model: model,
 		ModelName: model.String(), CalibName: "rdp", MechName: MechGaussian.String(),
@@ -49,38 +46,29 @@ func ReleaseCountSigma(t *hierarchy.Tree, level int, model GroupModel, sigma flo
 // ReleaseCellsSigma releases a level's cell histogram with Gaussian noise
 // at an externally calibrated scale (see ReleaseCountSigma).
 func ReleaseCellsSigma(t *hierarchy.Tree, level int, sigma float64, advertised dp.Params, src *rng.Source) (CellRelease, error) {
+	var rel CellRelease
+	if err := ReleaseCellsSigmaInto(&rel, t, level, sigma, advertised, src); err != nil {
+		return CellRelease{}, err
+	}
+	return rel, nil
+}
+
+// ReleaseCellsSigmaInto is ReleaseCellsSigma writing into dst, reusing
+// dst.Counts' capacity; see ReleaseCellsInto for the reuse contract. The
+// level's noise comes from one batched ziggurat fill.
+func ReleaseCellsSigmaInto(dst *CellRelease, t *hierarchy.Tree, level int, sigma float64, advertised dp.Params, src *rng.Source) error {
 	if t == nil {
-		return CellRelease{}, ErrNilTree
+		return ErrNilTree
 	}
 	if src == nil {
-		return CellRelease{}, dp.ErrNilSource
+		return dp.ErrNilSource
 	}
 	if !(sigma >= 0) || math.IsInf(sigma, 0) {
-		return CellRelease{}, fmt.Errorf("core: invalid sigma %v", sigma)
+		return fmt.Errorf("core: invalid sigma %v", sigma)
 	}
 	sens, err := Sensitivity(t, level, ModelCells)
 	if err != nil {
-		return CellRelease{}, err
+		return err
 	}
-	counts, err := t.LevelCellCounts(level)
-	if err != nil {
-		return CellRelease{}, err
-	}
-	k, err := t.NumSideGroups(level)
-	if err != nil {
-		return CellRelease{}, err
-	}
-	noisy := make([]float64, len(counts))
-	for i, c := range counts {
-		noisy[i] = float64(c)
-		if sigma > 0 {
-			noisy[i] += src.NormalSigma(sigma)
-		}
-	}
-	return CellRelease{
-		Level: level, Model: ModelCells,
-		Params: advertised, Epsilon: advertised.Epsilon, Delta: advertised.Delta,
-		Sensitivity: sens, Sigma: sigma,
-		Counts: noisy, SideGroups: k,
-	}, nil
+	return releaseCellsResolved(dst, t, level, sens, sigma, 0, "rdp", advertised, src)
 }

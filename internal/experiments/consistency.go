@@ -44,27 +44,53 @@ func RunConsistency(opts Options) (*Report, error) {
 		return sum / float64(len(r.Counts))
 	}
 
-	rawErr := make(map[int]float64, len(levels))
-	fixedErr := make(map[int]float64, len(levels))
+	// Pre-split every (trial, level) noise stream in the serial loop's
+	// order, then fan trials across Options.Workers lanes; the per-level
+	// error means reduce in trial order, so the report is bit-identical
+	// for any worker count.
 	src := rng.New(opts.Seed + 7)
-	for trial := 0; trial < trials; trial++ {
+	srcs := make([][]*rng.Source, trials)
+	for trial := range srcs {
+		srcs[trial] = make([]*rng.Source, len(levels))
+		for i := len(levels) - 1; i >= 0; i-- { // coarse first
+			srcs[trial][i] = src.Split(uint64(trial)<<8 | uint64(levels[i]))
+		}
+	}
+	type trialErrs struct {
+		raw, fixed map[int]float64
+	}
+	results := make([]trialErrs, trials)
+	err = runTrials(opts.Workers, trials, func(worker, trial int) error {
 		var raw []core.CellRelease
 		for i := len(levels) - 1; i >= 0; i-- { // coarse first
-			lvl := levels[i]
-			rel, err := core.ReleaseCells(tree, lvl, dp.Params{Epsilon: eps, Delta: 1e-5},
-				core.CalibrationClassical, src.Split(uint64(trial)<<8|uint64(lvl)))
+			rel, err := core.ReleaseCells(tree, levels[i], dp.Params{Epsilon: eps, Delta: 1e-5},
+				core.CalibrationClassical, srcs[trial][i])
 			if err != nil {
-				return nil, err
+				return err
 			}
 			raw = append(raw, rel)
 		}
 		fixed, err := consistency.Enforce(raw)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: consistency trial %d: %w", trial, err)
+			return fmt.Errorf("experiments: consistency trial %d: %w", trial, err)
 		}
+		res := trialErrs{raw: make(map[int]float64, len(raw)), fixed: make(map[int]float64, len(raw))}
 		for i := range raw {
-			rawErr[raw[i].Level] += meanAbs(raw[i]) / float64(trials)
-			fixedErr[fixed[i].Level] += meanAbs(fixed[i]) / float64(trials)
+			res.raw[raw[i].Level] = meanAbs(raw[i])
+			res.fixed[fixed[i].Level] = meanAbs(fixed[i])
+		}
+		results[trial] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rawErr := make(map[int]float64, len(levels))
+	fixedErr := make(map[int]float64, len(levels))
+	for trial := range results {
+		for _, lvl := range levels {
+			rawErr[lvl] += results[trial].raw[lvl] / float64(trials)
+			fixedErr[lvl] += results[trial].fixed[lvl] / float64(trials)
 		}
 	}
 

@@ -28,8 +28,11 @@ type Options struct {
 	Trials int
 	// Quick shrinks datasets and grids for fast runs (used by tests).
 	Quick bool
-	// Workers parallelizes Phase-1 range preparation and the cell scan of
-	// every hierarchy build; results are identical for any value.
+	// Workers bounds the experiment's total parallelism: independent
+	// trials fan out across this many lanes (each trial owns a pre-split
+	// RNG stream and results reduce in trial order), and experiments
+	// without a trial dimension spend it on Phase-1 build parallelism
+	// instead. Results are bit-identical for any value.
 	Workers int
 }
 
@@ -150,16 +153,18 @@ func levelsFor(r int) []int {
 // buildTrialTree generates Phase 1 once for a trial: a private
 // exponential-mechanism hierarchy when phase1Eps > 0, else the balanced
 // baseline. workers parallelizes the build without changing its output.
-func buildTrialTree(g *bipartite.Graph, rnds int, phase1Eps float64, workers int, src *rng.Source) (*hierarchy.Tree, error) {
+// b retains scratch across the caller's builds (one Builder per trial
+// lane, or one shared Builder in a serial sweep).
+func buildTrialTree(b *hierarchy.Builder, g *bipartite.Graph, rnds int, phase1Eps float64, workers int, src *rng.Source) (*hierarchy.Tree, error) {
 	var bis partition.Bisector
 	if phase1Eps > 0 {
-		b, err := partition.NewExpMechBisector(phase1Eps, src)
+		eb, err := partition.NewExpMechBisector(phase1Eps, src)
 		if err != nil {
 			return nil, err
 		}
-		bis = b
+		bis = eb
 	} else {
 		bis = partition.BalancedBisector{}
 	}
-	return hierarchy.Build(g, hierarchy.Options{Rounds: rnds, Bisector: bis, Workers: workers})
+	return b.Build(g, hierarchy.Options{Rounds: rnds, Bisector: bis, Workers: workers})
 }

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"repro/internal/bipartite"
 	"repro/internal/core"
 	"repro/internal/datagen"
 	"repro/internal/dp"
@@ -46,8 +47,9 @@ type Figure1Config struct {
 	Calib core.Calibration
 	// Seed drives all randomness.
 	Seed uint64
-	// Workers parallelizes each trial's hierarchy build; the produced
-	// figures are identical for any value.
+	// Workers fans independent trials across goroutine lanes (serial
+	// trials spend it on the hierarchy build instead); the produced
+	// figures are bit-identical for any value.
 	Workers int
 }
 
@@ -93,21 +95,99 @@ type Figure1Result struct {
 //
 // Per trial, Phase 1 builds a fresh private hierarchy; the εg sweep then
 // reuses that hierarchy (changing the Phase-2 budget does not change the
-// grouping). RER is averaged across trials.
+// grouping). RER is averaged across trials. Trials fan out across
+// Config.Workers lanes — each consumes a stream pre-split in trial
+// order, writes only its own result slot, and the sums reduce in trial
+// order, so the figure is bit-identical for any worker count.
 func RunFigure1(cfg Figure1Config) (*Figure1Result, error) {
-	if cfg.Trials < 1 {
-		return nil, fmt.Errorf("experiments: trials must be >= 1 (got %d)", cfg.Trials)
-	}
-	if len(cfg.EpsGrid) == 0 || len(cfg.Levels) == 0 {
-		return nil, fmt.Errorf("experiments: empty eps grid or level list")
+	if err := cfg.validate(); err != nil {
+		return nil, err
 	}
 	g, err := datagen.Generate(cfg.Dataset)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: generating dataset: %w", err)
 	}
+	return RunFigure1On(g, cfg)
+}
+
+// validate rejects configs cheaply, before any dataset synthesis.
+func (cfg Figure1Config) validate() error {
+	if cfg.Trials < 1 {
+		return fmt.Errorf("experiments: trials must be >= 1 (got %d)", cfg.Trials)
+	}
+	if len(cfg.EpsGrid) == 0 || len(cfg.Levels) == 0 {
+		return fmt.Errorf("experiments: empty eps grid or level list")
+	}
+	return nil
+}
+
+// RunFigure1On is RunFigure1 over an already materialized graph,
+// ignoring cfg.Dataset — the entry point when the caller loads or reuses
+// a graph (benchmarks isolating the trial loop, repeated sweeps over one
+// dataset).
+func RunFigure1On(g *bipartite.Graph, cfg Figure1Config) (*Figure1Result, error) {
+	if g == nil {
+		return nil, fmt.Errorf("experiments: nil graph")
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
 	src := rng.New(cfg.Seed)
 
-	// rerSum[li][ei] accumulates RER across trials.
+	// Per trial: rer[li][ei] and exp[li][ei] measured on the trial's own
+	// hierarchy, sens[li] its per-level sensitivity.
+	type trialResult struct {
+		rer, exp [][]float64
+		sens     []float64
+	}
+	trialSrcs := splitPerTrial(src, cfg.Trials)
+	results := make([]trialResult, cfg.Trials)
+	builders := trialBuilders(numTrialWorkers(cfg.Workers, cfg.Trials))
+	defer closeBuilders(builders)
+	buildWorkers := buildWorkersFor(cfg.Workers, cfg.Trials)
+	err := runTrials(cfg.Workers, cfg.Trials, func(worker, trial int) error {
+		trialSrc := trialSrcs[trial]
+		tree, err := buildTrialTree(builders[worker], g, cfg.Rounds, cfg.Phase1Epsilon, buildWorkers, trialSrc.Split(1))
+		if err != nil {
+			return fmt.Errorf("experiments: trial %d phase 1: %w", trial, err)
+		}
+		noiseSrc := trialSrc.Split(2)
+		res := trialResult{
+			rer:  make([][]float64, len(cfg.Levels)),
+			exp:  make([][]float64, len(cfg.Levels)),
+			sens: make([]float64, len(cfg.Levels)),
+		}
+		for li, level := range cfg.Levels {
+			res.rer[li] = make([]float64, len(cfg.EpsGrid))
+			res.exp[li] = make([]float64, len(cfg.EpsGrid))
+			sens, err := core.Sensitivity(tree, level, cfg.Model)
+			if err != nil {
+				return err
+			}
+			res.sens[li] = float64(sens)
+			for ei, eps := range cfg.EpsGrid {
+				p := dp.Params{Epsilon: eps, Delta: cfg.Delta}
+				rel, err := core.ReleaseCount(tree, level, p, cfg.Model, cfg.Calib, noiseSrc)
+				if err != nil {
+					return fmt.Errorf("experiments: trial %d level %d eps %v: %w", trial, level, eps, err)
+				}
+				res.rer[li][ei] = rel.RER
+				exp, err := core.ExpectedRER(tree, level, p, cfg.Model, cfg.Calib)
+				if err != nil {
+					return err
+				}
+				res.exp[li][ei] = exp
+			}
+		}
+		results[trial] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Reduce in trial order: the same floating-point addition sequence a
+	// serial loop performs.
 	rerSum := make([][]float64, len(cfg.Levels))
 	expSum := make([][]float64, len(cfg.Levels))
 	for i := range rerSum {
@@ -115,32 +195,12 @@ func RunFigure1(cfg Figure1Config) (*Figure1Result, error) {
 		expSum[i] = make([]float64, len(cfg.EpsGrid))
 	}
 	sensSum := make([]float64, len(cfg.Levels))
-
-	for trial := 0; trial < cfg.Trials; trial++ {
-		trialSrc := src.Split(uint64(trial))
-		tree, err := buildTrialTree(g, cfg.Rounds, cfg.Phase1Epsilon, cfg.Workers, trialSrc.Split(1))
-		if err != nil {
-			return nil, fmt.Errorf("experiments: trial %d phase 1: %w", trial, err)
-		}
-		noiseSrc := trialSrc.Split(2)
-		for li, level := range cfg.Levels {
-			sens, err := core.Sensitivity(tree, level, cfg.Model)
-			if err != nil {
-				return nil, err
-			}
-			sensSum[li] += float64(sens)
-			for ei, eps := range cfg.EpsGrid {
-				p := dp.Params{Epsilon: eps, Delta: cfg.Delta}
-				rel, err := core.ReleaseCount(tree, level, p, cfg.Model, cfg.Calib, noiseSrc)
-				if err != nil {
-					return nil, fmt.Errorf("experiments: trial %d level %d eps %v: %w", trial, level, eps, err)
-				}
-				rerSum[li][ei] += rel.RER
-				exp, err := core.ExpectedRER(tree, level, p, cfg.Model, cfg.Calib)
-				if err != nil {
-					return nil, err
-				}
-				expSum[li][ei] += exp
+	for _, res := range results {
+		for li := range cfg.Levels {
+			sensSum[li] += res.sens[li]
+			for ei := range cfg.EpsGrid {
+				rerSum[li][ei] += res.rer[li][ei]
+				expSum[li][ei] += res.exp[li][ei]
 			}
 		}
 	}

@@ -50,22 +50,54 @@ func RunTopK(opts Options) (*Report, error) {
 		table.Headers = append(table.Headers, fmt.Sprintf("level %d", lvl))
 		series[li] = metrics.Series{Name: fmt.Sprintf("level %d", lvl)}
 	}
+	// Pre-split every noise stream in the serial (εg, level, trial) loop
+	// order, then fan trials across Options.Workers lanes. A lane reuses
+	// one CellRelease buffer through ReleaseCellsInto — the released
+	// histogram is consumed by TopKPrecision before the next release
+	// overwrites it — and the precision means reduce in trial order, so
+	// the table is bit-identical for any worker count.
 	src := rng.New(opts.Seed + 99)
-	for _, eps := range grid {
-		row := []any{eps}
+	srcs := make([][][]*rng.Source, len(grid))
+	for ei, eps := range grid {
+		srcs[ei] = make([][]*rng.Source, len(levels))
 		for li, lvl := range levels {
+			srcs[ei][li] = make([]*rng.Source, trials)
+			for trial := 0; trial < trials; trial++ {
+				srcs[ei][li][trial] = src.Split(uint64(trial)<<16 | uint64(lvl)<<8 | uint64(eps*1000))
+			}
+		}
+	}
+	precision := make([][][]float64, trials)
+	scratch := make([]core.CellRelease, numTrialWorkers(opts.Workers, trials))
+	err = runTrials(opts.Workers, trials, func(worker, trial int) error {
+		rel := &scratch[worker]
+		res := make([][]float64, len(grid))
+		for ei, eps := range grid {
+			res[ei] = make([]float64, len(levels))
+			for li, lvl := range levels {
+				if err := core.ReleaseCellsInto(rel, tree, lvl, dp.Params{Epsilon: eps, Delta: 1e-5},
+					core.CalibrationClassical, srcs[ei][li][trial]); err != nil {
+					return err
+				}
+				p, err := query.TopKPrecision(tree, *rel, bipartite.Left, k)
+				if err != nil {
+					return err
+				}
+				res[ei][li] = p
+			}
+		}
+		precision[trial] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ei, eps := range grid {
+		row := []any{eps}
+		for li := range levels {
 			var sum float64
 			for trial := 0; trial < trials; trial++ {
-				rel, err := core.ReleaseCells(tree, lvl, dp.Params{Epsilon: eps, Delta: 1e-5},
-					core.CalibrationClassical, src.Split(uint64(trial)<<16|uint64(lvl)<<8|uint64(eps*1000)))
-				if err != nil {
-					return nil, err
-				}
-				p, err := query.TopKPrecision(tree, rel, bipartite.Left, k)
-				if err != nil {
-					return nil, err
-				}
-				sum += p
+				sum += precision[trial][ei][li]
 			}
 			mean := sum / float64(trials)
 			row = append(row, mean)

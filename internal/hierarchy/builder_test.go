@@ -1,0 +1,198 @@
+package hierarchy
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/partition"
+	"repro/internal/rng"
+)
+
+// assertTreesIdentical compares the full internal state of two trees —
+// permutations, inverse positions, every depth's boundaries, degree
+// prefix sums, every cell matrix, and the private-cut count.
+func assertTreesIdentical(t *testing.T, label string, a, b *Tree) {
+	t.Helper()
+	for side, pair := range map[string][2]*sideTree{
+		"left":  {&a.left, &b.left},
+		"right": {&a.right, &b.right},
+	} {
+		x, y := pair[0], pair[1]
+		for p := range x.perm {
+			if x.perm[p] != y.perm[p] {
+				t.Fatalf("%s: %s perm differs at %d: %d vs %d", label, side, p, x.perm[p], y.perm[p])
+			}
+		}
+		for n := range x.pos {
+			if x.pos[n] != y.pos[n] {
+				t.Fatalf("%s: %s pos differs at %d", label, side, n)
+			}
+		}
+		if len(x.bounds) != len(y.bounds) {
+			t.Fatalf("%s: %s depth count differs", label, side)
+		}
+		for d := range x.bounds {
+			for i := range x.bounds[d] {
+				if x.bounds[d][i] != y.bounds[d][i] {
+					t.Fatalf("%s: %s bounds differ at depth %d index %d", label, side, d, i)
+				}
+			}
+		}
+		for p := range x.degPrefix {
+			if x.degPrefix[p] != y.degPrefix[p] {
+				t.Fatalf("%s: %s degPrefix differs at %d", label, side, p)
+			}
+		}
+	}
+	if len(a.cells) != len(b.cells) {
+		t.Fatalf("%s: cell depth count differs", label)
+	}
+	for d := range a.cells {
+		for i := range a.cells[d] {
+			if a.cells[d][i] != b.cells[d][i] {
+				t.Fatalf("%s: cells differ at depth %d index %d", label, d, i)
+			}
+		}
+	}
+	if a.NumPrivateCuts() != b.NumPrivateCuts() {
+		t.Fatalf("%s: private cuts differ: %d vs %d", label, a.NumPrivateCuts(), b.NumPrivateCuts())
+	}
+}
+
+// TestBuilderReuseMatchesFreshBuild is the golden test for scratch and
+// pool retention: one Builder serves a sequence of builds over graphs of
+// different sizes (including a shrink, so stale scratch contents must not
+// leak), varying worker counts (pool recreation) and both private and
+// non-private bisectors, and every tree must be bit-identical to one from
+// a fresh hierarchy.Build with an identically seeded bisector.
+func TestBuilderReuseMatchesFreshBuild(t *testing.T) {
+	t.Parallel()
+	b := NewBuilder()
+	defer b.Close()
+	cases := []struct {
+		nl, nr, edges, rounds, workers int
+		seed                           uint64
+		eps                            float64 // 0 = balanced bisector
+	}{
+		{200, 300, 3000, 5, 1, 3, 0.4},
+		{512, 256, 8000, 6, 4, 4, 0.2},
+		{40, 30, 200, 3, 4, 5, 0},      // shrink: scratch larger than needed
+		{512, 256, 8000, 6, 2, 4, 0.2}, // pool recreated for a new count
+		{300, 450, 6000, 5, 1, 7, 0.3},
+	}
+	for ci, tc := range cases {
+		g := randomGraph(t, tc.nl, tc.nr, tc.edges, tc.seed)
+		mkBisector := func() partition.Bisector {
+			if tc.eps == 0 {
+				return partition.BalancedBisector{}
+			}
+			bis, err := partition.NewExpMechBisector(tc.eps, rng.New(tc.seed+100))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return bis
+		}
+		reused, err := b.Build(g, Options{Rounds: tc.rounds, Bisector: mkBisector(), Workers: tc.workers})
+		if err != nil {
+			t.Fatalf("case %d: reused build: %v", ci, err)
+		}
+		fresh, err := Build(g, Options{Rounds: tc.rounds, Bisector: mkBisector(), Workers: tc.workers})
+		if err != nil {
+			t.Fatalf("case %d: fresh build: %v", ci, err)
+		}
+		label := "case " + string(rune('0'+ci))
+		assertTreesIdentical(t, label, reused, fresh)
+		if err := reused.Validate(); err != nil {
+			t.Fatalf("case %d: reused tree invalid: %v", ci, err)
+		}
+	}
+}
+
+// TestBuilderCloseThenRebuild checks Close releases the pool but leaves
+// the Builder usable.
+func TestBuilderCloseThenRebuild(t *testing.T) {
+	t.Parallel()
+	g := randomGraph(t, 100, 100, 1000, 2)
+	b := NewBuilder()
+	if _, err := b.Build(g, Options{Rounds: 3, Bisector: partition.BalancedBisector{}, Workers: 4}); err != nil {
+		t.Fatal(err)
+	}
+	b.Close()
+	tree, err := b.Build(g, Options{Rounds: 3, Bisector: partition.BalancedBisector{}, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := Build(g, Options{Rounds: 3, Bisector: partition.BalancedBisector{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertTreesIdentical(t, "after close", tree, fresh)
+	b.Close()
+}
+
+// TestBuilderValidation mirrors Build's argument validation.
+func TestBuilderValidation(t *testing.T) {
+	t.Parallel()
+	g := randomGraph(t, 10, 10, 20, 1)
+	b := NewBuilder()
+	defer b.Close()
+	if _, err := b.Build(nil, Options{Rounds: 2, Bisector: partition.BalancedBisector{}}); !errors.Is(err, ErrNilGraph) {
+		t.Errorf("nil graph: got %v", err)
+	}
+	if _, err := b.Build(g, Options{Rounds: 2}); !errors.Is(err, ErrNilBisector) {
+		t.Errorf("nil bisector: got %v", err)
+	}
+	if _, err := b.Build(g, Options{Rounds: 0, Bisector: partition.BalancedBisector{}}); !errors.Is(err, ErrBadRounds) {
+		t.Errorf("bad rounds: got %v", err)
+	}
+	if _, err := b.Build(g, Options{Rounds: 2, Bisector: partition.BalancedBisector{}, Order: Order(9)}); err == nil {
+		t.Error("bad order accepted")
+	}
+}
+
+// TestLevelCellCountsViewAliasesStorage pins the view accessor to the
+// copying one.
+func TestLevelCellCountsViewAliasesStorage(t *testing.T) {
+	t.Parallel()
+	g := randomGraph(t, 64, 64, 800, 9)
+	tree, err := Build(g, Options{Rounds: 4, Bisector: partition.BalancedBisector{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for lvl := 0; lvl <= tree.MaxLevel(); lvl++ {
+		view, err := tree.LevelCellCountsView(lvl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		copied, err := tree.LevelCellCounts(lvl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(view) != len(copied) {
+			t.Fatalf("level %d: view has %d cells, copy %d", lvl, len(view), len(copied))
+		}
+		for i := range view {
+			if view[i] != copied[i] {
+				t.Fatalf("level %d cell %d: view %d, copy %d", lvl, i, view[i], copied[i])
+			}
+		}
+	}
+	if _, err := tree.LevelCellCountsView(-1); err == nil {
+		t.Error("negative level accepted")
+	}
+}
+
+// BenchmarkBuilderReuse measures the retained-scratch build against the
+// throwaway-Builder wrapper on the same graph.
+func BenchmarkBuilderReuse(b *testing.B) {
+	g := randomGraph(b, 2000, 3000, 40000, 11)
+	bld := NewBuilder()
+	defer bld.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bld.Build(g, Options{Rounds: 6, Bisector: partition.BalancedBisector{}}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -32,6 +32,19 @@
 // reorder nodes only inside their own range, so deeper levels strictly
 // refine shallower ones and all levels share one permutation.
 //
+// # Builder reuse
+//
+// Build allocates position-indexed scratch (items, weights, radix keys)
+// and, when Options.Workers > 1, a worker pool — costs that repeated-
+// trial experiments pay per build. A Builder retains both across builds:
+// construct once with NewBuilder, call Builder.Build per trial (buffers
+// grow to the largest side seen and stay), and Close when done. Build
+// itself is a thin wrapper that creates and closes a throwaway Builder,
+// and a reused Builder produces trees bit-identical to fresh Build calls
+// (pinned by TestBuilderReuseMatchesFreshBuild). A Builder is NOT safe
+// for concurrent use; fan trial parallelism out with one Builder per
+// goroutine.
+//
 // # Complexity and parallelism
 //
 // Build runs in O(E + n·log n + n·rounds + Σ_d 4^d) time: the per-cell
@@ -154,12 +167,68 @@ type Tree struct {
 	// counts at depth d. Only cells[maxDepth] is counted from edges; every
 	// coarser matrix is the 2×2 block aggregation of its child.
 	cells [][]int64
+	// maxCells[d] caches the largest entry of cells[d], so the cell-model
+	// sensitivity — consulted by every Phase-2 release — is O(1) instead
+	// of a 4^d scan per query.
+	maxCells []int64
 
 	privateCuts int
 }
 
-// Build runs Phase-1 specialization and returns the tree.
+// Build runs Phase-1 specialization and returns the tree. It is a thin
+// wrapper over a throwaway Builder; repeated-build callers (experiment
+// trials, pipelines rerun on many graphs) should hold a Builder instead
+// so the scratch buffers and worker pool survive between builds.
 func Build(g *bipartite.Graph, opts Options) (*Tree, error) {
+	b := NewBuilder()
+	defer b.Close()
+	return b.Build(g, opts)
+}
+
+// Builder runs specialization builds while retaining the position-indexed
+// scratch buffers and the worker pool across calls, so repeated builds
+// (one per experiment trial) stop paying per-build allocation and
+// goroutine startup. The zero value is not usable; construct with
+// NewBuilder and Close when done to release the pool's goroutines.
+//
+// A Builder is NOT safe for concurrent use: give each trial-fanning
+// goroutine its own Builder. Trees built through a reused Builder are
+// bit-identical to ones from fresh Build calls.
+type Builder struct {
+	// Retained across builds: two position-indexed scratch buffers (the
+	// ranges of any one depth are disjoint [lo, hi) position spans, so
+	// concurrent workers write disjoint subslices without
+	// synchronization), the radix-sort key buffers, and the worker pool.
+	items   []rangeItem // node+weight per position of the side being split
+	weights []int64     // weights in prepared order, the bisector's input
+	keys    []uint64    // radix-sort keys, position-indexed like items
+	tmpKeys []uint64    // radix-sort ping-pong buffer
+
+	pool        *workerPool
+	poolWorkers int
+
+	// Per-build state, reset by begin.
+	opts    Options
+	private bool        // Bisector spends budget per cut (partition.PrivacyConsumer)
+	curPool *workerPool // pool for the current build; nil when Workers < 2
+}
+
+// NewBuilder returns an empty Builder; the first Build sizes its scratch.
+func NewBuilder() *Builder { return &Builder{} }
+
+// Close releases the retained worker pool's goroutines. The Builder
+// remains usable: a later Build recreates the pool on demand.
+func (b *Builder) Close() {
+	if b.pool != nil {
+		b.pool.close()
+		b.pool = nil
+		b.poolWorkers = 0
+	}
+}
+
+// Build runs Phase-1 specialization and returns the tree, reusing the
+// Builder's scratch and pool from previous calls.
+func (b *Builder) Build(g *bipartite.Graph, opts Options) (*Tree, error) {
 	if g == nil {
 		return nil, ErrNilGraph
 	}
@@ -184,18 +253,49 @@ func Build(g *bipartite.Graph, opts Options) (*Tree, error) {
 	}
 	t.left.initWeights(g, bipartite.Left, opts.Order)
 	t.right.initWeights(g, bipartite.Right, opts.Order)
-	bs := newBuildState(t, opts)
-	defer bs.close()
+	b.begin(t, opts)
 	for d := 0; d < opts.Rounds; d++ {
-		if err := t.splitDepth(&t.left, bipartite.Left, d, bs); err != nil {
+		if err := t.splitDepth(&t.left, bipartite.Left, d, b); err != nil {
 			return nil, fmt.Errorf("hierarchy: splitting left side at depth %d: %w", d, err)
 		}
-		if err := t.splitDepth(&t.right, bipartite.Right, d, bs); err != nil {
+		if err := t.splitDepth(&t.right, bipartite.Right, d, b); err != nil {
 			return nil, fmt.Errorf("hierarchy: splitting right side at depth %d: %w", d, err)
 		}
 	}
 	t.finalize(opts.Workers)
 	return t, nil
+}
+
+// begin readies the Builder for one build: grows the scratch to the
+// larger side, resolves the privacy-consumer flag, and selects the pool
+// (recreated only when the requested worker count changed).
+func (b *Builder) begin(t *Tree, opts Options) {
+	n := len(t.left.perm)
+	if r := len(t.right.perm); r > n {
+		n = r
+	}
+	if n > len(b.items) {
+		b.items = make([]rangeItem, n)
+		b.weights = make([]int64, n)
+		b.keys = make([]uint64, n)
+		b.tmpKeys = make([]uint64, n)
+	}
+	b.opts = opts
+	b.private = false
+	if pc, ok := opts.Bisector.(partition.PrivacyConsumer); ok {
+		b.private = pc.Private()
+	}
+	b.curPool = nil
+	if opts.Workers > 1 {
+		if b.pool == nil || b.poolWorkers != opts.Workers {
+			if b.pool != nil {
+				b.pool.close()
+			}
+			b.pool = newWorkerPool(opts.Workers)
+			b.poolWorkers = opts.Workers
+		}
+		b.curPool = b.pool
+	}
 }
 
 func newSideTree(n int) sideTree {
@@ -239,48 +339,6 @@ func compareItems(a, b rangeItem) int {
 		return 1
 	default:
 		return int(a.node) - int(b.node)
-	}
-}
-
-// buildState carries the scratch that lives for the whole Build: two
-// position-indexed buffers (the ranges of any one depth are disjoint
-// [lo, hi) position spans, so concurrent workers write disjoint subslices
-// without synchronization) and the worker pool. Nothing here is
-// reallocated between rounds.
-type buildState struct {
-	opts    Options
-	private bool        // Bisector spends budget per cut (partition.PrivacyConsumer)
-	items   []rangeItem // node+weight per position of the side being split
-	weights []int64     // weights in prepared order, the bisector's input
-	keys    []uint64    // radix-sort keys, position-indexed like items
-	tmpKeys []uint64    // radix-sort ping-pong buffer
-	pool    *workerPool
-}
-
-func newBuildState(t *Tree, opts Options) *buildState {
-	n := len(t.left.perm)
-	if r := len(t.right.perm); r > n {
-		n = r
-	}
-	bs := &buildState{
-		opts:    opts,
-		items:   make([]rangeItem, n),
-		weights: make([]int64, n),
-		keys:    make([]uint64, n),
-		tmpKeys: make([]uint64, n),
-	}
-	if pc, ok := opts.Bisector.(partition.PrivacyConsumer); ok {
-		bs.private = pc.Private()
-	}
-	if opts.Workers > 1 {
-		bs.pool = newWorkerPool(opts.Workers)
-	}
-	return bs
-}
-
-func (bs *buildState) close() {
-	if bs.pool != nil {
-		bs.pool.close()
 	}
 }
 
@@ -330,14 +388,14 @@ func (p *workerPool) close() { close(p.tasks) }
 // each range's weights are read straight from weightByPos. The cut
 // decisions always run serially in range order so randomized bisectors
 // consume their stream deterministically.
-func (t *Tree) splitDepth(st *sideTree, side bipartite.Side, d int, bs *buildState) error {
+func (t *Tree) splitDepth(st *sideTree, side bipartite.Side, d int, bs *Builder) error {
 	cur := st.bounds[d]
 	nRanges := len(cur) - 1
 
 	reorder := !st.inOrder
 	if reorder {
-		if bs.pool != nil && nRanges > 1 {
-			bs.pool.dispatch(nRanges, func(i int) {
+		if bs.curPool != nil && nRanges > 1 {
+			bs.curPool.dispatch(nRanges, func(i int) {
 				t.prepareRange(st, cur[i], cur[i+1], bs)
 			})
 		} else {
@@ -375,7 +433,7 @@ const radixMinLen = 128
 // concurrently. Large ranges with 32-bit weight spread take an LSD radix
 // sort over a packed (weight desc, node asc) key — the same total order
 // compareItems defines, so the result is identical.
-func (t *Tree) prepareRange(st *sideTree, lo, hi int32, bs *buildState) {
+func (t *Tree) prepareRange(st *sideTree, lo, hi int32, bs *Builder) {
 	if hi <= lo {
 		return
 	}
@@ -443,7 +501,7 @@ func radixSortItems(items []rangeItem, keys, tmp []uint64, maxWeight int64) {
 // and, when the range was freshly prepared, writes the order back into
 // the permutation. Ranges with fewer than two nodes return their size (an
 // empty second part).
-func (t *Tree) applyCut(st *sideTree, lo, hi int32, reorder bool, bs *buildState) (int, error) {
+func (t *Tree) applyCut(st *sideTree, lo, hi int32, reorder bool, bs *Builder) (int, error) {
 	n := int(hi - lo)
 	if n < 2 {
 		// 0- and 1-item ranges cannot be cut; a 1-item "sort" is already
@@ -495,6 +553,16 @@ func (t *Tree) computeCells(workers int) {
 	t.cells[dmax] = t.scanCells(k, leftGroup, rightGroup, workers)
 	for d := dmax; d > 0; d-- {
 		t.cells[d-1] = aggregateCells(t.cells[d], 1<<d)
+	}
+	t.maxCells = make([]int64, depths)
+	for d, cells := range t.cells {
+		var max int64
+		for _, c := range cells {
+			if c > max {
+				max = c
+			}
+		}
+		t.maxCells[d] = max
 	}
 }
 
@@ -645,11 +713,24 @@ func (t *Tree) CellEdges(level, i, j int) (int64, error) {
 // LevelCellCounts returns a copy of the row-major cell count matrix at the
 // level.
 func (t *Tree) LevelCellCounts(level int) ([]int64, error) {
+	counts, err := t.LevelCellCountsView(level)
+	if err != nil {
+		return nil, err
+	}
+	return append([]int64(nil), counts...), nil
+}
+
+// LevelCellCountsView returns the level's row-major cell count matrix
+// without copying. The slice is the Tree's internal storage (immutable
+// after Build): callers must treat it as read-only. The zero-allocation
+// Phase-2 release path reads counts through it instead of paying a
+// 4^depth copy per release.
+func (t *Tree) LevelCellCountsView(level int) ([]int64, error) {
 	d, err := t.DepthOfLevel(level)
 	if err != nil {
 		return nil, err
 	}
-	return append([]int64(nil), t.cells[d]...), nil
+	return t.cells[d], nil
 }
 
 // CellOfEdge returns the cell coordinates containing association (l, r) at
@@ -746,19 +827,14 @@ func (t *Tree) SideGroupIncidentEdges(level int, side bipartite.Side) ([]int64, 
 }
 
 // MaxCellEdges returns the largest cell at the level — the group-DP
-// sensitivity of the association-count query under the cell model.
+// sensitivity of the association-count query under the cell model. O(1):
+// per-depth maxima are cached when the cell matrices are derived.
 func (t *Tree) MaxCellEdges(level int) (int64, error) {
 	d, err := t.DepthOfLevel(level)
 	if err != nil {
 		return 0, err
 	}
-	var max int64
-	for _, c := range t.cells[d] {
-		if c > max {
-			max = c
-		}
-	}
-	return max, nil
+	return t.maxCells[d], nil
 }
 
 // MaxSideGroupIncidentEdges returns the largest incident-edge sum over all
@@ -956,6 +1032,20 @@ func (t *Tree) Validate() error {
 			if c != t.cells[d-1][i] {
 				return fmt.Errorf("%w: depth %d cell %d stored %d, child blocks sum to %d", ErrInvalid, d-1, i, t.cells[d-1][i], c)
 			}
+		}
+	}
+	if len(t.maxCells) != len(t.cells) {
+		return fmt.Errorf("%w: %d cached maxima for %d depths", ErrInvalid, len(t.maxCells), len(t.cells))
+	}
+	for d, cells := range t.cells {
+		var max int64
+		for _, c := range cells {
+			if c > max {
+				max = c
+			}
+		}
+		if t.maxCells[d] != max {
+			return fmt.Errorf("%w: depth %d cached max %d, cells say %d", ErrInvalid, d, t.maxCells[d], max)
 		}
 	}
 	return nil

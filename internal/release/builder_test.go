@@ -1,0 +1,71 @@
+package release
+
+import (
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/dp"
+	"repro/internal/hierarchy"
+)
+
+// TestWithBuilderIdenticalRelease pins Builder-backed pipelines to the
+// default path: the same seed must produce byte-identical releases
+// whether Phase 1 runs through a shared retained Builder (across two
+// consecutive Runs) or a throwaway one.
+func TestWithBuilderIdenticalRelease(t *testing.T) {
+	t.Parallel()
+	g, err := datagen.Generate(datagen.DBLPTiny(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget := dp.Params{Epsilon: 0.8, Delta: 1e-5}
+	opts := func(extra ...Option) []Option {
+		return append([]Option{
+			WithRounds(5),
+			WithSeed(11),
+			WithPhase1Epsilon(0.1),
+			WithCellHistograms(true),
+		}, extra...)
+	}
+
+	plain, err := New(budget, opts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := plain.Run(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	b := hierarchy.NewBuilder()
+	defer b.Close()
+	shared, err := New(budget, opts(WithBuilder(b))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for run := 0; run < 2; run++ {
+		got, err := shared.Run(g)
+		if err != nil {
+			t.Fatalf("run %d: %v", run, err)
+		}
+		if len(got.Counts.Levels) != len(want.Counts.Levels) {
+			t.Fatalf("run %d: %d levels, want %d", run, len(got.Counts.Levels), len(want.Counts.Levels))
+		}
+		for i := range want.Counts.Levels {
+			if got.Counts.Levels[i].NoisyCount != want.Counts.Levels[i].NoisyCount {
+				t.Fatalf("run %d level %d: noisy count %v, want %v",
+					run, i, got.Counts.Levels[i].NoisyCount, want.Counts.Levels[i].NoisyCount)
+			}
+		}
+		for i := range want.Cells {
+			for j := range want.Cells[i].Counts {
+				if got.Cells[i].Counts[j] != want.Cells[i].Counts[j] {
+					t.Fatalf("run %d cells %d[%d] differ", run, i, j)
+				}
+			}
+		}
+	}
+	if _, err := New(budget, WithBuilder(nil)); err == nil {
+		t.Error("nil builder accepted")
+	}
+}

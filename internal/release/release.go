@@ -101,6 +101,7 @@ type config struct {
 	mechanism      core.NoiseMechanism
 	phase1Epsilon  float64
 	bisector       partition.Bisector
+	builder        *hierarchy.Builder
 	order          hierarchy.Order
 	cellHistograms bool
 	grouping       bool
@@ -205,6 +206,23 @@ func WithBisector(b partition.Bisector) Option {
 			return fmt.Errorf("%w: nil bisector", ErrBadOption)
 		}
 		c.bisector = b
+		return nil
+	}
+}
+
+// WithBuilder runs Phase 1 through a caller-provided hierarchy.Builder,
+// whose scratch buffers and worker pool then persist across Run calls
+// (and across pipelines sharing the Builder). The caller owns the
+// Builder's lifecycle — the pipeline never closes it — and must not use
+// one Builder from concurrent Runs. Without this option each Run builds
+// through a throwaway Builder, which is correct but pays per-build
+// allocation; repeated-trial experiments pass one Builder per worker.
+func WithBuilder(b *hierarchy.Builder) Option {
+	return func(c *config) error {
+		if b == nil {
+			return fmt.Errorf("%w: nil builder", ErrBadOption)
+		}
+		c.builder = b
 		return nil
 	}
 }
@@ -394,7 +412,11 @@ func (p *Pipeline) Run(g *bipartite.Graph) (*Release, error) {
 		}
 	}
 
-	tree, err := hierarchy.Build(g, hierarchy.Options{
+	build := hierarchy.Build
+	if cfg.builder != nil {
+		build = cfg.builder.Build
+	}
+	tree, err := build(g, hierarchy.Options{
 		Rounds:   cfg.rounds,
 		Bisector: bisector,
 		Order:    cfg.order,

@@ -1,0 +1,130 @@
+package rng
+
+import "math"
+
+// Batched normal sampling.
+//
+// The Marsaglia polar Normal costs a log and a square root per pair of
+// variates and rejects ~21% of its uniforms, which is fine for scalar
+// queries but dominates Phase 2 when a release fills a 4^9-cell noisy
+// histogram. NormalsSigma instead runs a 128-layer Marsaglia–Tsang
+// ziggurat: ~98.8% of draws are one Uint64, one table lookup and one
+// multiply; the remaining draws fall back to a slow path that samples the
+// wedge (one exp) or the tail (two logs). The two samplers realize the
+// same N(0, 1) law — rng_test.go cross-validates moments and the KS
+// statistic of both against the exact normal CDF — but they consume the
+// underlying uniform stream differently, so Normal() is kept unchanged
+// for draw-for-draw compatibility with existing seeded streams.
+
+// Ziggurat constants: zigTailR is the right edge of the last layer and
+// zigArea the common area of each of the 128 layers (tail included in
+// layer 0), the canonical Marsaglia–Tsang parameters for 128 layers.
+const (
+	zigTailR = 3.442619855899
+	zigArea  = 9.91256303526217e-3
+	// zigM scales the 56-bit signed integer drawn per sample to [-1, 1).
+	zigM = 1 << 55
+)
+
+// Ziggurat tables, filled by initZiggurat: zigK[i] is the acceptance
+// threshold for the |56-bit integer| in layer i, zigW[i] the layer's
+// scale x_i/zigM, and zigF[i] = exp(-x_i²/2).
+var (
+	zigK [128]uint64
+	zigW [128]float64
+	zigF [128]float64
+)
+
+func init() { initZiggurat() }
+
+func initZiggurat() {
+	dn := zigTailR
+	tn := dn
+	q := zigArea / math.Exp(-0.5*dn*dn)
+
+	zigK[0] = uint64((dn / q) * zigM)
+	zigK[1] = 0
+	zigW[0] = q / zigM
+	zigW[127] = dn / zigM
+	zigF[0] = 1
+	zigF[127] = math.Exp(-0.5 * dn * dn)
+	for i := 126; i >= 1; i-- {
+		dn = math.Sqrt(-2 * math.Log(zigArea/dn+math.Exp(-0.5*dn*dn)))
+		zigK[i+1] = uint64((dn / tn) * zigM)
+		tn = dn
+		zigF[i] = math.Exp(-0.5 * dn * dn)
+		zigW[i] = dn / zigM
+	}
+}
+
+// NormalsSigma fills dst with independent normal variates of mean 0 and
+// standard deviation sigma, drawn from the ziggurat sampler. One batched
+// call replaces len(dst) scalar Normal calls in the Phase-2 release hot
+// path. A non-positive sigma fills dst with zeros (empty levels need no
+// noise). NormalsSigma advances the same uniform stream as every other
+// sampler on the Source but is not draw-for-draw compatible with
+// Normal(); give each consumer its own Split stream when exact replay
+// matters.
+func (r *Source) NormalsSigma(dst []float64, sigma float64) {
+	if sigma <= 0 {
+		for i := range dst {
+			dst[i] = 0
+		}
+		return
+	}
+	for i := range dst {
+		u := r.Uint64()
+		// Bits 0–6 select the layer, bits 8–63 form a signed 56-bit
+		// uniform; the two fields are disjoint, so layer and position are
+		// independent.
+		j := int64(u) >> 8
+		iz := u & 127
+		abs := uint64(j)
+		if j < 0 {
+			abs = uint64(-j)
+		}
+		if abs < zigK[iz] {
+			dst[i] = sigma * (float64(j) * zigW[iz])
+			continue
+		}
+		dst[i] = sigma * r.normalZigSlow(j, iz)
+	}
+}
+
+// normalZigSlow handles the ~1.2% of ziggurat draws that miss the
+// rectangular fast path: layer 0 falls through to Marsaglia's exact tail
+// sampler beyond zigTailR, other layers accept or reject inside the
+// wedge between f(x_i) and f(x_{i-1}), resampling from scratch on
+// rejection.
+func (r *Source) normalZigSlow(j int64, iz uint64) float64 {
+	for {
+		if iz == 0 {
+			// Tail: sample x > zigTailR with density proportional to
+			// exp(-x²/2) via the standard double-exponential rejection.
+			for {
+				x := -math.Log(r.OpenFloat64()) / zigTailR
+				y := -math.Log(r.OpenFloat64())
+				if y+y >= x*x {
+					if j >= 0 {
+						return zigTailR + x
+					}
+					return -(zigTailR + x)
+				}
+			}
+		}
+		x := float64(j) * zigW[iz]
+		if zigF[iz]+r.Float64()*(zigF[iz-1]-zigF[iz]) < math.Exp(-0.5*x*x) {
+			return x
+		}
+		u := r.Uint64()
+		j = int64(u) >> 8
+		iz = u & 127
+		abs := uint64(j)
+		if j < 0 {
+			abs = uint64(-j)
+		}
+		if abs < zigK[iz] {
+			return float64(j) * zigW[iz]
+		}
+	}
+}

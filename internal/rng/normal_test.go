@@ -1,0 +1,207 @@
+package rng
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+// stdNormalCDF is Φ, the exact standard normal CDF.
+func stdNormalCDF(x float64) float64 {
+	return 0.5 * (1 + math.Erf(x/math.Sqrt2))
+}
+
+// ksStatistic returns the one-sample Kolmogorov–Smirnov statistic of
+// samples against the normal CDF with the given sigma. samples is sorted
+// in place.
+func ksStatistic(samples []float64, sigma float64) float64 {
+	sort.Float64s(samples)
+	n := float64(len(samples))
+	var d float64
+	for i, x := range samples {
+		f := stdNormalCDF(x / sigma)
+		if lo := f - float64(i)/n; lo > d {
+			d = lo
+		}
+		if hi := float64(i+1)/n - f; hi > d {
+			d = hi
+		}
+	}
+	return d
+}
+
+func TestNormalsSigmaDeterministic(t *testing.T) {
+	a := make([]float64, 1000)
+	b := make([]float64, 1000)
+	New(42).NormalsSigma(a, 1.5)
+	New(42).NormalsSigma(b, 1.5)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("index %d: %v != %v under the same seed", i, a[i], b[i])
+		}
+	}
+}
+
+func TestNormalsSigmaZeroSigmaFillsZeros(t *testing.T) {
+	dst := []float64{1, 2, 3, 4}
+	New(1).NormalsSigma(dst, 0)
+	for i, v := range dst {
+		if v != 0 {
+			t.Errorf("dst[%d] = %v, want 0 for sigma=0", i, v)
+		}
+	}
+	dst = []float64{5, 6}
+	New(1).NormalsSigma(dst, -1)
+	for i, v := range dst {
+		if v != 0 {
+			t.Errorf("dst[%d] = %v, want 0 for negative sigma", i, v)
+		}
+	}
+}
+
+// TestNormalsSigmaMoments pins the first four moments of the ziggurat
+// sampler to the normal law.
+func TestNormalsSigmaMoments(t *testing.T) {
+	const (
+		n     = 400_000
+		sigma = 2.5
+	)
+	samples := make([]float64, n)
+	New(7).NormalsSigma(samples, sigma)
+
+	var sum float64
+	for _, x := range samples {
+		sum += x
+	}
+	mean := sum / n
+	var m2, m3, m4 float64
+	for _, x := range samples {
+		d := x - mean
+		m2 += d * d
+		m3 += d * d * d
+		m4 += d * d * d * d
+	}
+	m2 /= n
+	m3 /= n
+	m4 /= n
+	sd := math.Sqrt(m2)
+	skew := m3 / (sd * sd * sd)
+	exKurt := m4/(m2*m2) - 3
+
+	// Standard errors: mean ~ σ/√n, variance ~ σ²√(2/n), skew ~ √(6/n),
+	// kurtosis ~ √(24/n); allow 5 standard errors each.
+	if tol := 5 * sigma / math.Sqrt(n); math.Abs(mean) > tol {
+		t.Errorf("mean = %v, want |mean| < %v", mean, tol)
+	}
+	if tol := 5 * sigma * sigma * math.Sqrt(2.0/n); math.Abs(m2-sigma*sigma) > tol {
+		t.Errorf("variance = %v, want %v ± %v", m2, sigma*sigma, tol)
+	}
+	if tol := 5 * math.Sqrt(6.0/n); math.Abs(skew) > tol {
+		t.Errorf("skewness = %v, want |skew| < %v", skew, tol)
+	}
+	if tol := 5 * math.Sqrt(24.0/n); math.Abs(exKurt) > tol {
+		t.Errorf("excess kurtosis = %v, want |kurt| < %v", exKurt, tol)
+	}
+}
+
+// TestNormalsSigmaKSAgainstExactCDF checks the full distribution shape:
+// the KS distance to the exact normal CDF must be below the α=0.001
+// critical value, which a biased layer table or a wrong tail would blow
+// past immediately.
+func TestNormalsSigmaKSAgainstExactCDF(t *testing.T) {
+	const n = 200_000
+	samples := make([]float64, n)
+	New(11).NormalsSigma(samples, 3)
+	d := ksStatistic(samples, 3)
+	crit := 1.95 / math.Sqrt(n) // α ≈ 0.001
+	if d > crit {
+		t.Errorf("KS statistic %v exceeds critical value %v", d, crit)
+	}
+}
+
+// TestNormalsSigmaCrossValidatesPolar pins the ziggurat and the polar
+// Normal to the same law: both KS distances against the exact CDF pass,
+// and their sample moments agree within joint statistical tolerance, so
+// replacing per-cell Normal draws with one batched fill preserves the
+// release's output distribution.
+func TestNormalsSigmaCrossValidatesPolar(t *testing.T) {
+	const n = 200_000
+	zig := make([]float64, n)
+	New(23).NormalsSigma(zig, 1)
+	polar := make([]float64, n)
+	src := New(29)
+	for i := range polar {
+		polar[i] = src.Normal()
+	}
+
+	crit := 1.95 / math.Sqrt(n)
+	if d := ksStatistic(zig, 1); d > crit {
+		t.Errorf("ziggurat KS statistic %v exceeds %v", d, crit)
+	}
+	if d := ksStatistic(polar, 1); d > crit {
+		t.Errorf("polar KS statistic %v exceeds %v", d, crit)
+	}
+
+	moments := func(xs []float64) (mean, variance float64) {
+		var sum float64
+		for _, x := range xs {
+			sum += x
+		}
+		mean = sum / n
+		for _, x := range xs {
+			variance += (x - mean) * (x - mean)
+		}
+		variance /= n
+		return
+	}
+	mz, vz := moments(zig)
+	mp, vp := moments(polar)
+	if tol := 10 / math.Sqrt(n); math.Abs(mz-mp) > tol {
+		t.Errorf("means diverge: ziggurat %v vs polar %v", mz, mp)
+	}
+	if tol := 10 * math.Sqrt(2.0/n); math.Abs(vz-vp) > tol {
+		t.Errorf("variances diverge: ziggurat %v vs polar %v", vz, vp)
+	}
+}
+
+// TestNormalsSigmaTailCoverage verifies the slow path actually produces
+// tail mass beyond the last ziggurat layer at the right rate.
+func TestNormalsSigmaTailCoverage(t *testing.T) {
+	const n = 1_000_000
+	samples := make([]float64, n)
+	New(31).NormalsSigma(samples, 1)
+	var tail int
+	for _, x := range samples {
+		if math.Abs(x) > zigTailR {
+			tail++
+		}
+	}
+	p := 2 * (1 - stdNormalCDF(zigTailR))
+	want := p * n
+	if float64(tail) < want/2 || float64(tail) > want*2 {
+		t.Errorf("tail count %d, want about %.0f (|x| > %v)", tail, want, zigTailR)
+	}
+}
+
+// TestNormalsSigmaScales checks the sigma multiplier is applied.
+func TestNormalsSigmaScales(t *testing.T) {
+	a := make([]float64, 4096)
+	b := make([]float64, 4096)
+	New(5).NormalsSigma(a, 1)
+	New(5).NormalsSigma(b, 10)
+	for i := range a {
+		if b[i] != 10*a[i] {
+			t.Fatalf("index %d: %v != 10 * %v", i, b[i], a[i])
+		}
+	}
+}
+
+func BenchmarkNormalsSigma(b *testing.B) {
+	src := New(3)
+	dst := make([]float64, 4096)
+	b.SetBytes(int64(len(dst)) * 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src.NormalsSigma(dst, 1.5)
+	}
+}

@@ -11,6 +11,14 @@
 // the synthetic data generator (Zipf, permutations) live here so that every
 // random decision in the system flows through one auditable source.
 //
+// Normal variates come in two forms: the scalar Normal/NormalSigma
+// (Marsaglia polar, kept draw-for-draw stable for existing seeded
+// streams) and the batched NormalsSigma (normal.go), a 128-layer
+// ziggurat that fills a whole slice per call — the Phase-2 release path
+// uses it to noise an entire level histogram in one call instead of one
+// method call per cell. Both realize the same N(0, σ²) law; the tests
+// cross-validate their moments and KS statistics.
+//
 // A Source is NOT safe for concurrent use; share work by calling Split and
 // giving each goroutine its own child stream.
 package rng
