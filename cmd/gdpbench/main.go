@@ -13,12 +13,36 @@
 // -benchjson writes one machine-readable BENCH_<experiment>.json per
 // experiment (configuration plus wall time), the perf-trajectory record
 // CI and regression tooling diff across commits.
+//
+// # Streamed ingest: -edges
+//
+//	gdpbench -edges dblp.tsv -rounds 9
+//	gdpbench -edges dblp.bpg -streamverify -benchjson out/
+//
+// -edges streams an edge file through the chunked two-pass build
+// (hierarchy.BuildFromEdges) instead of running experiments: pass 1
+// accumulates side degrees, pass 2 feeds the sharded cell aggregation,
+// and the file's edges are never materialized — not as a pair list and
+// not as either CSR direction — so peak memory is O(chunk + sides +
+// 4^rounds), independent of the edge count. The format is sniffed from
+// the first bytes ("BPG1" means the compact binary codec, anything else
+// is TSV). TSV inputs must not repeat pairs: the streamed build counts
+// every line while the in-memory loader deduplicates, so deduplicate
+// first (e.g. sort -u) — -streamverify catches the divergence. With
+// -benchjson a BENCH_stream.json records the ingest rate
+// (edges/sec over the whole two-pass build). -streamverify additionally
+// loads the same file in memory, runs the release pipeline both ways
+// with one seed, and fails unless the artifacts are byte-identical —
+// the self-checking mode CI's stream smoke job runs; skip it for files
+// that do not fit in RAM, which is what -edges exists for.
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -26,12 +50,14 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/bipartite"
 	"repro/internal/core"
 	"repro/internal/datagen"
 	"repro/internal/dp"
 	"repro/internal/experiments"
 	"repro/internal/hierarchy"
 	"repro/internal/partition"
+	"repro/internal/release"
 	"repro/internal/rng"
 )
 
@@ -90,9 +116,16 @@ func run(args []string) error {
 		csvDir   = fs.String("csv", "", "also write each table as CSV into this directory")
 		workers  = fs.Int("workers", runtime.GOMAXPROCS(0), "experiment parallelism: trial fan-out and phase-1 builds (results identical for any value)")
 		benchDir = fs.String("benchjson", "", "write a machine-readable BENCH_<experiment>.json per experiment into this directory")
+
+		edgesFile    = fs.String("edges", "", "stream an edge file (TSV or binary graph) through the chunked build instead of running experiments")
+		rounds       = fs.Int("rounds", 9, "specialization rounds for -edges")
+		streamVerify = fs.Bool("streamverify", false, "with -edges: also run the in-memory path and fail unless the releases are byte-identical")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *edgesFile != "" {
+		return runEdges(*edgesFile, *rounds, *workers, *seed, *streamVerify, *benchDir)
 	}
 
 	opts := repro.ExperimentOptions{
@@ -139,6 +172,184 @@ func run(args []string) error {
 		if err := writePhase2Bench(*benchDir, *seed, *workers); err != nil {
 			return err
 		}
+	}
+	return nil
+}
+
+// streamRecord is the machine-readable result of one -edges ingest run:
+// the whole two-pass streamed build timed end to end, with EdgesPerSec =
+// NumEdges / wall (both passes included).
+type streamRecord struct {
+	File     string  `json:"file"`
+	Format   string  `json:"format"`
+	Edges    int64   `json:"edges"`
+	NumLeft  int     `json:"num_left"`
+	NumRight int     `json:"num_right"`
+	Rounds   int     `json:"rounds"`
+	Workers  int     `json:"workers"`
+	WallMS   float64 `json:"wall_ms"`
+	EdgesSec float64 `json:"edges_per_sec"`
+	Verified bool    `json:"verified"`
+	UnixMS   int64   `json:"unix_ms"`
+}
+
+// runEdges is the -edges mode: stream the file through the chunked build,
+// report the ingest rate, and optionally pin the result against the
+// in-memory path.
+func runEdges(path string, rounds, workers int, seed uint64, verify bool, benchDir string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	var magic [4]byte
+	n, err := f.Read(magic[:])
+	if err != nil && n == 0 {
+		return fmt.Errorf("reading %s: %w", path, err)
+	}
+	format := "tsv"
+	if n == 4 && string(magic[:]) == "BPG1" {
+		format = "binary"
+	}
+
+	var src bipartite.EdgeSource
+	if format == "binary" {
+		src, err = bipartite.NewBinaryEdgeSource(f)
+	} else {
+		src, err = bipartite.NewTSVEdgeSource(f)
+	}
+	if err != nil {
+		return fmt.Errorf("opening %s source %s: %w", format, path, err)
+	}
+
+	start := time.Now()
+	tree, err := hierarchy.BuildFromEdges(src, hierarchy.Options{
+		Rounds:   rounds,
+		Bisector: partition.BalancedBisector{},
+		Workers:  workers,
+	})
+	if err != nil {
+		return fmt.Errorf("streamed build of %s: %w", path, err)
+	}
+	wall := time.Since(start)
+	stats := tree.DatasetStats()
+	edgesSec := float64(stats.NumEdges) / wall.Seconds()
+	fmt.Printf("## streamed ingest — %s (%s)\n\n", path, format)
+	fmt.Printf("dataset: %s\n", stats)
+	fmt.Printf("build:   rounds=%d workers=%d wall=%.1fms ingest=%.0f edges/s (two passes, O(chunk+sides) peak)\n",
+		rounds, workers, float64(wall.Nanoseconds())/1e6, edgesSec)
+
+	verified := false
+	if verify {
+		if err := verifyStreamedRelease(f, format, tree, rounds, workers, seed, src); err != nil {
+			return err
+		}
+		verified = true
+		fmt.Println("verify:  streamed release is byte-identical to the in-memory path")
+	}
+	fmt.Println()
+
+	if benchDir != "" {
+		rec := streamRecord{
+			File:     path,
+			Format:   format,
+			Edges:    stats.NumEdges,
+			NumLeft:  stats.NumLeft,
+			NumRight: stats.NumRight,
+			Rounds:   rounds,
+			Workers:  workers,
+			WallMS:   float64(wall.Nanoseconds()) / 1e6,
+			EdgesSec: edgesSec,
+			Verified: verified,
+			UnixMS:   start.UnixMilli(),
+		}
+		if err := os.MkdirAll(benchDir, 0o755); err != nil {
+			return err
+		}
+		data, err := json.MarshalIndent(rec, "", "  ")
+		if err != nil {
+			return err
+		}
+		recPath := filepath.Join(benchDir, "BENCH_stream.json")
+		if err := os.WriteFile(recPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("(stream bench record written to %s)\n\n", recPath)
+	}
+	return nil
+}
+
+// verifyStreamedRelease loads the file in memory, checks the streamed
+// tree's grouping bit-identical to the in-memory build, and runs the full
+// release pipeline down both paths, failing on any byte difference.
+func verifyStreamedRelease(f *os.File, format string, streamedTree *hierarchy.Tree, rounds, workers int, seed uint64, src bipartite.EdgeSource) error {
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	var g *bipartite.Graph
+	var err error
+	if format == "binary" {
+		g, err = bipartite.DecodeBinary(f)
+	} else {
+		g, err = bipartite.LoadTSV(f)
+	}
+	if err != nil {
+		return fmt.Errorf("in-memory load for -streamverify: %w", err)
+	}
+
+	memTree, err := hierarchy.Build(g, hierarchy.Options{
+		Rounds:   rounds,
+		Bisector: partition.BalancedBisector{},
+		Workers:  workers,
+	})
+	if err != nil {
+		return err
+	}
+	var streamedEnc, memEnc bytes.Buffer
+	if err := streamedTree.EncodeBinary(&streamedEnc); err != nil {
+		return err
+	}
+	if err := memTree.EncodeBinary(&memEnc); err != nil {
+		return err
+	}
+	if !bytes.Equal(streamedEnc.Bytes(), memEnc.Bytes()) {
+		return fmt.Errorf("streamed tree differs from in-memory build (duplicate edge lines in the input? the streamed path counts every line, the in-memory loader deduplicates)")
+	}
+
+	newPipeline := func() (*release.Pipeline, error) {
+		return release.New(dp.Params{Epsilon: 0.5, Delta: 1e-5},
+			release.WithRounds(rounds),
+			release.WithSeed(seed),
+			release.WithCellHistograms(true),
+			release.WithWorkers(workers),
+		)
+	}
+	pMem, err := newPipeline()
+	if err != nil {
+		return err
+	}
+	relMem, err := pMem.Run(g)
+	if err != nil {
+		return err
+	}
+	pStream, err := newPipeline()
+	if err != nil {
+		return err
+	}
+	relStream, err := pStream.RunFromEdges(src)
+	if err != nil {
+		return err
+	}
+	var a, b bytes.Buffer
+	if err := relMem.WriteJSON(&a, true); err != nil {
+		return err
+	}
+	if err := relStream.WriteJSON(&b, true); err != nil {
+		return err
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		return fmt.Errorf("streamed release differs from in-memory release")
 	}
 	return nil
 }

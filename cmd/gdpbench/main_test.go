@@ -6,6 +6,9 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/bipartite"
+	"repro/internal/datagen"
 )
 
 func TestRunSingleExperimentQuick(t *testing.T) {
@@ -81,6 +84,73 @@ func TestPhase2BenchRecord(t *testing.T) {
 	}
 	if p2.TrialsSerialMS <= 0 || p2.TrialsParallelMS <= 0 || p2.Workers != 2 {
 		t.Errorf("trial timings not measured: %+v", p2)
+	}
+}
+
+// writeEdgeFile generates a small synthetic dataset and saves it through
+// the given codec.
+func writeEdgeFile(t *testing.T, path, format string) {
+	t.Helper()
+	g, err := datagen.Generate(datagen.Config{
+		Name: "edges-test", NumLeft: 150, NumRight: 220, NumEdges: 2100,
+		LeftZipf: 1.9, RightZipf: 2.8, Seed: 13,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if format == "binary" {
+		err = bipartite.EncodeBinary(f, g)
+	} else {
+		err = bipartite.SaveTSV(f, g)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunEdgesStreamedIngest drives -edges end to end for both file
+// formats with verification on: the streamed release must match the
+// in-memory path byte for byte, and the BENCH_stream.json record must
+// land with a positive ingest rate.
+func TestRunEdgesStreamedIngest(t *testing.T) {
+	for _, format := range []string{"tsv", "binary"} {
+		t.Run(format, func(t *testing.T) {
+			dir := t.TempDir()
+			path := filepath.Join(dir, "edges."+format)
+			writeEdgeFile(t, path, format)
+			err := run([]string{
+				"-edges", path, "-rounds", "6", "-workers", "2",
+				"-streamverify", "-benchjson", dir,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			blob, err := os.ReadFile(filepath.Join(dir, "BENCH_stream.json"))
+			if err != nil {
+				t.Fatalf("stream record missing: %v", err)
+			}
+			var rec streamRecord
+			if err := json.Unmarshal(blob, &rec); err != nil {
+				t.Fatalf("stream record is not valid JSON: %v", err)
+			}
+			if rec.Format != format || rec.Edges != 2100 || rec.Rounds != 6 || !rec.Verified {
+				t.Errorf("stream record = %+v", rec)
+			}
+			if rec.EdgesSec <= 0 || rec.WallMS <= 0 {
+				t.Errorf("ingest rate not measured: %+v", rec)
+			}
+		})
+	}
+}
+
+func TestRunEdgesMissingFile(t *testing.T) {
+	if err := run([]string{"-edges", filepath.Join(t.TempDir(), "nope.tsv")}); err == nil {
+		t.Error("missing edge file accepted")
 	}
 }
 

@@ -36,10 +36,23 @@ type Stats struct {
 
 // ComputeStats scans the graph once per side and returns its summary.
 func ComputeStats(g *Graph) Stats {
+	return StatsFromDegrees(degreeSlice(g, Left), degreeSlice(g, Right))
+}
+
+// StatsFromDegrees computes the summary from per-node degree slices alone
+// — everything Stats reports is a functional of the two degree sequences.
+// The streamed build path uses it to document a dataset it never held as
+// a Graph; ComputeStats delegates here, so the two paths agree bit for
+// bit. The slices are read, not modified.
+func StatsFromDegrees(leftDegrees, rightDegrees []int64) Stats {
+	var edges int64
+	for _, d := range leftDegrees {
+		edges += d
+	}
 	s := Stats{
-		NumLeft:  g.NumLeft(),
-		NumRight: g.NumRight(),
-		NumEdges: g.NumEdges(),
+		NumLeft:  len(leftDegrees),
+		NumRight: len(rightDegrees),
+		NumEdges: edges,
 	}
 	if s.NumLeft > 0 {
 		s.MeanLeftDegree = float64(s.NumEdges) / float64(s.NumLeft)
@@ -47,8 +60,6 @@ func ComputeStats(g *Graph) Stats {
 	if s.NumRight > 0 {
 		s.MeanRightDegree = float64(s.NumEdges) / float64(s.NumRight)
 	}
-	leftDegrees := degreeSlice(g, Left)
-	rightDegrees := degreeSlice(g, Right)
 	s.MaxLeftDegree = maxOf(leftDegrees)
 	s.MaxRightDegree = maxOf(rightDegrees)
 	s.MedianLeftDegree = medianOf(leftDegrees)
@@ -60,6 +71,10 @@ func ComputeStats(g *Graph) Stats {
 	}
 	return s
 }
+
+// Degrees returns a fresh slice of per-node degrees on side s, indexed by
+// node id.
+func (g *Graph) Degrees(s Side) []int64 { return degreeSlice(g, s) }
 
 // String renders the stats as a compact single-line summary.
 func (s Stats) String() string {

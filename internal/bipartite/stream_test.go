@@ -1,0 +1,284 @@
+package bipartite
+
+import (
+	"bytes"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// collectEdges drains a source (after a Reset) and returns its edges.
+func collectEdges(t *testing.T, src EdgeSource) []Edge {
+	t.Helper()
+	if err := src.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	edges, err := ReadAllEdges(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return edges
+}
+
+// sortEdges orders edges left-major for set comparison.
+func sortEdges(edges []Edge) {
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].Left != edges[j].Left {
+			return edges[i].Left < edges[j].Left
+		}
+		return edges[i].Right < edges[j].Right
+	})
+}
+
+func testGraph(t *testing.T) *Graph {
+	t.Helper()
+	g, err := FromEdges(5, 7, []Edge{{0, 0}, {0, 6}, {1, 2}, {2, 3}, {2, 5}, {4, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestGraphSourceStreamsAllEdges: the graph cursor yields exactly the
+// graph's edges, in left-major order, across chunk sizes that do and do
+// not divide the edge count, and replays identically after Reset.
+func TestGraphSourceStreamsAllEdges(t *testing.T) {
+	g := testGraph(t)
+	src := NewGraphSource(g)
+	for _, chunk := range []int{1, 2, 5, 100} {
+		if err := src.Reset(); err != nil {
+			t.Fatal(err)
+		}
+		var got []Edge
+		buf := make([]Edge, chunk)
+		for {
+			n, err := src.NextChunk(buf)
+			if err != nil {
+				break
+			}
+			got = append(got, buf[:n]...)
+		}
+		want := g.Edges()
+		if len(got) != len(want) {
+			t.Fatalf("chunk %d: got %d edges, want %d", chunk, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("chunk %d: edge %d = %v, want %v", chunk, i, got[i], want[i])
+			}
+		}
+	}
+	nl, nr, known := src.Sides()
+	if !known || int(nl) != g.NumLeft() || int(nr) != g.NumRight() {
+		t.Fatalf("Sides = %d,%d,%v, want %d,%d,true", nl, nr, known, g.NumLeft(), g.NumRight())
+	}
+}
+
+// TestSliceSourceRoundTrip: cursor semantics over a shared slice.
+func TestSliceSourceRoundTrip(t *testing.T) {
+	edges := []Edge{{3, 1}, {0, 2}, {3, 0}}
+	src := NewSliceSource(10, 10, edges)
+	got := collectEdges(t, src)
+	if len(got) != len(edges) {
+		t.Fatalf("got %d edges, want %d", len(got), len(edges))
+	}
+	for i := range got {
+		if got[i] != edges[i] {
+			t.Fatalf("edge %d = %v, want %v", i, got[i], edges[i])
+		}
+	}
+	again := collectEdges(t, src)
+	if len(again) != len(edges) {
+		t.Fatalf("replay after Reset lost edges: %d vs %d", len(again), len(edges))
+	}
+	nl, nr, known := src.Sides()
+	if !known || nl != 10 || nr != 10 {
+		t.Fatalf("Sides = %d,%d,%v", nl, nr, known)
+	}
+}
+
+// TestBinaryEdgeSourceMatchesDecode: the delta-walking source yields the
+// same edge set DecodeBinary builds, for graphs with and without names.
+func TestBinaryEdgeSourceMatchesDecode(t *testing.T) {
+	plain := testGraph(t)
+
+	nb := NewBuilder(0)
+	nb.AddAssociation("alice", "insulin")
+	nb.AddAssociation("bob", "insulin")
+	nb.AddAssociation("alice", "statin")
+	named, err := nb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for name, g := range map[string]*Graph{"plain": plain, "named": named} {
+		var buf bytes.Buffer
+		if err := EncodeBinary(&buf, g); err != nil {
+			t.Fatal(err)
+		}
+		src, err := NewBinaryEdgeSource(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		got := collectEdges(t, src)
+		want := g.Edges()
+		sortEdges(got)
+		if len(got) != len(want) {
+			t.Fatalf("%s: got %d edges, want %d", name, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("%s: edge %d = %v, want %v", name, i, got[i], want[i])
+			}
+		}
+		nl, nr, known := src.Sides()
+		if !known || int(nl) != g.NumLeft() || int(nr) != g.NumRight() {
+			t.Fatalf("%s: Sides = %d,%d,%v, want %d,%d", name, nl, nr, known, g.NumLeft(), g.NumRight())
+		}
+		// Replay must be identical.
+		again := collectEdges(t, src)
+		sortEdges(again)
+		for i := range again {
+			if again[i] != got[i] {
+				t.Fatalf("%s: replay diverged at %d", name, i)
+			}
+		}
+	}
+}
+
+// TestBinaryEdgeSourceRejectsCorruption: truncated streams error instead
+// of yielding phantom edges.
+func TestBinaryEdgeSourceRejectsCorruption(t *testing.T) {
+	var buf bytes.Buffer
+	if err := EncodeBinary(&buf, testGraph(t)); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.Bytes()
+	if _, err := NewBinaryEdgeSource(bytes.NewReader([]byte("nope"))); err == nil {
+		t.Fatal("want error for bad magic")
+	}
+	trunc := valid[:len(valid)-2]
+	src, err := NewBinaryEdgeSource(bytes.NewReader(trunc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadAllEdges(src); err == nil {
+		t.Fatal("want error for truncated edge section")
+	}
+}
+
+// TestTSVEdgeSourceMatchesLoadTSV: for both id-mode and name-mode files
+// (with and without headers), streaming + dedup-free replay agrees with
+// LoadTSV's graph.
+func TestTSVEdgeSourceMatchesLoadTSV(t *testing.T) {
+	cases := map[string]string{
+		"ids-sniffed":    "0\t1\n2\t3\n1\t1\n",
+		"ids-header":     tsvHeaderPrefix + tsvModeIDs + "\n0\t1\n2\t3\n",
+		"names-sniffed":  "alice\tinsulin\nbob\tinsulin\nalice\tstatin\n",
+		"names-header":   tsvHeaderPrefix + tsvModeNames + "\n10\t7\n3\t7\n",
+		"comments-blank": "# leading comment\n\n0\t1\n# mid comment\n2\t0\n",
+	}
+	for name, in := range cases {
+		t.Run(name, func(t *testing.T) {
+			g, err := LoadTSV(strings.NewReader(in))
+			if err != nil {
+				t.Fatal(err)
+			}
+			src, err := NewTSVEdgeSource(strings.NewReader(in))
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := collectEdges(t, src)
+			sortEdges(got)
+			want := g.Edges()
+			if len(got) != len(want) {
+				t.Fatalf("got %d edges, want %d", len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("edge %d = %v, want %v", i, got[i], want[i])
+				}
+			}
+			// After a full pass, sides must agree with the loaded graph.
+			nl, nr, known := src.Sides()
+			if !known || int(nl) != g.NumLeft() || int(nr) != g.NumRight() {
+				t.Fatalf("Sides = %d,%d,%v, want %d,%d,true", nl, nr, known, g.NumLeft(), g.NumRight())
+			}
+			// Replay: intern tables persist, ids stay stable.
+			again := collectEdges(t, src)
+			sortEdges(again)
+			for i := range again {
+				if again[i] != got[i] {
+					t.Fatalf("replay diverged at edge %d", i)
+				}
+			}
+		})
+	}
+}
+
+// TestTSVEdgeSourceErrors: malformed lines and forced-id violations carry
+// line numbers.
+func TestTSVEdgeSourceErrors(t *testing.T) {
+	if _, err := NewTSVEdgeSource(strings.NewReader("a\tb\tc\n")); err == nil {
+		t.Fatal("want construction error for 3-field line (sniff pass)")
+	}
+	src, err := NewTSVEdgeSource(strings.NewReader(tsvHeaderPrefix + tsvModeIDs + "\n1\t2\nalice\t2\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadAllEdges(src); err == nil || !strings.Contains(err.Error(), "line 3") {
+		t.Fatalf("want a line-3 error for non-numeric field under ids header, got %v", err)
+	}
+}
+
+// FuzzTSVEdgeSource cross-checks the chunked reader against LoadTSV on
+// arbitrary text: both must accept or both reject, and on acceptance the
+// deduplicated streamed edges must equal the loaded graph's (LoadTSV's
+// Builder deduplicates; the source contract says streams carry no
+// duplicates, so files with repeated lines are deduped here before the
+// comparison).
+func FuzzTSVEdgeSource(f *testing.F) {
+	f.Add("0\t1\n1\t0\n")
+	f.Add("alice\tinsulin\n")
+	f.Add("# comment\n\n3\t4\n")
+	f.Add(tsvHeaderPrefix + tsvModeNames + "\n1\t2\n")
+	f.Add(tsvHeaderPrefix + tsvModeIDs + "\n1\t2\n")
+	f.Add("01\t1\n")
+	f.Add("+5\t7\n")
+	f.Add("bad line\n")
+	f.Fuzz(func(t *testing.T, data string) {
+		g, loadErr := LoadTSV(strings.NewReader(data))
+		src, srcErr := NewTSVEdgeSource(strings.NewReader(data))
+		var edges []Edge
+		if srcErr == nil {
+			if err := src.Reset(); err != nil {
+				t.Fatal(err)
+			}
+			edges, srcErr = ReadAllEdges(src)
+		}
+		if (loadErr == nil) != (srcErr == nil) {
+			t.Fatalf("loader/source disagree: LoadTSV err=%v, source err=%v", loadErr, srcErr)
+		}
+		if loadErr != nil {
+			return
+		}
+		seen := make(map[Edge]bool, len(edges))
+		deduped := edges[:0]
+		for _, e := range edges {
+			if !seen[e] {
+				seen[e] = true
+				deduped = append(deduped, e)
+			}
+		}
+		sortEdges(deduped)
+		want := g.Edges()
+		if len(deduped) != len(want) {
+			t.Fatalf("streamed %d distinct edges, loaded graph has %d", len(deduped), len(want))
+		}
+		for i := range deduped {
+			if deduped[i] != want[i] {
+				t.Fatalf("edge %d: streamed %v, loaded %v", i, deduped[i], want[i])
+			}
+		}
+	})
+}

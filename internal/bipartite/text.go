@@ -2,17 +2,95 @@ package bipartite
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
-	"strconv"
 	"strings"
 )
 
-// SaveTSV writes one association per line as "left<TAB>right". When the
-// graph carries names the labels are written; otherwise the dense ids are.
+// maxTSVLine caps one TSV line (the scanner's buffer limit). Lines past it
+// fail with a wrapped bufio.ErrTooLong naming the offending line.
+const maxTSVLine = 16 * 1024 * 1024
+
+// TSV mode header. SaveTSV writes it as the first line so LoadTSV and the
+// chunked TSVEdgeSource can restore the graph in the mode it was saved in:
+// without it, a graph whose interned *names* happen to all be numeric
+// strings would reload in dense-id mode, silently changing NumLeft and
+// NumRight. The line starts with '#', so pre-header readers skip it as a
+// comment.
+const (
+	tsvHeaderPrefix = "# gdp-tsv mode="
+	tsvModeIDs      = "ids"
+	tsvModeNames    = "names"
+)
+
+// tsvMode is the field interpretation of one TSV file.
+type tsvMode int
+
+const (
+	// tsvSniff means no header was seen (yet): fields are ids while every
+	// one of them is a canonical non-negative integer, names otherwise.
+	tsvSniff tsvMode = iota
+	tsvIDs
+	tsvNames
+)
+
+// parseTSVHeader recognizes the mode header line. It returns an error for
+// a header with an unknown mode, and ok=false for any other line.
+func parseTSVHeader(line string) (mode tsvMode, ok bool, err error) {
+	if !strings.HasPrefix(line, tsvHeaderPrefix) {
+		return tsvSniff, false, nil
+	}
+	switch m := strings.TrimSpace(strings.TrimPrefix(line, tsvHeaderPrefix)); m {
+	case tsvModeIDs:
+		return tsvIDs, true, nil
+	case tsvModeNames:
+		return tsvNames, true, nil
+	default:
+		return tsvSniff, false, fmt.Errorf("bipartite: tsv header: unknown mode %q (want %s or %s)", m, tsvModeIDs, tsvModeNames)
+	}
+}
+
+// newTSVScanner returns a line scanner with the package's line cap.
+func newTSVScanner(r io.Reader) *bufio.Scanner {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), maxTSVLine)
+	return sc
+}
+
+// wrapTSVScanErr decorates scanner failures; bufio.ErrTooLong gains the
+// number of the line that exceeded the cap (one past the last line that
+// scanned cleanly) instead of surfacing as a bare "token too long".
+func wrapTSVScanErr(err error, lastLine int) error {
+	if errors.Is(err, bufio.ErrTooLong) {
+		return fmt.Errorf("bipartite: tsv line %d: line exceeds %d-byte cap: %w", lastLine+1, maxTSVLine, err)
+	}
+	return fmt.Errorf("bipartite: scanning tsv: %w", err)
+}
+
+// splitTSVFields splits one data line into its two tab-separated fields.
+func splitTSVFields(line string) (l, r string, err error) {
+	fields := strings.Split(line, "\t")
+	if len(fields) != 2 {
+		return "", "", fmt.Errorf("want 2 tab-separated fields, got %d", len(fields))
+	}
+	return fields[0], fields[1], nil
+}
+
+// SaveTSV writes the mode header followed by one association per line as
+// "left<TAB>right". When the graph carries names the labels are written;
+// otherwise the dense ids are. The header pins the mode so LoadTSV
+// round-trips numeric-looking names as names.
 func SaveTSV(w io.Writer, g *Graph) error {
 	bw := bufio.NewWriter(w)
+	mode := tsvModeIDs
+	if g.HasNames() {
+		mode = tsvModeNames
+	}
 	var err error
+	if _, err = fmt.Fprintf(bw, "%s%s\n", tsvHeaderPrefix, mode); err != nil {
+		return fmt.Errorf("bipartite: writing tsv header: %w", err)
+	}
 	g.ForEachEdge(func(l, r int32) bool {
 		if g.HasNames() {
 			_, err = fmt.Fprintf(bw, "%s\t%s\n", g.LeftName(l), g.RightName(r))
@@ -30,46 +108,68 @@ func SaveTSV(w io.Writer, g *Graph) error {
 	return nil
 }
 
-// LoadTSV reads "left<TAB>right" lines. If every field on both sides
-// parses as a non-negative integer the graph is built over dense ids;
-// otherwise fields are interned as names. Blank lines and lines starting
-// with '#' are skipped.
+// LoadTSV reads "left<TAB>right" lines. A "# gdp-tsv mode=" header (first
+// line) fixes the field interpretation; without one, the graph is built
+// over dense ids if every field on both sides is a canonical non-negative
+// integer (digits only, no sign, no leading zero) and fields are interned
+// as names otherwise. Blank lines and lines starting with '#' are skipped.
 func LoadTSV(r io.Reader) (*Graph, error) {
 	type pair struct{ l, r string }
 	var pairs []pair
+	mode := tsvSniff
 	numeric := true
 
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	sc := newTSVScanner(r)
 	lineNo := 0
 	for sc.Scan() {
 		lineNo++
 		line := strings.TrimSpace(sc.Text())
 		if line == "" || strings.HasPrefix(line, "#") {
+			if lineNo == 1 {
+				m, ok, err := parseTSVHeader(line)
+				if err != nil {
+					return nil, err
+				}
+				if ok {
+					mode = m
+				}
+			}
 			continue
 		}
-		fields := strings.Split(line, "\t")
-		if len(fields) != 2 {
-			return nil, fmt.Errorf("bipartite: tsv line %d: want 2 tab-separated fields, got %d", lineNo, len(fields))
+		l, r, err := splitTSVFields(line)
+		if err != nil {
+			return nil, fmt.Errorf("bipartite: tsv line %d: %v", lineNo, err)
 		}
-		p := pair{l: fields[0], r: fields[1]}
-		if numeric {
-			if !isUint(p.l) || !isUint(p.r) {
-				numeric = false
-			}
+		if mode == tsvIDs && (!isUint(l) || !isUint(r)) {
+			return nil, fmt.Errorf("bipartite: tsv line %d: non-numeric field in id-mode file", lineNo)
 		}
-		pairs = append(pairs, p)
+		if numeric && (!isUint(l) || !isUint(r)) {
+			numeric = false
+		}
+		pairs = append(pairs, pair{l: l, r: r})
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("bipartite: scanning tsv: %w", err)
+		return nil, wrapTSVScanErr(err, lineNo)
+	}
+	if mode == tsvSniff {
+		mode = tsvIDs
+		if !numeric {
+			mode = tsvNames
+		}
 	}
 
 	b := NewBuilder(len(pairs))
 	for _, p := range pairs {
-		if numeric {
-			l, _ := strconv.ParseInt(p.l, 10, 32)
-			r, _ := strconv.ParseInt(p.r, 10, 32)
-			b.AddEdge(int32(l), int32(r))
+		if mode == tsvIDs {
+			l, err := parseNodeID(p.l)
+			if err != nil {
+				return nil, fmt.Errorf("bipartite: tsv: parsing left id: %w", err)
+			}
+			r, err := parseNodeID(p.r)
+			if err != nil {
+				return nil, fmt.Errorf("bipartite: tsv: parsing right id: %w", err)
+			}
+			b.AddEdge(l, r)
 		} else {
 			b.AddAssociation(p.l, p.r)
 		}
@@ -77,10 +177,41 @@ func LoadTSV(r io.Reader) (*Graph, error) {
 	return b.Build()
 }
 
-func isUint(s string) bool {
-	if s == "" {
-		return false
+// parseID parses the canonical base-10 form of a non-negative int32 in a
+// single pass: digits only — no sign, no spaces — and no leading zero
+// (except "0" itself). Canonical-only matters for mode sniffing: ParseInt
+// would accept "+1" and "01", collapsing fields that are distinct as
+// names ("01" vs "1") onto one dense id. The per-edge ingest loops call
+// this once per field, so validation and value extraction share one walk.
+func parseID(s string) (int32, bool) {
+	if s == "" || (len(s) > 1 && s[0] == '0') || len(s) > 10 {
+		return 0, false
 	}
-	v, err := strconv.ParseInt(s, 10, 32)
-	return err == nil && v >= 0
+	var v int64
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		v = v*10 + int64(c-'0')
+	}
+	if v > 1<<31-1 {
+		return 0, false
+	}
+	return int32(v), true
+}
+
+// isUint reports whether s is a canonical non-negative id (see parseID).
+func isUint(s string) bool {
+	_, ok := parseID(s)
+	return ok
+}
+
+// parseNodeID is parseID with an error for reporting paths.
+func parseNodeID(s string) (int32, error) {
+	v, ok := parseID(s)
+	if !ok {
+		return 0, fmt.Errorf("field %q is not a canonical non-negative id", s)
+	}
+	return v, nil
 }

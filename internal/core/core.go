@@ -132,7 +132,7 @@ func Universe(t *hierarchy.Tree, level int, model GroupModel) (GroupUniverse, er
 		Level:        level,
 		Model:        model,
 		ModelName:    model.String(),
-		TotalRecords: t.Graph().NumEdges(),
+		TotalRecords: t.NumEdges(),
 	}
 	switch model {
 	case ModelCells:
@@ -160,7 +160,7 @@ func Universe(t *hierarchy.Tree, level int, model GroupModel) (GroupUniverse, er
 		if _, err := t.DepthOfLevel(level); err != nil {
 			return GroupUniverse{}, err
 		}
-		u.NumGroups = int(t.Graph().NumEdges())
+		u.NumGroups = int(t.NumEdges())
 		u.MaxGroupRecords = 1
 		if u.TotalRecords == 0 {
 			u.MaxGroupRecords = 0
@@ -253,7 +253,7 @@ func ReleaseCount(t *hierarchy.Tree, level int, p dp.Params, model GroupModel, c
 	if err != nil {
 		return LevelRelease{}, err
 	}
-	trueCount := t.Graph().NumEdges()
+	trueCount := t.NumEdges()
 	noisy := float64(trueCount) + gaussianScalar(src, sigma)
 	rel := LevelRelease{
 		Level: level, Model: model, Calibration: calib,
@@ -296,7 +296,7 @@ func ExpectedRER(t *hierarchy.Tree, level int, p dp.Params, model GroupModel, ca
 	if err != nil {
 		return 0, err
 	}
-	total := t.Graph().NumEdges()
+	total := t.NumEdges()
 	if total == 0 {
 		return 0, nil
 	}

@@ -73,7 +73,7 @@ func ReleaseCountWith(t *hierarchy.Tree, level int, p dp.Params, model GroupMode
 	if err != nil {
 		return LevelRelease{}, err
 	}
-	trueCount := t.Graph().NumEdges()
+	trueCount := t.NumEdges()
 	rel := LevelRelease{
 		Level: level, Model: model, Calibration: calib,
 		ModelName: model.String(), CalibName: calib.String(), MechName: mech.String(),
@@ -124,7 +124,7 @@ func ExpectedRERWith(t *hierarchy.Tree, level int, p dp.Params, model GroupModel
 	if err != nil {
 		return 0, err
 	}
-	total := t.Graph().NumEdges()
+	total := t.NumEdges()
 	if total == 0 || sens == 0 {
 		return 0, nil
 	}

@@ -28,7 +28,7 @@ func ReleaseCountSigma(t *hierarchy.Tree, level int, model GroupModel, sigma flo
 	if err != nil {
 		return LevelRelease{}, err
 	}
-	trueCount := t.Graph().NumEdges()
+	trueCount := t.NumEdges()
 	noisy := float64(trueCount) + gaussianScalar(src, sigma)
 	rel := LevelRelease{
 		Level: level, Model: model,

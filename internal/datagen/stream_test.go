@@ -1,0 +1,149 @@
+package datagen
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/bipartite"
+)
+
+func sortedEdges(edges []bipartite.Edge) []bipartite.Edge {
+	out := append([]bipartite.Edge(nil), edges...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Left != out[j].Left {
+			return out[i].Left < out[j].Left
+		}
+		return out[i].Right < out[j].Right
+	})
+	return out
+}
+
+// TestStreamMatchesGenerate: the chunked stream must emit exactly the
+// edge set Generate builds its graph from — same seed, same dedup and
+// fallback draws — and replay it identically after Reset.
+func TestStreamMatchesGenerate(t *testing.T) {
+	t.Parallel()
+	cfg := Config{
+		Name: "stream", NumLeft: 500, NumRight: 700, NumEdges: 6000,
+		LeftZipf: 1.9, RightZipf: 2.8, Seed: 11,
+	}
+	g, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewStream(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := bipartite.ReadAllEdges(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := g.Edges() // sorted left-major by construction
+	gotSorted := sortedEdges(got)
+	if len(gotSorted) != len(want) {
+		t.Fatalf("stream emitted %d edges, graph has %d", len(gotSorted), len(want))
+	}
+	for i := range want {
+		if gotSorted[i] != want[i] {
+			t.Fatalf("edge %d: stream %v, graph %v", i, gotSorted[i], want[i])
+		}
+	}
+
+	if err := s.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	replay, err := bipartite.ReadAllEdges(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(replay) != len(got) {
+		t.Fatalf("replay emitted %d edges, first pass %d", len(replay), len(got))
+	}
+	for i := range got {
+		if replay[i] != got[i] {
+			t.Fatalf("replay diverged at %d: %v vs %v", i, replay[i], got[i])
+		}
+	}
+
+	nl, nr, known := s.Sides()
+	if !known || int(nl) != cfg.NumLeft || int(nr) != cfg.NumRight {
+		t.Fatalf("Sides = %d,%d,%v, want %d,%d,true", nl, nr, known, cfg.NumLeft, cfg.NumRight)
+	}
+}
+
+// TestStreamDenseFallback exercises the uniform-fallback path (a dense
+// target forces long duplicate runs) and still matches Generate.
+func TestStreamDenseFallback(t *testing.T) {
+	t.Parallel()
+	cfg := Config{
+		Name: "dense", NumLeft: 12, NumRight: 14, NumEdges: 150,
+		LeftZipf: 2.5, RightZipf: 2.5, Seed: 5,
+	}
+	g, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewStream(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := bipartite.ReadAllEdges(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotSorted := sortedEdges(got)
+	want := g.Edges()
+	if len(gotSorted) != len(want) {
+		t.Fatalf("stream emitted %d edges, graph has %d", len(gotSorted), len(want))
+	}
+	for i := range want {
+		if gotSorted[i] != want[i] {
+			t.Fatalf("edge %d: stream %v, graph %v", i, gotSorted[i], want[i])
+		}
+	}
+}
+
+// TestStreamRejectsBadConfigs mirrors Generate's validation and the
+// labels restriction.
+func TestStreamRejectsBadConfigs(t *testing.T) {
+	t.Parallel()
+	if _, err := NewStream(Config{NumLeft: 0, NumRight: 1, LeftZipf: 2, RightZipf: 2}); err == nil {
+		t.Fatal("want validation error")
+	}
+	cfg := DBLPTiny(1)
+	cfg.Labels = true
+	if _, err := NewStream(cfg); err == nil {
+		t.Fatal("want error for labels on the streamed path")
+	}
+}
+
+// TestEdgeListMatchesStream: the materialized list equals one full stream
+// pass and reports the declared sides.
+func TestEdgeListMatchesStream(t *testing.T) {
+	t.Parallel()
+	cfg := DBLPTiny(9)
+	list, nl, nr, err := EdgeList(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(nl) != cfg.NumLeft || int(nr) != cfg.NumRight {
+		t.Fatalf("sides %d,%d, want %d,%d", nl, nr, cfg.NumLeft, cfg.NumRight)
+	}
+	if len(list) != cfg.NumEdges {
+		t.Fatalf("list has %d edges, want %d", len(list), cfg.NumEdges)
+	}
+	s, err := NewStream(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamed, err := bipartite.ReadAllEdges(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range list {
+		if list[i] != streamed[i] {
+			t.Fatalf("EdgeList diverges from stream at %d", i)
+		}
+	}
+}

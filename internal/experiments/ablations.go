@@ -148,7 +148,7 @@ func RunCalibration(opts Options) (*Report, error) {
 	}
 	classical := metrics.Series{Name: "classical"}
 	analytic := metrics.Series{Name: "analytic"}
-	total := float64(tree.Graph().NumEdges())
+	total := float64(tree.NumEdges())
 	for _, eps := range grid {
 		p := dp.Params{Epsilon: eps, Delta: delta}
 		sigmaA, err := core.Sigma(p, sens, core.CalibrationAnalytic)

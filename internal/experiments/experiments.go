@@ -168,3 +168,21 @@ func buildTrialTree(b *hierarchy.Builder, g *bipartite.Graph, rnds int, phase1Ep
 	}
 	return b.Build(g, hierarchy.Options{Rounds: rnds, Bisector: bis, Workers: workers})
 }
+
+// buildTrialTreeFromEdges is buildTrialTree over a chunked edge stream:
+// the hierarchy is specialized by hierarchy.BuildFromEdges without a
+// materialized Graph. Trees are bit-identical to the graph path for the
+// same edges, so experiments can mix the two freely.
+func buildTrialTreeFromEdges(b *hierarchy.Builder, src bipartite.EdgeSource, rnds int, phase1Eps float64, workers int, rsrc *rng.Source) (*hierarchy.Tree, error) {
+	var bis partition.Bisector
+	if phase1Eps > 0 {
+		eb, err := partition.NewExpMechBisector(phase1Eps, rsrc)
+		if err != nil {
+			return nil, err
+		}
+		bis = eb
+	} else {
+		bis = partition.BalancedBisector{}
+	}
+	return b.BuildFromEdges(src, hierarchy.Options{Rounds: rnds, Bisector: bis, Workers: workers})
+}

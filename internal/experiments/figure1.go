@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/datagen"
 	"repro/internal/dp"
+	"repro/internal/hierarchy"
 	"repro/internal/metrics"
 	"repro/internal/rng"
 )
@@ -51,6 +52,12 @@ type Figure1Config struct {
 	// trials spend it on the hierarchy build instead); the produced
 	// figures are bit-identical for any value.
 	Workers int
+	// Stream builds every trial hierarchy through the chunked
+	// hierarchy.BuildFromEdges path over the synthesized edge list instead
+	// of materializing a bipartite.Graph (quick runs default to this —
+	// synthesis then skips the Builder's dedup sort and both CSR
+	// directions). The produced figures are bit-identical either way.
+	Stream bool
 }
 
 // DefaultFigure1Config mirrors the paper's setup on the scaled dataset.
@@ -72,6 +79,7 @@ func DefaultFigure1Config(opts Options) (Figure1Config, error) {
 		Calib:         core.CalibrationClassical,
 		Seed:          opts.Seed,
 		Workers:       opts.Workers,
+		Stream:        opts.Quick,
 	}, nil
 }
 
@@ -103,11 +111,35 @@ func RunFigure1(cfg Figure1Config) (*Figure1Result, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
+	if cfg.Stream {
+		return RunFigure1Streamed(cfg)
+	}
 	g, err := datagen.Generate(cfg.Dataset)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: generating dataset: %w", err)
 	}
 	return RunFigure1On(g, cfg)
+}
+
+// RunFigure1Streamed is RunFigure1 over the chunked build path: the
+// dataset is synthesized once as a bare edge list (datagen.EdgeList — no
+// Graph, no CSR directions) and every trial's hierarchy is built through
+// hierarchy.BuildFromEdges with a per-build SliceSource cursor over the
+// shared, immutable list, so trial lanes fan out without copying edges.
+// Bit-identical to the in-memory path (pinned by
+// TestFigure1StreamedMatchesInMemory).
+func RunFigure1Streamed(cfg Figure1Config) (*Figure1Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	edges, numLeft, numRight, err := datagen.EdgeList(cfg.Dataset)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: synthesizing edge list: %w", err)
+	}
+	return runFigure1Trials(cfg, func(b *hierarchy.Builder, buildWorkers int, src *rng.Source) (*hierarchy.Tree, error) {
+		es := bipartite.NewSliceSource(numLeft, numRight, edges)
+		return buildTrialTreeFromEdges(b, es, cfg.Rounds, cfg.Phase1Epsilon, buildWorkers, src)
+	})
 }
 
 // validate rejects configs cheaply, before any dataset synthesis.
@@ -132,6 +164,15 @@ func RunFigure1On(g *bipartite.Graph, cfg Figure1Config) (*Figure1Result, error)
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
+	return runFigure1Trials(cfg, func(b *hierarchy.Builder, buildWorkers int, src *rng.Source) (*hierarchy.Tree, error) {
+		return buildTrialTree(b, g, cfg.Rounds, cfg.Phase1Epsilon, buildWorkers, src)
+	})
+}
+
+// runFigure1Trials is the shared trial loop: buildTree produces one
+// trial's Phase-1 hierarchy (from a Graph or an edge stream — the loop
+// does not care), everything downstream of the build is common.
+func runFigure1Trials(cfg Figure1Config, buildTree func(b *hierarchy.Builder, buildWorkers int, src *rng.Source) (*hierarchy.Tree, error)) (*Figure1Result, error) {
 	src := rng.New(cfg.Seed)
 
 	// Per trial: rer[li][ei] and exp[li][ei] measured on the trial's own
@@ -147,7 +188,7 @@ func RunFigure1On(g *bipartite.Graph, cfg Figure1Config) (*Figure1Result, error)
 	buildWorkers := buildWorkersFor(cfg.Workers, cfg.Trials)
 	err := runTrials(cfg.Workers, cfg.Trials, func(worker, trial int) error {
 		trialSrc := trialSrcs[trial]
-		tree, err := buildTrialTree(builders[worker], g, cfg.Rounds, cfg.Phase1Epsilon, buildWorkers, trialSrc.Split(1))
+		tree, err := buildTree(builders[worker], buildWorkers, trialSrc.Split(1))
 		if err != nil {
 			return fmt.Errorf("experiments: trial %d phase 1: %w", trial, err)
 		}

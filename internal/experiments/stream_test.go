@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestFigure1StreamedMatchesInMemory pins the streamed quick path: the
+// whole Figure-1 result must serialize identically whether trial
+// hierarchies are built from the materialized graph or from slice-source
+// cursors over the synthesized edge list, across worker counts.
+func TestFigure1StreamedMatchesInMemory(t *testing.T) {
+	t.Parallel()
+	base, err := DefaultFigure1Config(Options{Quick: true, Seed: 5, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base.Trials = 3
+
+	inMem := base
+	inMem.Stream = false
+	want, err := RunFigure1(inMem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJSON, err := json.Marshal(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, workers := range []int{1, 4} {
+		streamed := base
+		streamed.Stream = true
+		streamed.Workers = workers
+		got, err := RunFigure1(streamed)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		got.Config = want.Config // compare results, not the mode flags
+		gotJSON, err := json.Marshal(got)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(gotJSON) != string(wantJSON) {
+			t.Fatalf("workers=%d: streamed Figure-1 result differs from in-memory", workers)
+		}
+	}
+}

@@ -102,8 +102,8 @@ func DecodeBinary(r io.Reader, g *bipartite.Graph) (*Tree, error) {
 	}
 
 	t := &Tree{graph: g, maxLevel: int(maxLevel)}
-	t.left = sideTree{perm: make([]int32, numLeft), pos: make([]int32, numLeft)}
-	t.right = sideTree{perm: make([]int32, numRight), pos: make([]int32, numRight)}
+	t.left = sideTree{perm: make([]int32, numLeft), pos: make([]int32, numLeft), deg: g.Degrees(bipartite.Left)}
+	t.right = sideTree{perm: make([]int32, numRight), pos: make([]int32, numRight), deg: g.Degrees(bipartite.Right)}
 	for _, st := range []*sideTree{&t.left, &t.right} {
 		n := uint64(len(st.perm))
 		for i := range st.perm {

@@ -137,6 +137,11 @@ var (
 type sideTree struct {
 	perm []int32 // position -> node id
 	pos  []int32 // node id -> position
+	// deg[node] is the node's degree. It is the only per-node input the
+	// specialization consumes, which is what lets the streamed build run
+	// without a Graph: pass 1 of BuildFromEdges fills it from edge chunks,
+	// the graph path copies it out of the CSR offsets.
+	deg []int64
 	// bounds[d] holds the 2^d+1 range boundaries at depth d:
 	// range i spans positions [bounds[d][i], bounds[d][i+1]).
 	bounds [][]int32
@@ -157,6 +162,9 @@ type sideTree struct {
 
 // Tree is the built hierarchy. It is immutable after Build.
 type Tree struct {
+	// graph is the backing graph for in-memory builds and decoded trees;
+	// it is nil for trees built through BuildFromEdges, whose accessors
+	// all run off the side trees' degree and cell state instead.
 	graph    *bipartite.Graph
 	maxLevel int
 
@@ -226,23 +234,32 @@ func (b *Builder) Close() {
 	}
 }
 
+// normalizeOptions validates opts and fills defaults; shared by the graph
+// and streamed build entry points.
+func normalizeOptions(opts *Options) error {
+	if opts.Bisector == nil {
+		return ErrNilBisector
+	}
+	if opts.Rounds < 1 || opts.Rounds > MaxRounds {
+		return fmt.Errorf("%w (got %d)", ErrBadRounds, opts.Rounds)
+	}
+	if opts.Order == 0 {
+		opts.Order = OrderWeightDesc
+	}
+	if !opts.Order.Valid() {
+		return fmt.Errorf("hierarchy: unknown order %d", opts.Order)
+	}
+	return nil
+}
+
 // Build runs Phase-1 specialization and returns the tree, reusing the
 // Builder's scratch and pool from previous calls.
 func (b *Builder) Build(g *bipartite.Graph, opts Options) (*Tree, error) {
 	if g == nil {
 		return nil, ErrNilGraph
 	}
-	if opts.Bisector == nil {
-		return nil, ErrNilBisector
-	}
-	if opts.Rounds < 1 || opts.Rounds > MaxRounds {
-		return nil, fmt.Errorf("%w (got %d)", ErrBadRounds, opts.Rounds)
-	}
-	if opts.Order == 0 {
-		opts.Order = OrderWeightDesc
-	}
-	if !opts.Order.Valid() {
-		return nil, fmt.Errorf("hierarchy: unknown order %d", opts.Order)
+	if err := normalizeOptions(&opts); err != nil {
+		return nil, err
 	}
 
 	t := &Tree{
@@ -251,19 +268,32 @@ func (b *Builder) Build(g *bipartite.Graph, opts Options) (*Tree, error) {
 		left:     newSideTree(g.NumLeft()),
 		right:    newSideTree(g.NumRight()),
 	}
-	t.left.initWeights(g, bipartite.Left, opts.Order)
-	t.right.initWeights(g, bipartite.Right, opts.Order)
-	b.begin(t, opts)
-	for d := 0; d < opts.Rounds; d++ {
-		if err := t.splitDepth(&t.left, bipartite.Left, d, b); err != nil {
-			return nil, fmt.Errorf("hierarchy: splitting left side at depth %d: %w", d, err)
-		}
-		if err := t.splitDepth(&t.right, bipartite.Right, d, b); err != nil {
-			return nil, fmt.Errorf("hierarchy: splitting right side at depth %d: %w", d, err)
-		}
+	t.left.deg = g.Degrees(bipartite.Left)
+	t.right.deg = g.Degrees(bipartite.Right)
+	t.left.initWeights(opts.Order)
+	t.right.initWeights(opts.Order)
+	if err := b.runSplits(t, opts); err != nil {
+		return nil, err
 	}
 	t.finalize(opts.Workers)
 	return t, nil
+}
+
+// runSplits executes every specialization round — the part of a build that
+// is identical whether the edges live in a Graph or behind an EdgeSource,
+// because cuts consume only the per-node degrees captured in the side
+// trees.
+func (b *Builder) runSplits(t *Tree, opts Options) error {
+	b.begin(t, opts)
+	for d := 0; d < opts.Rounds; d++ {
+		if err := t.splitDepth(&t.left, bipartite.Left, d, b); err != nil {
+			return fmt.Errorf("hierarchy: splitting left side at depth %d: %w", d, err)
+		}
+		if err := t.splitDepth(&t.right, bipartite.Right, d, b); err != nil {
+			return fmt.Errorf("hierarchy: splitting right side at depth %d: %w", d, err)
+		}
+	}
+	return nil
 }
 
 // begin readies the Builder for one build: grows the scratch to the
@@ -311,13 +341,13 @@ func newSideTree(n int) sideTree {
 	return st
 }
 
-// initWeights fills weightByPos for the initial identity permutation.
-// OrderNatural keeps permutation order, so the side starts in bisector
-// order; OrderWeightDesc needs one sorting pass first.
-func (st *sideTree) initWeights(g *bipartite.Graph, side bipartite.Side, order Order) {
+// initWeights fills weightByPos from st.deg for the initial identity
+// permutation. OrderNatural keeps permutation order, so the side starts in
+// bisector order; OrderWeightDesc needs one sorting pass first.
+func (st *sideTree) initWeights(order Order) {
 	st.weightByPos = make([]int64, len(st.perm))
 	for p, node := range st.perm {
-		st.weightByPos[p] = g.Degree(side, node)
+		st.weightByPos[p] = st.deg[node]
 	}
 	st.inOrder = order == OrderNatural
 }
@@ -533,25 +563,34 @@ func (t *Tree) applyCut(st *sideTree, lo, hi int32, reorder bool, bs *Builder) (
 // finalize derives everything Build's accessors serve: the deepest cell
 // matrix from one sharded edge scan, every coarser matrix by 2×2 block
 // aggregation, and the per-side degree prefix sums. DecodeBinary calls it
-// too, so decoded trees answer queries through the same fast paths.
+// too, so decoded trees answer queries through the same fast paths. The
+// streamed build runs finalizeFromSource instead, which computes the same
+// state from edge chunks.
 func (t *Tree) finalize(workers int) {
 	t.computeCells(workers)
-	t.left.computeDegreePrefix(t.graph, bipartite.Left)
-	t.right.computeDegreePrefix(t.graph, bipartite.Right)
+	t.left.computeDegreePrefix()
+	t.right.computeDegreePrefix()
 }
 
 // computeCells fills the per-depth cell count matrices: one edge scan at
 // the deepest level, then bottom-up aggregation. Total work is
 // O(E + Σ_d 4^d) regardless of depth count.
 func (t *Tree) computeCells(workers int) {
-	depths := len(t.left.bounds)
-	t.cells = make([][]int64, depths)
-	dmax := depths - 1
+	dmax := len(t.left.bounds) - 1
 	k := 1 << dmax
 	leftGroup := t.left.groupOfNode(dmax)
 	rightGroup := t.right.groupOfNode(dmax)
-	t.cells[dmax] = t.scanCells(k, leftGroup, rightGroup, workers)
-	for d := dmax; d > 0; d-- {
+	t.setCells(t.scanCells(k, leftGroup, rightGroup, workers))
+}
+
+// setCells installs the deepest-level cell matrix and derives every
+// coarser matrix plus the per-depth maxima from it — the aggregation tail
+// shared by the graph scan and the streamed scan.
+func (t *Tree) setCells(deepest []int64) {
+	depths := len(t.left.bounds)
+	t.cells = make([][]int64, depths)
+	t.cells[depths-1] = deepest
+	for d := depths - 1; d > 0; d-- {
 		t.cells[d-1] = aggregateCells(t.cells[d], 1<<d)
 	}
 	t.maxCells = make([]int64, depths)
@@ -649,16 +688,31 @@ func (st *sideTree) groupOfNode(d int) []int32 {
 	return idx
 }
 
-// computeDegreePrefix fills degPrefix over the final permutation.
-func (st *sideTree) computeDegreePrefix(g *bipartite.Graph, side bipartite.Side) {
+// computeDegreePrefix fills degPrefix over the final permutation from the
+// stored per-node degrees.
+func (st *sideTree) computeDegreePrefix() {
 	st.degPrefix = make([]int64, len(st.perm)+1)
 	for p, node := range st.perm {
-		st.degPrefix[p+1] = st.degPrefix[p] + g.Degree(side, node)
+		st.degPrefix[p+1] = st.degPrefix[p] + st.deg[node]
 	}
 }
 
-// Graph returns the underlying graph.
+// Graph returns the underlying graph, or nil for a tree built through
+// BuildFromEdges — streamed builds never materialize one. Every other
+// accessor (counts, sensitivities, stats) works identically either way.
 func (t *Tree) Graph() *bipartite.Graph { return t.graph }
+
+// NumEdges returns the total number of association records the tree was
+// built over, available whether or not a Graph backs the tree.
+func (t *Tree) NumEdges() int64 { return t.left.degPrefix[len(t.left.degPrefix)-1] }
+
+// DatasetStats summarizes the dataset from the per-node degrees captured
+// at build time. For graph-backed trees it equals
+// bipartite.ComputeStats(t.Graph()) bit for bit; for streamed trees it is
+// the only dataset summary available.
+func (t *Tree) DatasetStats() bipartite.Stats {
+	return bipartite.StatsFromDegrees(t.left.deg, t.right.deg)
+}
 
 // MaxLevel returns the root's level number.
 func (t *Tree) MaxLevel() int { return t.maxLevel }
@@ -740,7 +794,7 @@ func (t *Tree) CellOfEdge(level int, l, r int32) (i, j int, err error) {
 	if err != nil {
 		return 0, 0, err
 	}
-	if l < 0 || int(l) >= t.graph.NumLeft() || r < 0 || int(r) >= t.graph.NumRight() {
+	if l < 0 || int(l) >= len(t.left.pos) || r < 0 || int(r) >= len(t.right.pos) {
 		return 0, 0, fmt.Errorf("hierarchy: edge (%d,%d) out of range", l, r)
 	}
 	return findRange(t.left.bounds[d], t.left.pos[l]), findRange(t.right.bounds[d], t.right.pos[r]), nil
@@ -969,7 +1023,13 @@ func (t *Tree) Validate() error {
 	if err := checkPerm(t.right.perm, t.right.pos); err != nil {
 		return fmt.Errorf("%w: right perm: %v", ErrInvalid, err)
 	}
-	total := t.graph.NumEdges()
+	var total int64
+	for _, d := range t.left.deg {
+		total += d
+	}
+	if t.graph != nil && total != t.graph.NumEdges() {
+		return fmt.Errorf("%w: stored degrees sum to %d, graph has %d edges", ErrInvalid, total, t.graph.NumEdges())
+	}
 	for _, sd := range []struct {
 		name string
 		st   *sideTree
@@ -977,6 +1037,17 @@ func (t *Tree) Validate() error {
 	}{{"left", &t.left, bipartite.Left}, {"right", &t.right, bipartite.Right}} {
 		st := sd.st
 		n := int32(len(st.perm))
+		if len(st.deg) != int(n) {
+			return fmt.Errorf("%w: %s has %d stored degrees for %d nodes", ErrInvalid, sd.name, len(st.deg), n)
+		}
+		if t.graph != nil {
+			for node, d := range st.deg {
+				if d != t.graph.Degree(sd.side, int32(node)) {
+					return fmt.Errorf("%w: %s stored degree of node %d is %d, graph says %d",
+						ErrInvalid, sd.name, node, d, t.graph.Degree(sd.side, int32(node)))
+				}
+			}
+		}
 		for d, bounds := range st.bounds {
 			if len(bounds) != (1<<d)+1 {
 				return fmt.Errorf("%w: depth %d has %d boundaries, want %d", ErrInvalid, d, len(bounds), (1<<d)+1)
@@ -1002,7 +1073,7 @@ func (t *Tree) Validate() error {
 			return fmt.Errorf("%w: %s degree prefix has %d entries, want %d", ErrInvalid, sd.name, len(st.degPrefix), n+1)
 		}
 		for p, node := range st.perm {
-			if st.degPrefix[p+1]-st.degPrefix[p] != t.graph.Degree(sd.side, node) {
+			if st.degPrefix[p+1]-st.degPrefix[p] != st.deg[node] {
 				return fmt.Errorf("%w: %s degree prefix wrong at position %d", ErrInvalid, sd.name, p)
 			}
 		}
@@ -1014,13 +1085,20 @@ func (t *Tree) Validate() error {
 		return fmt.Errorf("%w: %d cell matrices for %d depths", ErrInvalid, len(t.cells), len(t.left.bounds))
 	}
 	dmax := len(t.cells) - 1
-	k := 1 << dmax
-	recount := t.scanCells(k, t.left.groupOfNode(dmax), t.right.groupOfNode(dmax), 1)
-	var sum int64
-	for i, c := range recount {
-		if c != t.cells[dmax][i] {
-			return fmt.Errorf("%w: depth %d cell %d stored %d, recounted %d", ErrInvalid, dmax, i, t.cells[dmax][i], c)
+	if t.graph != nil {
+		// The edge recount needs the edges; streamed trees instead pin the
+		// deepest matrix to the degrees via the sum check below (and
+		// BuildFromEdges cross-checks its two passes against each other).
+		k := 1 << dmax
+		recount := t.scanCells(k, t.left.groupOfNode(dmax), t.right.groupOfNode(dmax), 1)
+		for i, c := range recount {
+			if c != t.cells[dmax][i] {
+				return fmt.Errorf("%w: depth %d cell %d stored %d, recounted %d", ErrInvalid, dmax, i, t.cells[dmax][i], c)
+			}
 		}
+	}
+	var sum int64
+	for _, c := range t.cells[dmax] {
 		sum += c
 	}
 	if sum != total {

@@ -1,0 +1,271 @@
+package hierarchy
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/bipartite"
+)
+
+// Streamed Phase-1 builds.
+//
+// The deepest-level cell matrix is a pure sum over edges and every cut
+// decision consumes only per-node degrees, so the whole build needs just
+// two sequential passes over an edge stream:
+//
+//	pass 1 — accumulate per-node degrees on both sides (and discover the
+//	         side sizes when the source does not declare them);
+//	pass 2 — after the cuts, count each edge into its deepest-level cell,
+//	         feeding the same bottom-up aggregation the in-memory path
+//	         uses.
+//
+// Peak memory is O(chunk + sides + 4^rounds): the edges themselves are
+// never held — not as a pair list, not as either CSR direction. The
+// produced tree is bit-identical to Build on a Graph holding the same
+// associations (pinned by TestBuildFromEdgesMatchesInMemory): degrees
+// determine the cuts, the bisector consumes its stream in the same serial
+// range order, and cell counts are order-independent integer sums.
+
+// ErrNilSource reports a nil EdgeSource.
+var ErrNilSource = errors.New("hierarchy: nil edge source")
+
+// streamChunkEdges is the chunk capacity the streamed build requests from
+// the source per NextChunk call.
+const streamChunkEdges = bipartite.DefaultChunkEdges
+
+// BuildFromEdges runs Phase-1 specialization over an edge stream and
+// returns the tree. Like Build it is a thin wrapper over a throwaway
+// Builder; repeated-build callers should hold a Builder. The source is
+// Reset before each of the two passes, and the returned tree has no
+// backing Graph (Tree.Graph returns nil).
+func BuildFromEdges(src bipartite.EdgeSource, opts Options) (*Tree, error) {
+	b := NewBuilder()
+	defer b.Close()
+	return b.BuildFromEdges(src, opts)
+}
+
+// BuildFromEdges is the streamed counterpart of Builder.Build, reusing the
+// Builder's scratch and pool across calls.
+func (b *Builder) BuildFromEdges(src bipartite.EdgeSource, opts Options) (*Tree, error) {
+	if src == nil {
+		return nil, ErrNilSource
+	}
+	if err := normalizeOptions(&opts); err != nil {
+		return nil, err
+	}
+
+	if err := src.Reset(); err != nil {
+		return nil, fmt.Errorf("hierarchy: resetting source for degree pass: %w", err)
+	}
+	leftDeg, rightDeg, err := scanStreamDegrees(src)
+	if err != nil {
+		return nil, fmt.Errorf("hierarchy: degree pass: %w", err)
+	}
+
+	t := &Tree{
+		maxLevel: opts.Rounds,
+		left:     newSideTree(len(leftDeg)),
+		right:    newSideTree(len(rightDeg)),
+	}
+	t.left.deg = leftDeg
+	t.right.deg = rightDeg
+	t.left.initWeights(opts.Order)
+	t.right.initWeights(opts.Order)
+	if err := b.runSplits(t, opts); err != nil {
+		return nil, err
+	}
+
+	if err := src.Reset(); err != nil {
+		return nil, fmt.Errorf("hierarchy: resetting source for cell pass: %w", err)
+	}
+	if err := t.finalizeFromSource(src, opts.Workers); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// scanStreamDegrees is pass 1: one sequential sweep accumulating per-node
+// degrees. The returned slice lengths define the side sizes: the declared
+// sizes when the source knows them, grown to cover every observed id
+// (geometric growth, trimmed back at the end — a source that hands out
+// ascending ids, like a header-mode TSV of SaveTSV output, must not cost
+// one reallocation per node).
+func scanStreamDegrees(src bipartite.EdgeSource) (leftDeg, rightDeg []int64, err error) {
+	var maxL, maxR int32 = -1, -1
+	if nl, nr, known := src.Sides(); known {
+		leftDeg = make([]int64, nl)
+		rightDeg = make([]int64, nr)
+		maxL, maxR = nl-1, nr-1
+	}
+	buf := make([]bipartite.Edge, streamChunkEdges)
+	err = bipartite.ForEachChunk(src, buf, func(chunk []bipartite.Edge) error {
+		for _, e := range chunk {
+			if e.Left < 0 || e.Right < 0 {
+				return fmt.Errorf("negative node id in edge (%d,%d)", e.Left, e.Right)
+			}
+			leftDeg = growCounts(leftDeg, e.Left)
+			rightDeg = growCounts(rightDeg, e.Right)
+			leftDeg[e.Left]++
+			rightDeg[e.Right]++
+			if e.Left > maxL {
+				maxL = e.Left
+			}
+			if e.Right > maxR {
+				maxR = e.Right
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return leftDeg[:maxL+1], rightDeg[:maxR+1], nil
+}
+
+// growCounts extends counts so that id is a valid index. Capacity at
+// least doubles on reallocation and the zeroed tail is re-sliced into
+// without copying, so a sequential id stream costs amortized O(1) per
+// node instead of one reallocation each.
+func growCounts(counts []int64, id int32) []int64 {
+	n := int(id) + 1
+	if n <= len(counts) {
+		return counts
+	}
+	if n <= cap(counts) {
+		return counts[:n] // make() zeroed the tail; it was never written
+	}
+	newCap := 2 * cap(counts)
+	if newCap < n {
+		newCap = n
+	}
+	grown := make([]int64, n, newCap)
+	copy(grown, counts)
+	return grown
+}
+
+// finalizeFromSource is the streamed finalize: the deepest cell matrix
+// from one chunked scan of the source, the shared bottom-up aggregation,
+// and the degree prefix sums. It cross-checks the two passes — a source
+// whose replay yields a different edge multiset (or count) is rejected
+// rather than silently producing a tree inconsistent with its own
+// degrees.
+func (t *Tree) finalizeFromSource(src bipartite.EdgeSource, workers int) error {
+	dmax := len(t.left.bounds) - 1
+	k := 1 << dmax
+	deepest, err := t.scanCellsFromSource(src, k, workers)
+	if err != nil {
+		return fmt.Errorf("hierarchy: cell pass: %w", err)
+	}
+	var cellSum, degSum int64
+	for _, c := range deepest {
+		cellSum += c
+	}
+	for _, d := range t.left.deg {
+		degSum += d
+	}
+	if cellSum != degSum {
+		return fmt.Errorf("hierarchy: source changed between passes: degree pass saw %d edges, cell pass %d", degSum, cellSum)
+	}
+	t.setCells(deepest)
+	t.left.computeDegreePrefix()
+	t.right.computeDegreePrefix()
+	return nil
+}
+
+// scanCellsFromSource counts the stream's edges into the deepest k×k cell
+// matrix. With workers > 1 (and a matrix small enough that per-worker
+// buffers stay under maxShardCells) chunks are fanned out over a small
+// pipeline: the reader goroutine recycles chunk buffers through a free
+// list while counting workers accumulate into private matrices merged at
+// the end — integer sums, so the result is identical for any worker
+// count.
+func (t *Tree) scanCellsFromSource(src bipartite.EdgeSource, k, workers int) ([]int64, error) {
+	leftGroup := t.left.groupOfNode(len(t.left.bounds) - 1)
+	rightGroup := t.right.groupOfNode(len(t.right.bounds) - 1)
+	shardCells := int64(workers) * int64(k) * int64(k)
+	if workers < 2 || shardCells > maxShardCells {
+		counts := make([]int64, k*k)
+		buf := make([]bipartite.Edge, streamChunkEdges)
+		err := bipartite.ForEachChunk(src, buf, func(chunk []bipartite.Edge) error {
+			return countEdgeChunk(counts, chunk, leftGroup, rightGroup, k)
+		})
+		if err != nil {
+			return nil, err
+		}
+		return counts, nil
+	}
+
+	type chunk struct {
+		buf []bipartite.Edge
+		n   int
+	}
+	free := make(chan []bipartite.Edge, workers+1)
+	for i := 0; i < workers+1; i++ {
+		free <- make([]bipartite.Edge, streamChunkEdges)
+	}
+	work := make(chan chunk, workers+1)
+	parts := make([][]int64, workers)
+	workerErrs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		parts[w] = make([]int64, k*k)
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for c := range work {
+				if workerErrs[w] == nil {
+					workerErrs[w] = countEdgeChunk(parts[w], c.buf[:c.n], leftGroup, rightGroup, k)
+				}
+				free <- c.buf
+			}
+		}(w)
+	}
+
+	var readErr error
+	for {
+		buf := <-free
+		n, err := src.NextChunk(buf)
+		if err == io.EOF {
+			break
+		}
+		if err == nil && n == 0 {
+			err = errors.New("edge source returned an empty chunk without error")
+		}
+		if err != nil {
+			readErr = err
+			break
+		}
+		work <- chunk{buf: buf, n: n}
+	}
+	close(work)
+	wg.Wait()
+	if readErr != nil {
+		return nil, readErr
+	}
+	for _, werr := range workerErrs {
+		if werr != nil {
+			return nil, werr
+		}
+	}
+	counts := make([]int64, k*k)
+	for _, part := range parts {
+		for i, c := range part {
+			counts[i] += c
+		}
+	}
+	return counts, nil
+}
+
+// countEdgeChunk counts one chunk into the k×k matrix, rejecting ids the
+// degree pass never sized for (a source that grew between passes).
+func countEdgeChunk(counts []int64, edges []bipartite.Edge, leftGroup, rightGroup []int32, k int) error {
+	for _, e := range edges {
+		if e.Left < 0 || int(e.Left) >= len(leftGroup) || e.Right < 0 || int(e.Right) >= len(rightGroup) {
+			return fmt.Errorf("edge (%d,%d) outside the sides seen by the degree pass", e.Left, e.Right)
+		}
+		counts[int(leftGroup[e.Left])*k+int(rightGroup[e.Right])]++
+	}
+	return nil
+}

@@ -88,6 +88,7 @@ func (m Mode) Valid() bool {
 // Errors returned by the pipeline.
 var (
 	ErrNilGraph  = errors.New("release: nil graph")
+	ErrNilSource = errors.New("release: nil edge source")
 	ErrBadOption = errors.New("release: invalid option")
 )
 
@@ -394,38 +395,86 @@ func (p *Pipeline) Run(g *bipartite.Graph) (*Release, error) {
 	if g == nil {
 		return nil, ErrNilGraph
 	}
-	cfg := p.cfg
-	src := rng.New(cfg.seed)
-	phase1Src := src.Split(1)
-	phase2Src := src.Split(2)
-
-	bisector := cfg.bisector
-	if bisector == nil {
-		if cfg.phase1Epsilon > 0 {
-			b, err := partition.NewExpMechBisector(cfg.phase1Epsilon, phase1Src)
-			if err != nil {
-				return nil, fmt.Errorf("release: phase 1 bisector: %w", err)
-			}
-			bisector = b
-		} else {
-			bisector = partition.BalancedBisector{}
-		}
+	phase1Src, phase2Src := p.splitSources()
+	bisector, err := p.phase1Bisector(phase1Src)
+	if err != nil {
+		return nil, err
 	}
-
 	build := hierarchy.Build
-	if cfg.builder != nil {
-		build = cfg.builder.Build
+	if p.cfg.builder != nil {
+		build = p.cfg.builder.Build
 	}
-	tree, err := build(g, hierarchy.Options{
-		Rounds:   cfg.rounds,
-		Bisector: bisector,
-		Order:    cfg.order,
-		Workers:  cfg.workers,
-	})
+	tree, err := build(g, p.hierarchyOptions(bisector))
 	if err != nil {
 		return nil, fmt.Errorf("release: phase 1: %w", err)
 	}
+	return p.finish(tree, phase2Src)
+}
 
+// RunFromEdges executes both phases over a chunked edge stream: Phase 1
+// runs through hierarchy.BuildFromEdges (two passes over the source, peak
+// memory O(chunk + sides), never a materialized Graph) and Phase 2 is the
+// usual noise injection on the resulting tree. The artifact is
+// bit-identical to Run on a Graph holding the same associations — the
+// dataset summary included, which is computed from the degrees captured
+// during pass 1.
+func (p *Pipeline) RunFromEdges(src bipartite.EdgeSource) (*Release, error) {
+	if src == nil {
+		return nil, ErrNilSource
+	}
+	phase1Src, phase2Src := p.splitSources()
+	bisector, err := p.phase1Bisector(phase1Src)
+	if err != nil {
+		return nil, err
+	}
+	build := hierarchy.BuildFromEdges
+	if p.cfg.builder != nil {
+		build = p.cfg.builder.BuildFromEdges
+	}
+	tree, err := build(src, p.hierarchyOptions(bisector))
+	if err != nil {
+		return nil, fmt.Errorf("release: phase 1: %w", err)
+	}
+	return p.finish(tree, phase2Src)
+}
+
+// splitSources derives the two phase RNG streams from the seed.
+func (p *Pipeline) splitSources() (phase1, phase2 *rng.Source) {
+	src := rng.New(p.cfg.seed)
+	return src.Split(1), src.Split(2)
+}
+
+// phase1Bisector resolves the configured bisector.
+func (p *Pipeline) phase1Bisector(phase1Src *rng.Source) (partition.Bisector, error) {
+	cfg := p.cfg
+	if cfg.bisector != nil {
+		return cfg.bisector, nil
+	}
+	if cfg.phase1Epsilon > 0 {
+		b, err := partition.NewExpMechBisector(cfg.phase1Epsilon, phase1Src)
+		if err != nil {
+			return nil, fmt.Errorf("release: phase 1 bisector: %w", err)
+		}
+		return b, nil
+	}
+	return partition.BalancedBisector{}, nil
+}
+
+// hierarchyOptions assembles the Phase-1 build options.
+func (p *Pipeline) hierarchyOptions(bisector partition.Bisector) hierarchy.Options {
+	return hierarchy.Options{
+		Rounds:   p.cfg.rounds,
+		Bisector: bisector,
+		Order:    p.cfg.order,
+		Workers:  p.cfg.workers,
+	}
+}
+
+// finish runs Phase 2 and assembles the artifact from a built tree — the
+// shared tail of Run and RunFromEdges.
+func (p *Pipeline) finish(tree *hierarchy.Tree, phase2Src *rng.Source) (*Release, error) {
+	cfg := p.cfg
+	var err error
 	var phase1Eps float64
 	if tree.NumPrivateCuts() > 0 {
 		// Cuts within one (depth, side) operate on disjoint node ranges
@@ -471,7 +520,7 @@ func (p *Pipeline) Run(g *bipartite.Graph) (*Release, error) {
 	}
 
 	rel := &Release{
-		Dataset:       bipartite.ComputeStats(g),
+		Dataset:       tree.DatasetStats(),
 		Seed:          cfg.seed,
 		ModeName:      cfg.mode.String(),
 		ModelName:     cfg.model.String(),

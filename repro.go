@@ -152,6 +152,46 @@ func DecodeBinary(r io.Reader) (*Graph, error) { return bipartite.DecodeBinary(r
 // ComputeStats summarizes a graph.
 func ComputeStats(g *Graph) Stats { return bipartite.ComputeStats(g) }
 
+// EdgeSource is a resettable chunked edge stream — the substrate of the
+// beyond-RAM disclosure path (see Pipeline.RunFromEdges).
+type EdgeSource = bipartite.EdgeSource
+
+// NewTSVEdgeSource streams a "left<TAB>right" file as edge chunks without
+// holding its pairs in memory.
+func NewTSVEdgeSource(rs io.ReadSeeker) (EdgeSource, error) { return bipartite.NewTSVEdgeSource(rs) }
+
+// NewBinaryEdgeSource streams the compact binary graph format as edge
+// chunks without rebuilding the CSR arrays.
+func NewBinaryEdgeSource(rs io.ReadSeeker) (EdgeSource, error) {
+	return bipartite.NewBinaryEdgeSource(rs)
+}
+
+// NewGraphEdgeSource streams an in-memory graph's edges in left-major
+// order (useful for verifying the streamed path against the in-memory
+// one).
+func NewGraphEdgeSource(g *Graph) EdgeSource { return bipartite.NewGraphSource(g) }
+
+// NewSliceEdgeSource streams an explicit edge slice with declared side
+// sizes; many cursors may share one immutable slice.
+func NewSliceEdgeSource(numLeft, numRight int32, edges []Edge) EdgeSource {
+	return bipartite.NewSliceSource(numLeft, numRight, edges)
+}
+
+// NewDatasetStream yields a synthetic dataset's edges as chunks without
+// materializing the Graph.
+func NewDatasetStream(cfg DatasetConfig) (EdgeSource, error) { return datagen.NewStream(cfg) }
+
+// BuildHierarchyFromEdges runs Phase-1 specialization over an edge stream
+// in two passes, with peak memory independent of the edge count. The tree
+// is bit-identical to one built from a materialized Graph holding the
+// same associations.
+func BuildHierarchyFromEdges(src EdgeSource, opts HierarchyOptions) (*Tree, error) {
+	return hierarchy.BuildFromEdges(src, opts)
+}
+
+// HierarchyOptions configures a direct hierarchy build.
+type HierarchyOptions = hierarchy.Options
+
 // GenerateDataset builds a synthetic dataset from a preset name.
 func GenerateDataset(preset string, seed uint64) (*Graph, error) {
 	cfg, err := datagen.ByName(preset, seed)
