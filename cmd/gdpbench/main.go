@@ -46,7 +46,9 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"repro"
@@ -165,14 +167,134 @@ func run(args []string) error {
 			}
 		}
 	}
-	// The Phase-2 throughput record rides along with the full perf-
-	// trajectory sweep only, so single-experiment bench runs stay
-	// proportional to what was asked.
+	// The Phase-2 and serving throughput records ride along with the
+	// full perf-trajectory sweep only, so single-experiment bench runs
+	// stay proportional to what was asked.
 	if *benchDir != "" && *exp == "all" {
 		if err := writePhase2Bench(*benchDir, *seed, *workers); err != nil {
 			return err
 		}
+		if err := writeServeBench(*benchDir, *seed, *workers); err != nil {
+			return err
+		}
 	}
+	return nil
+}
+
+// serveRecord is the serving-layer throughput record: an in-process
+// registry ingests the tiny dataset and concurrent sessions drain a
+// query workload; QueriesPerSec is the aggregate throughput and
+// P50QueryMS the median single-query latency inside a session (one
+// ledger debit + one batched histogram release + marginal
+// post-processing per query).
+type serveRecord struct {
+	Edges      int64   `json:"edges"`
+	Sessions   int     `json:"sessions"`
+	Queries    int     `json:"queries"`
+	Level      int     `json:"level"`
+	IngestMS   float64 `json:"ingest_ms"`
+	WallMS     float64 `json:"wall_ms"`
+	QueriesSec float64 `json:"queries_per_sec"`
+	P50QueryMS float64 `json:"p50_query_ms"`
+	Workers    int     `json:"workers"`
+	Seed       uint64  `json:"seed"`
+	UnixMS     int64   `json:"unix_ms"`
+}
+
+// writeServeBench measures the serving layer end to end in-process and
+// writes BENCH_serve.json.
+func writeServeBench(dir string, seed uint64, workers int) error {
+	const (
+		sessions   = 4
+		perSession = 64
+		level      = 2
+	)
+	cfg, err := datagen.ByName(datagen.PresetDBLPTiny, seed+1)
+	if err != nil {
+		return err
+	}
+	stream, err := datagen.NewStream(cfg)
+	if err != nil {
+		return err
+	}
+	reg, err := repro.OpenRegistry(repro.ServeConfig{
+		// Ample room for the whole workload: the bench measures
+		// throughput, not exhaustion.
+		Budget:   repro.Params{Epsilon: 16, Delta: 1e-4},
+		PerQuery: repro.Params{Epsilon: 0.01, Delta: 1e-8},
+		Rounds:   6,
+		Seed:     seed,
+		Workers:  workers,
+	})
+	if err != nil {
+		return err
+	}
+	defer reg.Close()
+
+	ingestStart := time.Now()
+	ds, err := reg.AddDataset("bench", stream)
+	if err != nil {
+		return err
+	}
+	ingestMS := float64(time.Since(ingestStart).Nanoseconds()) / 1e6
+
+	durations := make([][]time.Duration, sessions)
+	errs := make([]error, sessions)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sess := ds.SessionAt(uint64(i))
+			durations[i] = make([]time.Duration, 0, perSession)
+			for q := 0; q < perSession; q++ {
+				qStart := time.Now()
+				if _, err := sess.Marginal(level, repro.Left); err != nil {
+					errs[i] = err
+					return
+				}
+				durations[i] = append(durations[i], time.Since(qStart))
+			}
+		}(i)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return fmt.Errorf("serve bench query: %w", err)
+		}
+	}
+
+	var all []time.Duration
+	for _, d := range durations {
+		all = append(all, d...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	p50 := all[len(all)/2]
+
+	rec := serveRecord{
+		Edges:      ds.Stats().NumEdges,
+		Sessions:   sessions,
+		Queries:    len(all),
+		Level:      level,
+		IngestMS:   ingestMS,
+		WallMS:     float64(wall.Nanoseconds()) / 1e6,
+		QueriesSec: float64(len(all)) / wall.Seconds(),
+		P50QueryMS: float64(p50.Nanoseconds()) / 1e6,
+		Workers:    workers,
+		Seed:       seed,
+		UnixMS:     start.UnixMilli(),
+	}
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(dir, "BENCH_serve.json")
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("(serve bench record written to %s)\n\n", path)
 	return nil
 }
 

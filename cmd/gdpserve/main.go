@@ -1,0 +1,181 @@
+// Command gdpserve is the multi-tenant disclosure server: a long-lived
+// process that ingests association-graph datasets through the streamed
+// two-pass hierarchy build (edges are never resident — peak ingest
+// memory is O(chunk + sides + 4^rounds) per dataset) and answers
+// εg-group-DP level, marginal and top-k queries over HTTP, debiting a
+// per-dataset privacy ledger before any noise is drawn.
+//
+// Usage:
+//
+//	gdpserve -addr 127.0.0.1:8080 -eps 2 -delta 1e-5
+//	gdpserve -dataset dblp=/data/dblp.tsv -dataset rx=/data/pharmacy.bpg
+//	gdpserve -seed 0                # OS-entropy seed (production: non-replayable)
+//
+// Endpoints (see internal/serve):
+//
+//	POST   /v1/datasets/{name}           ingest (TSV/binary body, or JSON {"path": ...})
+//	GET    /v1/datasets                  list
+//	GET    /v1/datasets/{name}/budget    ledger state + audit report
+//	POST   /v1/datasets/{name}/sessions  open a session ({"stream": n} pins the RNG stream)
+//	POST   /v1/sessions/{id}/level       level view (noisy count + histogram)
+//	POST   /v1/sessions/{id}/marginal    per-group marginals
+//	POST   /v1/sessions/{id}/topk        heaviest groups
+//
+// With a pinned -seed, a pinned session stream replays byte-identical
+// responses for the same query sequence; budget is debited either way.
+// Budget exhaustion returns HTTP 429 and is permanent for the dataset.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], nil); err != nil {
+		fmt.Fprintln(os.Stderr, "gdpserve:", err)
+		os.Exit(1)
+	}
+}
+
+// preload is one -dataset name=path flag.
+type preload struct{ name, path string }
+
+// parseArgs resolves flags into a serving config, the listen address and
+// the datasets to preload.
+func parseArgs(args []string) (cfg repro.ServeConfig, hopts repro.ServeHandlerOptions, addr string, loads []preload, err error) {
+	fs := flag.NewFlagSet("gdpserve", flag.ContinueOnError)
+	var (
+		addrFlag   = fs.String("addr", "127.0.0.1:8080", "listen address")
+		eps        = fs.Float64("eps", 2.0, "per-dataset total privacy budget ε")
+		delta      = fs.Float64("delta", 1e-5, "per-dataset total privacy budget δ")
+		queryEps   = fs.Float64("query-eps", 0, "per-query ε (0 = ε/64)")
+		queryDelta = fs.Float64("query-delta", 0, "per-query δ (0 = δ/64)")
+		rounds     = fs.Int("rounds", 9, "specialization rounds per ingested hierarchy")
+		phase1     = fs.Float64("phase1-eps", 0, "per-cut exponential-mechanism ε for private ingest (0 = public balanced grouping)")
+		seed       = fs.Uint64("seed", 1, "RNG seed; 0 draws one from OS entropy (non-replayable)")
+		workers    = fs.Int("workers", runtime.GOMAXPROCS(0), "ingest build parallelism")
+		lanes      = fs.Int("lanes", 2, "concurrent ingest lanes (each retains a hierarchy builder)")
+		pathIngest = fs.Bool("allow-path-ingest", false, "allow HTTP clients to ingest server-side files via JSON {\"path\": ...} (file-read oracle on open listeners; uploads are always allowed)")
+	)
+	fs.Var(preloadFlag{&loads}, "dataset", "preload a dataset as name=path (repeatable; TSV or binary, sniffed)")
+	if err := fs.Parse(args); err != nil {
+		return repro.ServeConfig{}, repro.ServeHandlerOptions{}, "", nil, err
+	}
+	resolvedSeed := *seed
+	if resolvedSeed == 0 {
+		s, err := repro.NewRandomSeed()
+		if err != nil {
+			return repro.ServeConfig{}, repro.ServeHandlerOptions{}, "", nil, err
+		}
+		resolvedSeed = s
+	}
+	cfg = repro.ServeConfig{
+		Budget: repro.Params{Epsilon: *eps, Delta: *delta},
+		// A zero PerQuery (neither flag set) selects the Budget/64
+		// serving default in OpenRegistry.
+		PerQuery:      repro.Params{Epsilon: *queryEps, Delta: *queryDelta},
+		Rounds:        *rounds,
+		Phase1Epsilon: *phase1,
+		Seed:          resolvedSeed,
+		Workers:       *workers,
+		IngestLanes:   *lanes,
+	}
+	return cfg, repro.ServeHandlerOptions{AllowPathIngest: *pathIngest}, *addrFlag, loads, nil
+}
+
+// preloadFlag accumulates repeated -dataset name=path values.
+type preloadFlag struct{ loads *[]preload }
+
+func (p preloadFlag) String() string { return "" }
+
+func (p preloadFlag) Set(v string) error {
+	name, path, ok := strings.Cut(v, "=")
+	if !ok || name == "" || path == "" {
+		return fmt.Errorf("want name=path, got %q", v)
+	}
+	*p.loads = append(*p.loads, preload{name: name, path: path})
+	return nil
+}
+
+// run opens the registry, preloads datasets, and serves until ctx is
+// canceled. started (if non-nil) receives the bound address once the
+// listener is up — the test hook.
+func run(ctx context.Context, args []string, started func(addr string)) error {
+	cfg, hopts, addr, loads, err := parseArgs(args)
+	if err != nil {
+		return err
+	}
+	reg, err := repro.OpenRegistry(cfg)
+	if err != nil {
+		return err
+	}
+	defer reg.Close()
+
+	for _, l := range loads {
+		if err := ingestFile(reg, l.name, l.path); err != nil {
+			return err
+		}
+	}
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("gdpserve: listening on %s (budget %s per dataset, seed %d)\n",
+		ln.Addr(), cfg.Budget, cfg.Seed)
+	if started != nil {
+		started(ln.Addr().String())
+	}
+
+	srv := &http.Server{Handler: repro.NewServeHandlerWith(reg, hopts)}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			return err
+		}
+		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		return nil
+	}
+}
+
+// ingestFile streams one -dataset file into the registry.
+func ingestFile(reg *repro.Registry, name, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("preloading %q: %w", name, err)
+	}
+	defer f.Close()
+	src, err := repro.OpenEdgeSourceFile(f)
+	if err != nil {
+		return fmt.Errorf("preloading %q: %w", name, err)
+	}
+	ds, err := reg.AddDataset(name, src)
+	if err != nil {
+		return fmt.Errorf("preloading %q: %w", name, err)
+	}
+	fmt.Printf("gdpserve: preloaded %q: %s\n", name, ds.Stats())
+	return nil
+}

@@ -101,3 +101,48 @@ func ExampleReadRelease() {
 		view.Count.Epsilon, view.Count.Delta, view.Count.Level)
 	// Output: tier 0 guarantee: ε=0.9 δ=1e-05 at level 0
 }
+
+// ExampleOpenRegistry shows the serving flow: a registry ingests a
+// dataset from an edge stream (never materializing the graph), sessions
+// answer queries from reusable buffers, and every query debits the
+// dataset's privacy ledger before noise is drawn.
+func ExampleOpenRegistry() {
+	g, err := repro.FromEdges(4, 4, []repro.Edge{
+		{Left: 0, Right: 0}, {Left: 0, Right: 1}, {Left: 1, Right: 1},
+		{Left: 2, Right: 2}, {Left: 3, Right: 3}, {Left: 3, Right: 0},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	reg, err := repro.OpenRegistry(repro.ServeConfig{
+		Budget:   repro.Params{Epsilon: 1, Delta: 1e-4},
+		PerQuery: repro.Params{Epsilon: 0.1, Delta: 1e-5},
+		Rounds:   2,
+		Seed:     7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer reg.Close()
+
+	ds, err := reg.AddDataset("demo", repro.NewGraphEdgeSource(g))
+	if err != nil {
+		log.Fatal(err)
+	}
+	sess := ds.SessionAt(1) // pinned stream: replayable under this seed
+	view, err := sess.ReleaseLevel(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	marginals, err := sess.Marginal(1, repro.Left)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("histogram cells:", len(view.Cells.Counts))
+	fmt.Println("left groups:", len(marginals))
+	fmt.Printf("remaining ε: %.2f\n", ds.Remaining().Epsilon)
+	// Output:
+	// histogram cells: 4
+	// left groups: 2
+	// remaining ε: 0.70
+}

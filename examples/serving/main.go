@@ -1,0 +1,81 @@
+// Serving: run the multi-tenant disclosure registry in-process — ingest
+// two datasets from edge streams (no graph ever resident), answer
+// level/marginal/top-k queries from concurrent sessions, and watch the
+// per-dataset privacy ledger refuse queries once the budget is gone.
+//
+// The same registry serves over HTTP through cmd/gdpserve; this example
+// drives it through the library facade.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	// 1. A registry with a per-dataset budget: every dataset added gets
+	//    its own (ε, δ) ledger; each marginal/top-k query costs PerQuery
+	//    and a level view (count + histogram) costs twice that.
+	reg, err := repro.OpenRegistry(repro.ServeConfig{
+		Budget:   repro.Params{Epsilon: 1.0, Delta: 1e-4},
+		PerQuery: repro.Params{Epsilon: 0.05, Delta: 5e-6},
+		Rounds:   6,
+		Seed:     7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer reg.Close()
+
+	// 2. Cold-start two tenants' datasets from synthetic edge streams —
+	//    the streamed two-pass build never materializes the graphs.
+	for _, preset := range []string{repro.PresetDBLPTiny, repro.PresetPharmacy} {
+		cfg, err := repro.GenerateDataset(preset, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ds, err := reg.AddDataset(preset, repro.NewGraphEdgeSource(cfg))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("ingested %q: %s\n", ds.Name(), ds.Stats())
+	}
+
+	// 3. Query one dataset from a session. Pinned stream ids make the
+	//    answers replayable under this seed.
+	ds, err := reg.Dataset(repro.PresetDBLPTiny)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sess := ds.SessionAt(1)
+	view, err := sess.ReleaseLevel(3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("level 3: noisy count %.1f over %d histogram cells\n",
+		view.Count.NoisyCount, len(view.Cells.Counts))
+
+	top, err := sess.TopK(3, repro.Left, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("heaviest left groups at level 3:", top)
+
+	// 4. Drain the ledger: keep querying until the dataset refuses.
+	served := 0
+	for {
+		if _, err := sess.Marginal(2, repro.Right); err != nil {
+			if errors.Is(err, repro.ErrBudgetExhausted) {
+				break
+			}
+			log.Fatal(err)
+		}
+		served++
+	}
+	fmt.Printf("served %d more marginals before exhaustion; remaining ε %.3f\n",
+		served, ds.Remaining().Epsilon)
+	fmt.Print(ds.AuditReport())
+}

@@ -48,9 +48,10 @@ type Figure1Config struct {
 	Calib core.Calibration
 	// Seed drives all randomness.
 	Seed uint64
-	// Workers fans independent trials across goroutine lanes (serial
-	// trials spend it on the hierarchy build instead); the produced
-	// figures are bit-identical for any value.
+	// Workers fans independent trials across goroutine lanes; each lane's
+	// share of the budget is then spent inside the trial, on the
+	// hierarchy build and on the εg × level sweep. The produced figures
+	// are bit-identical for any value.
 	Workers int
 	// Stream builds every trial hierarchy through the chunked
 	// hierarchy.BuildFromEdges path over the synthesized edge list instead
@@ -106,7 +107,11 @@ type Figure1Result struct {
 // grouping). RER is averaged across trials. Trials fan out across
 // Config.Workers lanes — each consumes a stream pre-split in trial
 // order, writes only its own result slot, and the sums reduce in trial
-// order, so the figure is bit-identical for any worker count.
+// order. Inside a trial the εg × level sweep fans out too: every (level,
+// εg) pair owns a stream pre-split in serial order and writes only its
+// own grid slot, so lanes left idle by a small trial count (dense grid,
+// Trials < Workers) are spent on the sweep instead. The figure is
+// bit-identical for any worker count.
 func RunFigure1(cfg Figure1Config) (*Figure1Result, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
@@ -206,19 +211,34 @@ func runFigure1Trials(cfg Figure1Config, buildTree func(b *hierarchy.Builder, bu
 				return err
 			}
 			res.sens[li] = float64(sens)
-			for ei, eps := range cfg.EpsGrid {
-				p := dp.Params{Epsilon: eps, Delta: cfg.Delta}
-				rel, err := core.ReleaseCount(tree, level, p, cfg.Model, cfg.Calib, noiseSrc)
-				if err != nil {
-					return fmt.Errorf("experiments: trial %d level %d eps %v: %w", trial, level, eps, err)
-				}
-				res.rer[li][ei] = rel.RER
-				exp, err := core.ExpectedRER(tree, level, p, cfg.Model, cfg.Calib)
-				if err != nil {
-					return err
-				}
-				res.exp[li][ei] = exp
+		}
+		// One pre-split stream per (level, εg) pair, derived in serial
+		// order, then the sweep fans pairs across this lane's worker
+		// share; each pair writes only its own grid slot, so the grid is
+		// bit-identical for any sweep width.
+		nEps := len(cfg.EpsGrid)
+		pairSrcs := make([]*rng.Source, len(cfg.Levels)*nEps)
+		for i := range pairSrcs {
+			pairSrcs[i] = noiseSrc.Split(uint64(i))
+		}
+		sweepErr := runTrials(buildWorkers, len(pairSrcs), func(_, pi int) error {
+			li, ei := pi/nEps, pi%nEps
+			level, eps := cfg.Levels[li], cfg.EpsGrid[ei]
+			p := dp.Params{Epsilon: eps, Delta: cfg.Delta}
+			rel, err := core.ReleaseCount(tree, level, p, cfg.Model, cfg.Calib, pairSrcs[pi])
+			if err != nil {
+				return fmt.Errorf("experiments: trial %d level %d eps %v: %w", trial, level, eps, err)
 			}
+			res.rer[li][ei] = rel.RER
+			exp, err := core.ExpectedRER(tree, level, p, cfg.Model, cfg.Calib)
+			if err != nil {
+				return err
+			}
+			res.exp[li][ei] = exp
+			return nil
+		})
+		if sweepErr != nil {
+			return sweepErr
 		}
 		results[trial] = res
 		return nil

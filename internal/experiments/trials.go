@@ -94,11 +94,12 @@ func closeBuilders(bs []*hierarchy.Builder) {
 	}
 }
 
-// buildWorkersFor returns the intra-build parallelism each trial should
-// use: the worker budget divided across the trial lanes, rounded up —
-// few trials on a many-core box still parallelize each build, many
-// trials run (near-)single-threaded builds, and a non-dividing budget
-// mildly oversubscribes rather than stranding the remainder. A tree is
+// buildWorkersFor returns the intra-trial parallelism each trial should
+// use — for the hierarchy build and for the εg × level sweep: the worker
+// budget divided across the trial lanes, rounded up — few trials on a
+// many-core box still parallelize inside each trial, many trials run
+// (near-)single-threaded, and a non-dividing budget mildly
+// oversubscribes rather than stranding the remainder. A tree is
 // bit-identical for any build worker count, so the split never changes
 // results. A serial trial loop keeps the full budget for the build's own
 // pool.

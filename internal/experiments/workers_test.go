@@ -115,3 +115,33 @@ func TestRunTrialsCoversAllTrialsAndReportsLowestError(t *testing.T) {
 type errTrial int
 
 func (e errTrial) Error() string { return "trial failed: " + string(rune('0'+int(e))) }
+
+// TestFigure1SweepWorkersBitIdentical pins the intra-trial εg × level
+// sweep fan-out: with a single trial every lane lands on the sweep, and
+// the result must still be byte-identical to the serial run.
+func TestFigure1SweepWorkersBitIdentical(t *testing.T) {
+	t.Parallel()
+	run := func(workers int) []byte {
+		cfg, err := DefaultFigure1Config(Options{Quick: true, Seed: 11, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Trials = 1
+		res, err := RunFigure1(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res.Config = Figure1Config{} // compare results, not the worker knob
+		blob, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return blob
+	}
+	serial := run(1)
+	for _, workers := range []int{4, 7} {
+		if got := run(workers); string(got) != string(serial) {
+			t.Fatalf("workers=%d: sweep result differs from serial", workers)
+		}
+	}
+}

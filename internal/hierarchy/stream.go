@@ -16,7 +16,9 @@ import (
 // two sequential passes over an edge stream:
 //
 //	pass 1 — accumulate per-node degrees on both sides (and discover the
-//	         side sizes when the source does not declare them);
+//	         side sizes when the source does not declare them); declared-
+//	         side sources shard across Options.Workers with per-worker
+//	         degree arrays merged at the end;
 //	pass 2 — after the cuts, count each edge into its deepest-level cell,
 //	         feeding the same bottom-up aggregation the in-memory path
 //	         uses.
@@ -59,7 +61,7 @@ func (b *Builder) BuildFromEdges(src bipartite.EdgeSource, opts Options) (*Tree,
 	if err := src.Reset(); err != nil {
 		return nil, fmt.Errorf("hierarchy: resetting source for degree pass: %w", err)
 	}
-	leftDeg, rightDeg, err := scanStreamDegrees(src)
+	leftDeg, rightDeg, err := scanStreamDegrees(src, opts.Workers)
 	if err != nil {
 		return nil, fmt.Errorf("hierarchy: degree pass: %w", err)
 	}
@@ -86,15 +88,37 @@ func (b *Builder) BuildFromEdges(src bipartite.EdgeSource, opts Options) (*Tree,
 	return t, nil
 }
 
-// scanStreamDegrees is pass 1: one sequential sweep accumulating per-node
-// degrees. The returned slice lengths define the side sizes: the declared
-// sizes when the source knows them, grown to cover every observed id
-// (geometric growth, trimmed back at the end — a source that hands out
-// ascending ids, like a header-mode TSV of SaveTSV output, must not cost
-// one reallocation per node).
-func scanStreamDegrees(src bipartite.EdgeSource) (leftDeg, rightDeg []int64, err error) {
+// maxShardDegreeNodes caps the combined size of the per-worker degree
+// arrays the parallel pass 1 accumulates (in int64 entries across both
+// sides and all workers). Past it the merge and the arrays themselves
+// would cost more than the chunk fan-out saves, so the scan falls back to
+// the serial sweep.
+const maxShardDegreeNodes = 1 << 24
+
+// scanStreamDegrees is pass 1: a sweep accumulating per-node degrees. The
+// returned slice lengths define the side sizes: the declared sizes when
+// the source knows them, grown to cover every observed id (geometric
+// growth, trimmed back at the end — a source that hands out ascending
+// ids, like a header-mode TSV of SaveTSV output, must not cost one
+// reallocation per node).
+//
+// With workers > 1 and a source that declares its sides, chunks fan out
+// over the same reader/worker pipeline pass 2 uses: each counting worker
+// owns private degree arrays merged at the end. Degrees are
+// order-independent integer sums, so the result is identical for any
+// worker count; sources whose NextChunk does real work per edge (codec
+// decoding) overlap that work with the accumulation. Sources that do
+// not declare sides (headerless TSV) stay serial: the per-worker arrays
+// grow to O(max observed id) each, and without declared sides there is
+// no way to bound that workers× blowup up front — the serial sweep's
+// single array is the memory envelope the streamed build promises.
+func scanStreamDegrees(src bipartite.EdgeSource, workers int) (leftDeg, rightDeg []int64, err error) {
+	nl, nr, known := src.Sides()
+	if workers > 1 && known && int64(workers)*(int64(nl)+int64(nr)) <= maxShardDegreeNodes {
+		return scanStreamDegreesParallel(src, workers, nl, nr)
+	}
 	var maxL, maxR int32 = -1, -1
-	if nl, nr, known := src.Sides(); known {
+	if known {
 		leftDeg = make([]int64, nl)
 		rightDeg = make([]int64, nr)
 		maxL, maxR = nl-1, nr-1
@@ -122,6 +146,112 @@ func scanStreamDegrees(src bipartite.EdgeSource) (leftDeg, rightDeg []int64, err
 		return nil, nil, err
 	}
 	return leftDeg[:maxL+1], rightDeg[:maxR+1], nil
+}
+
+// degreeShard is one worker's private accumulation state.
+type degreeShard struct {
+	left, right []int64
+	maxL, maxR  int32
+	err         error
+}
+
+// accumulate counts one chunk into the shard.
+func (s *degreeShard) accumulate(chunk []bipartite.Edge) error {
+	for _, e := range chunk {
+		if e.Left < 0 || e.Right < 0 {
+			return fmt.Errorf("negative node id in edge (%d,%d)", e.Left, e.Right)
+		}
+		s.left = growCounts(s.left, e.Left)
+		s.right = growCounts(s.right, e.Right)
+		s.left[e.Left]++
+		s.right[e.Right]++
+		if e.Left > s.maxL {
+			s.maxL = e.Left
+		}
+		if e.Right > s.maxR {
+			s.maxR = e.Right
+		}
+	}
+	return nil
+}
+
+// scanStreamDegreesParallel fans degree accumulation across workers: the
+// reader goroutine recycles chunk buffers through a free list while each
+// worker grows private per-side arrays, merged by integer addition at the
+// end — bit-identical to the serial sweep for any worker count. Only
+// called for sources with declared sides, within the memory cap.
+func scanStreamDegreesParallel(src bipartite.EdgeSource, workers int, nl, nr int32) ([]int64, []int64, error) {
+	type chunk struct {
+		buf []bipartite.Edge
+		n   int
+	}
+	free := make(chan []bipartite.Edge, workers+1)
+	for i := 0; i < workers+1; i++ {
+		free <- make([]bipartite.Edge, streamChunkEdges)
+	}
+	work := make(chan chunk, workers+1)
+	shards := make([]degreeShard, workers)
+	for i := range shards {
+		shards[i].maxL, shards[i].maxR = -1, -1
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(s *degreeShard) {
+			defer wg.Done()
+			for c := range work {
+				if s.err == nil {
+					s.err = s.accumulate(c.buf[:c.n])
+				}
+				free <- c.buf
+			}
+		}(&shards[w])
+	}
+
+	var readErr error
+	for {
+		buf := <-free
+		n, err := src.NextChunk(buf)
+		if err == io.EOF {
+			break
+		}
+		if err == nil && n == 0 {
+			err = errors.New("edge source returned an empty chunk without error")
+		}
+		if err != nil {
+			readErr = err
+			break
+		}
+		work <- chunk{buf: buf, n: n}
+	}
+	close(work)
+	wg.Wait()
+	if readErr != nil {
+		return nil, nil, readErr
+	}
+	maxL, maxR := nl-1, nr-1
+	for i := range shards {
+		if shards[i].err != nil {
+			return nil, nil, shards[i].err
+		}
+		if shards[i].maxL > maxL {
+			maxL = shards[i].maxL
+		}
+		if shards[i].maxR > maxR {
+			maxR = shards[i].maxR
+		}
+	}
+	leftDeg := make([]int64, maxL+1)
+	rightDeg := make([]int64, maxR+1)
+	for i := range shards {
+		for id, d := range shards[i].left {
+			leftDeg[id] += d
+		}
+		for id, d := range shards[i].right {
+			rightDeg[id] += d
+		}
+	}
+	return leftDeg, rightDeg, nil
 }
 
 // growCounts extends counts so that id is a valid index. Capacity at

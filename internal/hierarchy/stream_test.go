@@ -250,3 +250,79 @@ func BenchmarkStreamedBuild(b *testing.B) {
 		})
 	}
 }
+
+// narrowChunkSource wraps a source to hand out at most chunkCap edges per
+// NextChunk, forcing multi-chunk traffic through the degree-pass pipeline
+// regardless of the consumer's buffer size. It hides the declared sides
+// when hideSides is set, exercising the grow-by-observed-id path.
+type narrowChunkSource struct {
+	inner     bipartite.EdgeSource
+	chunkCap  int
+	hideSides bool
+}
+
+func (s *narrowChunkSource) NextChunk(dst []bipartite.Edge) (int, error) {
+	if len(dst) > s.chunkCap {
+		dst = dst[:s.chunkCap]
+	}
+	return s.inner.NextChunk(dst)
+}
+
+func (s *narrowChunkSource) Reset() error { return s.inner.Reset() }
+
+func (s *narrowChunkSource) Sides() (int32, int32, bool) {
+	if s.hideSides {
+		return 0, 0, false
+	}
+	return s.inner.Sides()
+}
+
+// TestScanStreamDegreesParallelMatchesSerial pins the parallel degree
+// pass (satellite of the streamed ingest pipeline): across worker
+// counts and chunk sizes, the merged per-worker arrays must equal the
+// serial sweep exactly. Undeclared sides route to the serial fallback
+// (the workers× array blowup cannot be bounded without declared sides)
+// and must of course agree too.
+func TestScanStreamDegreesParallelMatchesSerial(t *testing.T) {
+	t.Parallel()
+	g := randomGraph(t, 230, 170, 6100, 33)
+	for _, hideSides := range []bool{false, true} {
+		for _, chunkCap := range []int{17, 256, 8192} {
+			mk := func() bipartite.EdgeSource {
+				return &narrowChunkSource{inner: bipartite.NewGraphSource(g), chunkCap: chunkCap, hideSides: hideSides}
+			}
+			wantL, wantR, err := scanStreamDegrees(mk(), 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{2, 3, 8} {
+				gotL, gotR, err := scanStreamDegrees(mk(), workers)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				if !slicesEqualInt64(gotL, wantL) || !slicesEqualInt64(gotR, wantR) {
+					t.Fatalf("hideSides=%v chunk=%d workers=%d: parallel degree pass diverges from serial",
+						hideSides, chunkCap, workers)
+				}
+			}
+		}
+	}
+
+	// Negative ids must be rejected on the parallel path too.
+	bad := bipartite.NewSliceSource(4, 4, []bipartite.Edge{{Left: 1, Right: 1}, {Left: -1, Right: 2}})
+	if _, _, err := scanStreamDegrees(&narrowChunkSource{inner: bad, chunkCap: 1}, 4); err == nil {
+		t.Fatal("parallel degree pass accepted a negative node id")
+	}
+}
+
+func slicesEqualInt64(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,89 @@
+package release
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dp"
+	"repro/internal/hierarchy"
+	"repro/internal/rng"
+)
+
+// Engine is the Phase-2 tail of the pipeline as a reusable component: it
+// answers count and cell-histogram releases against an already built
+// hierarchy, holding the reusable histogram buffer that makes repeated
+// releases allocation-free (core.ReleaseCellsInto's contract).
+//
+// Pipeline.finish runs one Engine per artifact; a serving session
+// (internal/serve) holds one Engine for its whole lifetime and answers
+// every query through it, so steady-state serving never reallocates the
+// cell buffer. An Engine is NOT safe for concurrent use — give each
+// session or goroutine its own; Engines are cheap until the first Cells
+// call sizes the buffer.
+type Engine struct {
+	model core.GroupModel
+	calib core.Calibration
+	mech  core.NoiseMechanism
+
+	// cells is the reusable histogram buffer. Cells and CellsSigma
+	// overwrite it and return a pointer into it; the previous result is
+	// invalid after the next call.
+	cells core.CellRelease
+}
+
+// NewEngine validates the release configuration and returns an Engine.
+func NewEngine(model core.GroupModel, calib core.Calibration, mech core.NoiseMechanism) (*Engine, error) {
+	if !model.Valid() {
+		return nil, fmt.Errorf("%w: model %d", ErrBadOption, int(model))
+	}
+	if !calib.Valid() {
+		return nil, fmt.Errorf("%w: calibration %d", ErrBadOption, int(calib))
+	}
+	if !mech.Valid() {
+		return nil, fmt.Errorf("%w: mechanism %d", ErrBadOption, int(mech))
+	}
+	return &Engine{model: model, calib: calib, mech: mech}, nil
+}
+
+// Model returns the configured group-adjacency model.
+func (e *Engine) Model() core.GroupModel { return e.model }
+
+// Count answers the association-count query at one level, consuming the
+// given budget.
+func (e *Engine) Count(t *hierarchy.Tree, level int, budget dp.Params, src *rng.Source) (core.LevelRelease, error) {
+	return core.ReleaseCountWith(t, level, budget, e.model, e.calib, e.mech, src)
+}
+
+// CountSigma is Count with an externally calibrated Gaussian scale (the
+// RDP-accounted path); advertised records the per-release budget implied
+// by sigma.
+func (e *Engine) CountSigma(t *hierarchy.Tree, level int, sigma float64, advertised dp.Params, src *rng.Source) (core.LevelRelease, error) {
+	return core.ReleaseCountSigma(t, level, e.model, sigma, advertised, src)
+}
+
+// Cells releases a level's noisy cell histogram into the Engine's
+// reusable buffer and returns a view of it. The result is valid until the
+// next Cells or CellsSigma call; callers that retain it across calls must
+// clone (CloneCellRelease).
+func (e *Engine) Cells(t *hierarchy.Tree, level int, budget dp.Params, src *rng.Source) (*core.CellRelease, error) {
+	if err := core.ReleaseCellsInto(&e.cells, t, level, budget, e.calib, src); err != nil {
+		return nil, err
+	}
+	return &e.cells, nil
+}
+
+// CellsSigma is Cells with an externally calibrated Gaussian scale.
+func (e *Engine) CellsSigma(t *hierarchy.Tree, level int, sigma float64, advertised dp.Params, src *rng.Source) (*core.CellRelease, error) {
+	if err := core.ReleaseCellsSigmaInto(&e.cells, t, level, sigma, advertised, src); err != nil {
+		return nil, err
+	}
+	return &e.cells, nil
+}
+
+// CloneCellRelease deep-copies a cell release so it survives the Engine
+// buffer's next reuse — what the artifact assembly does when it retains
+// every level's histogram.
+func CloneCellRelease(c core.CellRelease) core.CellRelease {
+	c.Counts = append([]float64(nil), c.Counts...)
+	return c
+}

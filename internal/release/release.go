@@ -471,7 +471,8 @@ func (p *Pipeline) hierarchyOptions(bisector partition.Bisector) hierarchy.Optio
 }
 
 // finish runs Phase 2 and assembles the artifact from a built tree — the
-// shared tail of Run and RunFromEdges.
+// shared tail of Run and RunFromEdges. The per-level releases go through
+// one Engine, the same component a serving session reuses per query.
 func (p *Pipeline) finish(tree *hierarchy.Tree, phase2Src *rng.Source) (*Release, error) {
 	cfg := p.cfg
 	var err error
@@ -541,14 +542,18 @@ func (p *Pipeline) finish(tree *hierarchy.Tree, phase2Src *rng.Source) (*Release
 		rel.Profiles = append(rel.Profiles, prof)
 	}
 
+	eng, err := NewEngine(cfg.model, cfg.calib, cfg.mechanism)
+	if err != nil {
+		return nil, err
+	}
 	qi := 0
 	for _, lvl := range cfg.levels {
 		budget := perQuery[qi]
 		var count core.LevelRelease
 		if sigmas != nil {
-			count, err = core.ReleaseCountSigma(tree, lvl, cfg.model, sigmas[qi], budget, phase2Src.Split(uint64(lvl)))
+			count, err = eng.CountSigma(tree, lvl, sigmas[qi], budget, phase2Src.Split(uint64(lvl)))
 		} else {
-			count, err = core.ReleaseCountWith(tree, lvl, budget, cfg.model, cfg.calib, cfg.mechanism, phase2Src.Split(uint64(lvl)))
+			count, err = eng.Count(tree, lvl, budget, phase2Src.Split(uint64(lvl)))
 		}
 		if err != nil {
 			return nil, fmt.Errorf("release: phase 2 count at level %d: %w", lvl, err)
@@ -561,11 +566,11 @@ func (p *Pipeline) finish(tree *hierarchy.Tree, phase2Src *rng.Source) (*Release
 
 		if cfg.cellHistograms {
 			budget := perQuery[qi]
-			var cells core.CellRelease
+			var cells *core.CellRelease
 			if sigmas != nil {
-				cells, err = core.ReleaseCellsSigma(tree, lvl, sigmas[qi], budget, phase2Src.Split(1000+uint64(lvl)))
+				cells, err = eng.CellsSigma(tree, lvl, sigmas[qi], budget, phase2Src.Split(1000+uint64(lvl)))
 			} else {
-				cells, err = core.ReleaseCells(tree, lvl, budget, cfg.calib, phase2Src.Split(1000+uint64(lvl)))
+				cells, err = eng.Cells(tree, lvl, budget, phase2Src.Split(1000+uint64(lvl)))
 			}
 			if err != nil {
 				return nil, fmt.Errorf("release: phase 2 cells at level %d: %w", lvl, err)
@@ -574,7 +579,7 @@ func (p *Pipeline) finish(tree *hierarchy.Tree, phase2Src *rng.Source) (*Release
 			if err := ledger.Spend(fmt.Sprintf("phase2/cells/level%d", lvl), budget); err != nil {
 				return nil, fmt.Errorf("release: accounting cells %d: %w", lvl, err)
 			}
-			rel.Cells = append(rel.Cells, cells)
+			rel.Cells = append(rel.Cells, CloneCellRelease(*cells))
 		}
 	}
 

@@ -1,0 +1,463 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"sync"
+
+	"repro/internal/accountant"
+	"repro/internal/bipartite"
+	"repro/internal/dp"
+)
+
+// HTTP/JSON front end over a Registry.
+//
+//	POST   /v1/datasets/{name}           ingest (body: TSV/binary edges, or JSON {"path": ...})
+//	GET    /v1/datasets                  list datasets
+//	GET    /v1/datasets/{name}           dataset info (stats + ledger summary)
+//	GET    /v1/datasets/{name}/budget    ledger state + audit report
+//	POST   /v1/datasets/{name}/sessions  open a session handle ({"stream": n} pins the RNG stream)
+//	DELETE /v1/sessions/{id}             close a session handle
+//	POST   /v1/sessions/{id}/level       {"level": l} → level view (count + histogram)
+//	POST   /v1/sessions/{id}/marginal    {"level": l, "side": "left"|"right"}
+//	POST   /v1/sessions/{id}/topk        {"level": l, "side": ..., "k": n}
+//	GET    /healthz
+//
+// Budget exhaustion returns 429 with code "budget-exhausted"; the
+// ledger was not debited and no noise was drawn. Query responses are a
+// pure function of (seed, dataset, stream id, session query sequence),
+// so replaying a pinned stream returns byte-identical bodies.
+
+// maxQueryBody bounds the JSON bodies of query endpoints.
+const maxQueryBody = 1 << 20
+
+// HandlerOptions configures the HTTP front end.
+type HandlerOptions struct {
+	// AllowPathIngest permits JSON {"path": ...} ingest bodies, which
+	// open server-side files. Off by default: on a reachable listener
+	// that is an arbitrary-file read oracle (ingest parse errors echo
+	// file fragments back to the client). Enable only for trusted or
+	// loopback deployments; uploads in the request body are always
+	// allowed.
+	AllowPathIngest bool
+}
+
+// NewHandler returns the HTTP front end for a registry with default
+// options (server-side path ingest disabled).
+func NewHandler(reg *Registry) http.Handler { return NewHandlerWith(reg, HandlerOptions{}) }
+
+// NewHandlerWith returns the HTTP front end with explicit options.
+func NewHandlerWith(reg *Registry, opts HandlerOptions) http.Handler {
+	s := &httpServer{reg: reg, opts: opts, sessions: make(map[uint64]*httpSession)}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.healthz)
+	mux.HandleFunc("GET /v1/datasets", s.listDatasets)
+	mux.HandleFunc("POST /v1/datasets/{name}", s.ingest)
+	mux.HandleFunc("GET /v1/datasets/{name}", s.datasetInfo)
+	mux.HandleFunc("GET /v1/datasets/{name}/budget", s.budget)
+	mux.HandleFunc("POST /v1/datasets/{name}/sessions", s.openSession)
+	mux.HandleFunc("DELETE /v1/sessions/{id}", s.closeSession)
+	mux.HandleFunc("POST /v1/sessions/{id}/level", s.level)
+	mux.HandleFunc("POST /v1/sessions/{id}/marginal", s.marginal)
+	mux.HandleFunc("POST /v1/sessions/{id}/topk", s.topk)
+	return mux
+}
+
+// httpServer carries the handler state: the registry plus the open
+// session handles. Handle ids are process-local (they number the
+// handles, not the RNG streams — a pinned stream can be reopened under
+// a fresh handle after a restart and replay identically).
+type httpServer struct {
+	reg  *Registry
+	opts HandlerOptions
+
+	mu       sync.Mutex
+	nextID   uint64
+	sessions map[uint64]*httpSession
+}
+
+// httpSession serializes queries on one session handle: a Session is
+// not safe for concurrent use, so concurrent requests to one handle
+// queue on its mutex while requests to different handles run fully in
+// parallel.
+type httpSession struct {
+	mu   sync.Mutex
+	sess *Session
+}
+
+// errorBody is the uniform error shape.
+type errorBody struct {
+	Error string `json:"error"`
+	Code  string `json:"code"`
+}
+
+// writeJSON writes one JSON response.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// writeErr maps registry errors onto HTTP statuses.
+func writeErr(w http.ResponseWriter, err error) {
+	status, code := http.StatusBadRequest, "bad-request"
+	switch {
+	case errors.Is(err, accountant.ErrBudgetExceeded):
+		status, code = http.StatusTooManyRequests, "budget-exhausted"
+	case errors.Is(err, ErrUnknownDataset):
+		status, code = http.StatusNotFound, "unknown-dataset"
+	case errors.Is(err, ErrUnknownSession):
+		status, code = http.StatusNotFound, "unknown-session"
+	case errors.Is(err, ErrDatasetExists):
+		status, code = http.StatusConflict, "dataset-exists"
+	case errors.Is(err, ErrClosed):
+		status, code = http.StatusServiceUnavailable, "registry-closed"
+	}
+	writeJSON(w, status, errorBody{Error: err.Error(), Code: code})
+}
+
+// decodeBody parses a bounded JSON body into v; an empty body leaves v
+// at its zero value.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxQueryBody))
+	if err != nil {
+		return fmt.Errorf("serve: reading body: %w", err)
+	}
+	if len(body) == 0 {
+		return nil
+	}
+	if err := json.Unmarshal(body, v); err != nil {
+		return fmt.Errorf("serve: parsing body: %w", err)
+	}
+	return nil
+}
+
+func (s *httpServer) healthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"ok": true, "datasets": len(s.reg.Names())})
+}
+
+// budgetJSON serializes one (ε, δ) pair.
+type budgetJSON struct {
+	Epsilon float64 `json:"epsilon"`
+	Delta   float64 `json:"delta"`
+}
+
+func toBudgetJSON(p dp.Params) budgetJSON { return budgetJSON{Epsilon: p.Epsilon, Delta: p.Delta} }
+
+// datasetJSON is the dataset summary shape shared by list/info/ingest.
+type datasetJSON struct {
+	Name      string          `json:"name"`
+	Stats     bipartite.Stats `json:"stats"`
+	MaxLevel  int             `json:"max_level"`
+	Budget    budgetJSON      `json:"budget"`
+	Spent     budgetJSON      `json:"spent"`
+	Remaining budgetJSON      `json:"remaining"`
+}
+
+func describeDataset(d *Dataset) datasetJSON {
+	return datasetJSON{
+		Name:      d.Name(),
+		Stats:     d.Stats(),
+		MaxLevel:  d.MaxLevel(),
+		Budget:    toBudgetJSON(d.Budget()),
+		Spent:     toBudgetJSON(d.Spent()),
+		Remaining: toBudgetJSON(d.Remaining()),
+	}
+}
+
+func (s *httpServer) listDatasets(w http.ResponseWriter, r *http.Request) {
+	names := s.reg.Names()
+	sort.Strings(names)
+	out := make([]datasetJSON, 0, len(names))
+	for _, name := range names {
+		if ds, err := s.reg.Dataset(name); err == nil {
+			out = append(out, describeDataset(ds))
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"datasets": out})
+}
+
+// ingest cold-starts a dataset. A JSON body {"path": "..."} streams a
+// server-side file; any other body is spooled to a temporary file and
+// streamed from there, so the edges are never resident in memory
+// regardless of upload size. The format is sniffed from the first
+// bytes: "BPG1" selects the binary codec, anything else is TSV.
+func (s *httpServer) ingest(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var f *os.File
+	if r.Header.Get("Content-Type") == "application/json" {
+		if !s.opts.AllowPathIngest {
+			writeJSON(w, http.StatusForbidden, errorBody{
+				Error: "serve: server-side path ingest is disabled (start the server with path ingest enabled, or upload the edge file as the request body)",
+				Code:  "path-ingest-disabled",
+			})
+			return
+		}
+		var req struct {
+			Path string `json:"path"`
+		}
+		if err := decodeBody(w, r, &req); err != nil {
+			writeErr(w, err)
+			return
+		}
+		if req.Path == "" {
+			writeErr(w, errors.New("serve: ingest JSON body requires \"path\""))
+			return
+		}
+		file, err := os.Open(req.Path)
+		if err != nil {
+			writeErr(w, fmt.Errorf("serve: opening %q: %w", req.Path, err))
+			return
+		}
+		f = file
+	} else {
+		tmp, err := spoolBody(r.Body)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		defer os.Remove(tmp.Name())
+		f = tmp
+	}
+	defer f.Close()
+
+	src, err := OpenEdgeSourceFile(f)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	ds, err := s.reg.AddDataset(name, src)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, describeDataset(ds))
+}
+
+// spoolBody writes an upload to an unlinked-on-ingest temp file so the
+// edge bytes back a seekable two-pass source without living in RAM.
+func spoolBody(body io.Reader) (*os.File, error) {
+	tmp, err := os.CreateTemp("", "gdpserve-ingest-*")
+	if err != nil {
+		return nil, fmt.Errorf("serve: spooling ingest body: %w", err)
+	}
+	if _, err := io.Copy(tmp, body); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return nil, fmt.Errorf("serve: spooling ingest body: %w", err)
+	}
+	if _, err := tmp.Seek(0, io.SeekStart); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return nil, fmt.Errorf("serve: rewinding ingest spool: %w", err)
+	}
+	return tmp, nil
+}
+
+// OpenEdgeSourceFile sniffs an edge file's format ("BPG1" magic =
+// binary codec, otherwise TSV) and returns a chunked source over it —
+// the ingest path cmd/gdpserve and the HTTP upload share.
+func OpenEdgeSourceFile(f *os.File) (bipartite.EdgeSource, error) {
+	var magic [4]byte
+	n, err := f.Read(magic[:])
+	if err != nil && n == 0 && err != io.EOF {
+		return nil, fmt.Errorf("serve: sniffing %s: %w", f.Name(), err)
+	}
+	if n == 4 && string(magic[:]) == "BPG1" {
+		return bipartite.NewBinaryEdgeSource(f)
+	}
+	return bipartite.NewTSVEdgeSource(f)
+}
+
+func (s *httpServer) datasetInfo(w http.ResponseWriter, r *http.Request) {
+	ds, err := s.reg.Dataset(r.PathValue("name"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, describeDataset(ds))
+}
+
+func (s *httpServer) budget(w http.ResponseWriter, r *http.Request) {
+	ds, err := s.reg.Dataset(r.PathValue("name"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"dataset":   ds.Name(),
+		"budget":    toBudgetJSON(ds.Budget()),
+		"spent":     toBudgetJSON(ds.Spent()),
+		"remaining": toBudgetJSON(ds.Remaining()),
+		"ops":       len(ds.Ops()),
+		"audit":     ds.AuditReport(),
+	})
+}
+
+func (s *httpServer) openSession(w http.ResponseWriter, r *http.Request) {
+	ds, err := s.reg.Dataset(r.PathValue("name"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	var req struct {
+		Stream *uint64 `json:"stream"`
+	}
+	if err := decodeBody(w, r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	var sess *Session
+	if req.Stream != nil {
+		sess = ds.SessionAt(*req.Stream)
+	} else {
+		sess = ds.NewSession()
+	}
+	s.mu.Lock()
+	s.nextID++
+	id := s.nextID
+	s.sessions[id] = &httpSession{sess: sess}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusCreated, map[string]any{
+		"session": id,
+		"stream":  sess.Stream(),
+		"dataset": ds.Name(),
+	})
+}
+
+// session resolves a handle id from the path.
+func (s *httpServer) session(r *http.Request) (*httpSession, uint64, error) {
+	id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
+	if err != nil {
+		return nil, 0, fmt.Errorf("serve: bad session id %q", r.PathValue("id"))
+	}
+	s.mu.Lock()
+	hs, ok := s.sessions[id]
+	s.mu.Unlock()
+	if !ok {
+		return nil, 0, fmt.Errorf("%w: %d", ErrUnknownSession, id)
+	}
+	return hs, id, nil
+}
+
+func (s *httpServer) closeSession(w http.ResponseWriter, r *http.Request) {
+	_, id, err := s.session(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	s.mu.Lock()
+	delete(s.sessions, id)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{"closed": id})
+}
+
+// queryRequest is the shared query body shape.
+type queryRequest struct {
+	Level int    `json:"level"`
+	Side  string `json:"side"`
+	K     int    `json:"k"`
+}
+
+// side parses the request's side field.
+func (q queryRequest) side() (bipartite.Side, error) {
+	switch q.Side {
+	case "left", "":
+		return bipartite.Left, nil
+	case "right":
+		return bipartite.Right, nil
+	default:
+		return 0, fmt.Errorf("serve: side must be \"left\" or \"right\" (got %q)", q.Side)
+	}
+}
+
+// withSession parses the body, locks the handle, and runs fn.
+func (s *httpServer) withSession(w http.ResponseWriter, r *http.Request, fn func(hs *httpSession, req queryRequest)) {
+	hs, _, err := s.session(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	var req queryRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	hs.mu.Lock()
+	defer hs.mu.Unlock()
+	fn(hs, req)
+}
+
+func (s *httpServer) level(w http.ResponseWriter, r *http.Request) {
+	s.withSession(w, r, func(hs *httpSession, req queryRequest) {
+		seq := hs.sess.Seq()
+		view, err := hs.sess.ReleaseLevel(req.Level)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"dataset": hs.sess.Dataset().Name(),
+			"stream":  hs.sess.Stream(),
+			"seq":     seq,
+			"view":    view,
+		})
+	})
+}
+
+func (s *httpServer) marginal(w http.ResponseWriter, r *http.Request) {
+	s.withSession(w, r, func(hs *httpSession, req queryRequest) {
+		side, err := req.side()
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		seq := hs.sess.Seq()
+		marginals, err := hs.sess.Marginal(req.Level, side)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"dataset":   hs.sess.Dataset().Name(),
+			"stream":    hs.sess.Stream(),
+			"seq":       seq,
+			"level":     req.Level,
+			"side":      side.String(),
+			"marginals": marginals,
+		})
+	})
+}
+
+func (s *httpServer) topk(w http.ResponseWriter, r *http.Request) {
+	s.withSession(w, r, func(hs *httpSession, req queryRequest) {
+		side, err := req.side()
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		seq := hs.sess.Seq()
+		groups, err := hs.sess.TopK(req.Level, side, req.K)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"dataset": hs.sess.Dataset().Name(),
+			"stream":  hs.sess.Stream(),
+			"seq":     seq,
+			"level":   req.Level,
+			"side":    side.String(),
+			"k":       req.K,
+			"groups":  groups,
+		})
+	})
+}

@@ -1,0 +1,305 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/bipartite"
+	"repro/internal/datagen"
+)
+
+// newTestServer spins an HTTP front end over a fresh registry.
+func newTestServer(t *testing.T, cfg Config) (*httptest.Server, *Registry) {
+	t.Helper()
+	return newTestServerWith(t, cfg, HandlerOptions{})
+}
+
+func newTestServerWith(t *testing.T, cfg Config, opts HandlerOptions) (*httptest.Server, *Registry) {
+	t.Helper()
+	reg, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewHandlerWith(reg, opts))
+	t.Cleanup(func() { srv.Close(); reg.Close() })
+	return srv, reg
+}
+
+// testTSV renders the shared test dataset as a TSV upload body.
+func testTSV(t *testing.T) []byte {
+	t.Helper()
+	cfg := datagen.Config{
+		Name: "serve-test", NumLeft: 120, NumRight: 150, NumEdges: 1800,
+		LeftZipf: 1.9, RightZipf: 2.6, Seed: 5,
+	}
+	g, err := datagen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := bipartite.SaveTSV(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// do issues one request and decodes the JSON response.
+func do(t *testing.T, method, url string, body []byte, contentType string, wantStatus int) map[string]any {
+	t.Helper()
+	raw := doRaw(t, method, url, body, contentType, wantStatus)
+	var out map[string]any
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatalf("%s %s: bad JSON: %v\n%s", method, url, err, raw)
+	}
+	return out
+}
+
+func doRaw(t *testing.T, method, url string, body []byte, contentType string, wantStatus int) []byte {
+	t.Helper()
+	req, err := http.NewRequest(method, url, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("%s %s: status %d, want %d\n%s", method, url, resp.StatusCode, wantStatus, raw)
+	}
+	return raw
+}
+
+func TestHTTPServeEndToEnd(t *testing.T) {
+	t.Parallel()
+	srv, _ := newTestServer(t, testConfig())
+	base := srv.URL
+
+	// Health before any data.
+	health := do(t, "GET", base+"/healthz", nil, "", http.StatusOK)
+	if health["ok"] != true {
+		t.Fatalf("healthz = %v", health)
+	}
+
+	// Ingest via upload body (TSV sniffed).
+	ing := do(t, "POST", base+"/v1/datasets/dblp", testTSV(t), "text/tab-separated-values", http.StatusCreated)
+	if ing["name"] != "dblp" {
+		t.Fatalf("ingest response = %v", ing)
+	}
+	stats := ing["stats"].(map[string]any)
+	if stats["num_edges"].(float64) != 1800 {
+		t.Fatalf("ingested stats = %v", stats)
+	}
+
+	// Duplicate name → 409.
+	errBody := do(t, "POST", base+"/v1/datasets/dblp", testTSV(t), "", http.StatusConflict)
+	if errBody["code"] != "dataset-exists" {
+		t.Fatalf("duplicate ingest = %v", errBody)
+	}
+
+	// List + info.
+	list := do(t, "GET", base+"/v1/datasets", nil, "", http.StatusOK)
+	if n := len(list["datasets"].([]any)); n != 1 {
+		t.Fatalf("listed %d datasets", n)
+	}
+	do(t, "GET", base+"/v1/datasets/dblp", nil, "", http.StatusOK)
+	if nf := do(t, "GET", base+"/v1/datasets/nope", nil, "", http.StatusNotFound); nf["code"] != "unknown-dataset" {
+		t.Fatalf("unknown dataset = %v", nf)
+	}
+
+	// Open a pinned session and serve a level view.
+	sess := do(t, "POST", base+"/v1/datasets/dblp/sessions", []byte(`{"stream": 7}`), "application/json", http.StatusCreated)
+	sid := fmt.Sprintf("%.0f", sess["session"].(float64))
+	if sess["stream"].(float64) != 7 {
+		t.Fatalf("session = %v", sess)
+	}
+
+	levelResp := do(t, "POST", base+"/v1/sessions/"+sid+"/level", []byte(`{"level": 2}`), "application/json", http.StatusOK)
+	view := levelResp["view"].(map[string]any)
+	cells := view["cells"].(map[string]any)
+	if len(cells["counts"].([]any)) == 0 {
+		t.Fatal("level view histogram is empty")
+	}
+	if levelResp["seq"].(float64) != 0 {
+		t.Fatalf("first query seq = %v", levelResp["seq"])
+	}
+
+	// The ledger recorded the debit.
+	budget := do(t, "GET", base+"/v1/datasets/dblp/budget", nil, "", http.StatusOK)
+	spent := budget["spent"].(map[string]any)
+	if spent["epsilon"].(float64) <= 0 {
+		t.Fatalf("budget endpoint shows no spend: %v", budget)
+	}
+	if !strings.Contains(budget["audit"].(string), "s7/q0/view/level2") {
+		t.Fatalf("audit report missing the query op:\n%s", budget["audit"])
+	}
+
+	// Marginal and top-k.
+	marg := do(t, "POST", base+"/v1/sessions/"+sid+"/marginal", []byte(`{"level": 1, "side": "right"}`), "application/json", http.StatusOK)
+	if len(marg["marginals"].([]any)) == 0 {
+		t.Fatal("empty marginals")
+	}
+	topk := do(t, "POST", base+"/v1/sessions/"+sid+"/topk", []byte(`{"level": 2, "side": "left", "k": 3}`), "application/json", http.StatusOK)
+	if len(topk["groups"].([]any)) != 3 {
+		t.Fatalf("topk = %v", topk)
+	}
+
+	// Bad requests.
+	if bad := do(t, "POST", base+"/v1/sessions/"+sid+"/level", []byte(`{"level": 99}`), "application/json", http.StatusBadRequest); bad["code"] != "bad-request" {
+		t.Fatalf("bad level = %v", bad)
+	}
+	do(t, "POST", base+"/v1/sessions/"+sid+"/marginal", []byte(`{"level": 1, "side": "up"}`), "application/json", http.StatusBadRequest)
+	do(t, "POST", base+"/v1/sessions/99999/level", []byte(`{"level": 1}`), "application/json", http.StatusNotFound)
+
+	// Close the session handle.
+	do(t, "DELETE", base+"/v1/sessions/"+sid, nil, "", http.StatusOK)
+	do(t, "POST", base+"/v1/sessions/"+sid+"/level", []byte(`{"level": 1}`), "application/json", http.StatusNotFound)
+}
+
+// TestHTTPPinnedStreamReplaysByteIdentical is the serving acceptance
+// check: with a pinned seed and stream id, re-running the same query
+// sequence — on a fresh handle, even a fresh server process — returns
+// byte-identical response bodies.
+func TestHTTPPinnedStreamReplaysByteIdentical(t *testing.T) {
+	t.Parallel()
+	transcript := func() []byte {
+		srv, _ := newTestServer(t, testConfig())
+		base := srv.URL
+		do(t, "POST", base+"/v1/datasets/dblp", testTSV(t), "", http.StatusCreated)
+		sess := do(t, "POST", base+"/v1/datasets/dblp/sessions", []byte(`{"stream": 42}`), "application/json", http.StatusCreated)
+		sid := fmt.Sprintf("%.0f", sess["session"].(float64))
+		var blob []byte
+		blob = append(blob, doRaw(t, "POST", base+"/v1/sessions/"+sid+"/level", []byte(`{"level": 2}`), "application/json", http.StatusOK)...)
+		blob = append(blob, doRaw(t, "POST", base+"/v1/sessions/"+sid+"/marginal", []byte(`{"level": 1, "side": "left"}`), "application/json", http.StatusOK)...)
+		blob = append(blob, doRaw(t, "POST", base+"/v1/sessions/"+sid+"/topk", []byte(`{"level": 2, "side": "right", "k": 2}`), "application/json", http.StatusOK)...)
+		return blob
+	}
+	a, b := transcript(), transcript()
+	if !bytes.Equal(a, b) {
+		t.Fatal("pinned stream replay produced different response bytes")
+	}
+}
+
+func TestHTTPBudgetExhaustionReturns429(t *testing.T) {
+	t.Parallel()
+	cfg := testConfig()
+	// Room for exactly two marginal queries.
+	cfg.Budget.Epsilon = 0.04
+	cfg.Budget.Delta = 4e-6
+	srv, _ := newTestServer(t, cfg)
+	base := srv.URL
+	do(t, "POST", base+"/v1/datasets/dblp", testTSV(t), "", http.StatusCreated)
+	sess := do(t, "POST", base+"/v1/datasets/dblp/sessions", nil, "", http.StatusCreated)
+	sid := fmt.Sprintf("%.0f", sess["session"].(float64))
+
+	body := []byte(`{"level": 1, "side": "left"}`)
+	do(t, "POST", base+"/v1/sessions/"+sid+"/marginal", body, "application/json", http.StatusOK)
+	do(t, "POST", base+"/v1/sessions/"+sid+"/marginal", body, "application/json", http.StatusOK)
+	out := do(t, "POST", base+"/v1/sessions/"+sid+"/marginal", body, "application/json", http.StatusTooManyRequests)
+	if out["code"] != "budget-exhausted" {
+		t.Fatalf("exhaustion response = %v", out)
+	}
+}
+
+func TestHTTPIngestFromServerPath(t *testing.T) {
+	t.Parallel()
+	srv, reg := newTestServerWith(t, testConfig(), HandlerOptions{AllowPathIngest: true})
+	base := srv.URL
+
+	path := filepath.Join(t.TempDir(), "edges.tsv")
+	if err := os.WriteFile(path, testTSV(t), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	body, err := json.Marshal(map[string]string{"path": path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	do(t, "POST", base+"/v1/datasets/frompath", body, "application/json", http.StatusCreated)
+	ds, err := reg.Dataset("frompath")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Stats().NumEdges != 1800 {
+		t.Fatalf("path ingest edges = %d", ds.Stats().NumEdges)
+	}
+
+	do(t, "POST", base+"/v1/datasets/badpath", []byte(`{"path": "/nope/missing.tsv"}`), "application/json", http.StatusBadRequest)
+	do(t, "POST", base+"/v1/datasets/nopath", []byte(`{}`), "application/json", http.StatusBadRequest)
+}
+
+// TestHTTPPathIngestDisabledByDefault: without the opt-in, JSON path
+// ingest is refused before any file is opened — the default handler
+// must not be a server-side file-read oracle.
+func TestHTTPPathIngestDisabledByDefault(t *testing.T) {
+	t.Parallel()
+	srv, _ := newTestServer(t, testConfig())
+	out := do(t, "POST", srv.URL+"/v1/datasets/x", []byte(`{"path": "/etc/hostname"}`), "application/json", http.StatusForbidden)
+	if out["code"] != "path-ingest-disabled" {
+		t.Fatalf("path ingest response = %v", out)
+	}
+}
+
+// TestOpenEdgeSourceFile sniffs both supported formats.
+func TestOpenEdgeSourceFile(t *testing.T) {
+	t.Parallel()
+	g, err := datagen.Generate(datagen.Config{
+		Name: "sniff", NumLeft: 30, NumRight: 30, NumEdges: 200,
+		LeftZipf: 2.0, RightZipf: 2.0, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+
+	var tsv, bin bytes.Buffer
+	if err := bipartite.SaveTSV(&tsv, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := bipartite.EncodeBinary(&bin, g); err != nil {
+		t.Fatal(err)
+	}
+	for name, blob := range map[string][]byte{"g.tsv": tsv.Bytes(), "g.bpg": bin.Bytes()} {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, blob, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		src, err := OpenEdgeSourceFile(f)
+		if err != nil {
+			f.Close()
+			t.Fatalf("%s: %v", name, err)
+		}
+		var edges int64
+		buf := make([]bipartite.Edge, 256)
+		if err := bipartite.ForEachChunk(src, buf, func(chunk []bipartite.Edge) error {
+			edges += int64(len(chunk))
+			return nil
+		}); err != nil {
+			f.Close()
+			t.Fatalf("%s: %v", name, err)
+		}
+		f.Close()
+		if edges != g.NumEdges() {
+			t.Fatalf("%s: streamed %d edges, want %d", name, edges, g.NumEdges())
+		}
+	}
+}

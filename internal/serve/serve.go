@@ -1,0 +1,505 @@
+// Package serve turns the one-shot release pipeline into a long-lived,
+// budget-accounted, multi-tenant serving layer — the ROADMAP's "serve
+// releases" shape.
+//
+// A Registry owns named datasets. Each dataset is cold-started from a
+// bipartite.EdgeSource through the streamed two-pass
+// hierarchy.BuildFromEdges, so the process never holds an O(E) graph per
+// dataset — only the built Tree (degrees, permutations, cell matrices).
+// Ingest runs on a bounded set of lanes, each retaining one
+// hierarchy.Builder so repeated ingests reuse scratch and worker pools.
+//
+// Every dataset carries one accountant.Ledger with the dataset's total
+// (ε, δ) budget. Every query debits the ledger BEFORE any noise is
+// drawn; once the budget is exhausted the dataset refuses further
+// queries with accountant.ErrBudgetExceeded, forever. The audit trail
+// records which session spent what.
+//
+// Queries run through Session handles. A session owns a
+// release.Engine — the reusable Phase-2 tail, whose cell buffer makes
+// repeated histogram releases allocation-free — and a private RNG
+// stream derived purely from (registry seed, dataset name, session
+// stream id) via rng.Source.Split. Sessions with pinned stream ids
+// replay byte-identical releases for the same query sequence, which is
+// what makes concurrent serving reproducible: give every goroutine its
+// own session and the interleaving cannot change any answer, only the
+// ledger's admission order.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/accountant"
+	"repro/internal/bipartite"
+	"repro/internal/core"
+	"repro/internal/dp"
+	"repro/internal/hierarchy"
+	"repro/internal/partition"
+	"repro/internal/query"
+	"repro/internal/release"
+	"repro/internal/rng"
+)
+
+// Errors returned by the registry and its sessions. Budget exhaustion
+// surfaces as accountant.ErrBudgetExceeded (test with errors.Is).
+var (
+	ErrDatasetExists  = errors.New("serve: dataset already exists")
+	ErrUnknownDataset = errors.New("serve: unknown dataset")
+	ErrUnknownSession = errors.New("serve: unknown session")
+	ErrClosed         = errors.New("serve: registry closed")
+	ErrBadConfig      = errors.New("serve: invalid config")
+)
+
+// Stream-derivation domains: every random decision in the serving layer
+// descends from rng.New(seed).Split(fnv64a(dataset)).Split(domain), so
+// the phase-1 cuts and the session streams never share draws.
+const (
+	domainPhase1   = 1
+	domainSessions = 2
+)
+
+// Config configures a Registry. The zero value is not usable: Budget
+// must validate. Everything else has serving defaults.
+type Config struct {
+	// Budget is the total (ε, δ) privacy budget of EVERY dataset added
+	// to the registry; a per-dataset ledger enforces it.
+	Budget dp.Params
+	// PerQuery is the (ε, δ) one query consumes (a level view consumes
+	// two: count + histogram). Zero defaults to Budget/64.
+	PerQuery dp.Params
+	// Rounds is the specialization depth of ingested hierarchies
+	// (default 9, the paper's DBLP setup).
+	Rounds int
+	// Phase1Epsilon is the per-cut exponential-mechanism budget for
+	// ingest-time specialization. Zero (default) builds the non-private
+	// balanced hierarchy; positive values debit 2·Rounds·Phase1Epsilon
+	// from the dataset's ledger at ingest.
+	Phase1Epsilon float64
+	// Model, Calib and Mechanism configure the Phase-2 releases
+	// (defaults: cells, classical, gaussian).
+	Model     core.GroupModel
+	Calib     core.Calibration
+	Mechanism core.NoiseMechanism
+	// Seed roots every RNG stream. Use rng.NewRandomSeed in production;
+	// a pinned seed makes every session's releases replayable.
+	Seed uint64
+	// Workers parallelizes each ingest's two-pass build (both the degree
+	// pass and the cell scan shard across it). Trees are identical for
+	// any value.
+	Workers int
+	// IngestLanes bounds concurrent dataset builds; each lane retains
+	// one hierarchy.Builder across ingests (default 1).
+	IngestLanes int
+}
+
+// withDefaults validates cfg and fills the serving defaults.
+func (c Config) withDefaults() (Config, error) {
+	if err := c.Budget.Validate(); err != nil {
+		return Config{}, fmt.Errorf("%w: budget: %v", ErrBadConfig, err)
+	}
+	if c.PerQuery == (dp.Params{}) {
+		c.PerQuery = dp.Params{Epsilon: c.Budget.Epsilon / 64, Delta: c.Budget.Delta / 64}
+	}
+	if err := c.PerQuery.Validate(); err != nil {
+		return Config{}, fmt.Errorf("%w: per-query budget: %v", ErrBadConfig, err)
+	}
+	if c.Rounds == 0 {
+		c.Rounds = 9
+	}
+	if c.Rounds < 1 || c.Rounds > hierarchy.MaxRounds {
+		return Config{}, fmt.Errorf("%w: rounds %d outside [1,%d]", ErrBadConfig, c.Rounds, hierarchy.MaxRounds)
+	}
+	if c.Phase1Epsilon < 0 {
+		return Config{}, fmt.Errorf("%w: negative phase-1 epsilon %v", ErrBadConfig, c.Phase1Epsilon)
+	}
+	if c.Model == 0 {
+		c.Model = core.ModelCells
+	}
+	if c.Calib == 0 {
+		c.Calib = core.CalibrationClassical
+	}
+	if c.Mechanism == 0 {
+		c.Mechanism = core.MechGaussian
+	}
+	if c.IngestLanes == 0 {
+		c.IngestLanes = 1
+	}
+	if c.IngestLanes < 0 {
+		return Config{}, fmt.Errorf("%w: negative ingest lanes %d", ErrBadConfig, c.IngestLanes)
+	}
+	// Fail the whole registry rather than every future session: the
+	// engine configuration must be releasable.
+	if _, err := release.NewEngine(c.Model, c.Calib, c.Mechanism); err != nil {
+		return Config{}, fmt.Errorf("%w: %v", ErrBadConfig, err)
+	}
+	return c, nil
+}
+
+// Registry owns named datasets and the ingest lanes that build them. It
+// is safe for concurrent use.
+type Registry struct {
+	cfg   Config
+	lanes chan *hierarchy.Builder
+	// ingests counts in-flight AddDataset calls. Close waits for it
+	// before draining the lane channel, so an ingest that passed the
+	// closed check can never block forever on a drained channel.
+	ingests sync.WaitGroup
+
+	mu       sync.RWMutex
+	closed   bool
+	datasets map[string]*Dataset // nil value = ingest in flight (name reserved)
+}
+
+// Open validates cfg and returns an empty registry.
+func Open(cfg Config) (*Registry, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	r := &Registry{
+		cfg:      cfg,
+		lanes:    make(chan *hierarchy.Builder, cfg.IngestLanes),
+		datasets: make(map[string]*Dataset),
+	}
+	for i := 0; i < cfg.IngestLanes; i++ {
+		r.lanes <- hierarchy.NewBuilder()
+	}
+	return r, nil
+}
+
+// Config returns the registry's resolved configuration.
+func (r *Registry) Config() Config { return r.cfg }
+
+// Close releases the ingest lanes' worker pools, waiting for in-flight
+// ingests to return their Builders. Existing datasets stay queryable;
+// further AddDataset calls fail with ErrClosed.
+func (r *Registry) Close() {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	r.closed = true
+	r.mu.Unlock()
+	r.ingests.Wait()
+	for i := 0; i < r.cfg.IngestLanes; i++ {
+		(<-r.lanes).Close()
+	}
+}
+
+// streamFor derives the serving layer's RNG streams. The chain is
+// rebuilt from the seed on every call, so the result is a pure function
+// of (seed, dataset name, domain, label) — independent of call order,
+// which is what makes concurrent sessions deterministic.
+func (r *Registry) streamFor(dataset string, domain, label uint64) *rng.Source {
+	h := fnv.New64a()
+	h.Write([]byte(dataset))
+	return rng.New(r.cfg.Seed).Split(h.Sum64()).Split(domain).Split(label)
+}
+
+// AddDataset cold-starts a named dataset from an edge stream: the
+// two-pass streamed build runs on one ingest lane's retained Builder,
+// and the dataset's ledger is opened with the configured budget (minus
+// the phase-1 specialization cost when Phase1Epsilon > 0, debited
+// before the build draws a single cut). The source's edges are never
+// materialized — peak ingest memory is O(chunk + sides + 4^Rounds).
+func (r *Registry) AddDataset(name string, src bipartite.EdgeSource) (*Dataset, error) {
+	if name == "" {
+		return nil, fmt.Errorf("%w: empty dataset name", ErrBadConfig)
+	}
+	if src == nil {
+		return nil, hierarchy.ErrNilSource
+	}
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if _, ok := r.datasets[name]; ok {
+		r.mu.Unlock()
+		return nil, fmt.Errorf("%w: %q", ErrDatasetExists, name)
+	}
+	r.datasets[name] = nil // reserve the name while the build runs unlocked
+	r.ingests.Add(1)       // under r.mu, so Close cannot start draining between the closed check and here
+	r.mu.Unlock()
+	defer r.ingests.Done()
+
+	ds, err := r.buildDataset(name, src)
+	r.mu.Lock()
+	if err != nil {
+		delete(r.datasets, name)
+	} else {
+		r.datasets[name] = ds
+	}
+	r.mu.Unlock()
+	return ds, err
+}
+
+// buildDataset runs the ledgered ingest on a checked-out lane.
+func (r *Registry) buildDataset(name string, src bipartite.EdgeSource) (*Dataset, error) {
+	ledger, err := accountant.NewLedger(r.cfg.Budget)
+	if err != nil {
+		return nil, err
+	}
+	bisector := partition.Bisector(partition.BalancedBisector{})
+	if r.cfg.Phase1Epsilon > 0 {
+		// Cuts within one (depth, side) compose in parallel, the
+		// 2·Rounds side-depths sequentially — the pipeline's accounting.
+		cost := dp.Params{Epsilon: 2 * float64(r.cfg.Rounds) * r.cfg.Phase1Epsilon}
+		if err := ledger.Spend("ingest/phase1", cost); err != nil {
+			return nil, fmt.Errorf("serve: ingest %q: %w", name, err)
+		}
+		eb, err := partition.NewExpMechBisector(r.cfg.Phase1Epsilon, r.streamFor(name, domainPhase1, 0))
+		if err != nil {
+			return nil, fmt.Errorf("serve: ingest %q: %w", name, err)
+		}
+		bisector = eb
+	}
+
+	lane := <-r.lanes
+	tree, err := lane.BuildFromEdges(src, hierarchy.Options{
+		Rounds:   r.cfg.Rounds,
+		Bisector: bisector,
+		Workers:  r.cfg.Workers,
+	})
+	r.lanes <- lane
+	if err != nil {
+		return nil, fmt.Errorf("serve: ingest %q: %w", name, err)
+	}
+	return &Dataset{reg: r, name: name, tree: tree, ledger: ledger}, nil
+}
+
+// Dataset returns a served dataset by name.
+func (r *Registry) Dataset(name string) (*Dataset, error) {
+	r.mu.RLock()
+	ds, ok := r.datasets[name]
+	r.mu.RUnlock()
+	if !ok || ds == nil {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownDataset, name)
+	}
+	return ds, nil
+}
+
+// Names lists the served datasets. Order is unspecified; callers sort
+// when they need stable output.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.datasets))
+	for name, ds := range r.datasets {
+		if ds != nil {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// RemoveDataset drops a dataset from the registry. Its sessions keep
+// working against the detached state until released.
+func (r *Registry) RemoveDataset(name string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if ds, ok := r.datasets[name]; !ok || ds == nil {
+		return fmt.Errorf("%w: %q", ErrUnknownDataset, name)
+	}
+	delete(r.datasets, name)
+	return nil
+}
+
+// Dataset is one served hierarchy plus its privacy ledger. All methods
+// are safe for concurrent use; queries go through Sessions.
+type Dataset struct {
+	reg    *Registry
+	name   string
+	tree   *hierarchy.Tree
+	ledger *accountant.Ledger
+	nextID atomic.Uint64
+}
+
+// Name returns the registry key.
+func (d *Dataset) Name() string { return d.name }
+
+// Stats summarizes the ingested dataset (computed from the streamed
+// degrees — no graph was ever resident).
+func (d *Dataset) Stats() bipartite.Stats { return d.tree.DatasetStats() }
+
+// MaxLevel returns the hierarchy's root level; queryable levels are
+// 0..MaxLevel.
+func (d *Dataset) MaxLevel() int { return d.tree.MaxLevel() }
+
+// Tree exposes the curator-side hierarchy (evaluation tooling only —
+// it is not part of any served answer).
+func (d *Dataset) Tree() *hierarchy.Tree { return d.tree }
+
+// Budget, Spent and Remaining report the ledger state.
+func (d *Dataset) Budget() dp.Params    { return d.ledger.Budget() }
+func (d *Dataset) Spent() dp.Params     { return d.ledger.Spent() }
+func (d *Dataset) Remaining() dp.Params { return d.ledger.Remaining() }
+
+// AuditReport renders the ledger's audit trail.
+func (d *Dataset) AuditReport() string { return d.ledger.AuditReport() }
+
+// Ops returns the ledger's audit trail.
+func (d *Dataset) Ops() []accountant.Op { return d.ledger.Ops() }
+
+// NewSession returns a session on the next auto-assigned stream id.
+// Auto ids are unique per dataset but depend on allocation order; pin
+// ids with SessionAt when replayability matters.
+func (d *Dataset) NewSession() *Session {
+	return d.SessionAt(d.nextID.Add(1) - 1)
+}
+
+// SessionAt returns a session on a pinned stream id. Two sessions with
+// the same stream id (across restarts, across replicas with one seed)
+// draw identical noise for identical query sequences — the replay
+// contract. Budget is still debited per query regardless of replay, so
+// re-running a sequence costs budget again.
+func (d *Dataset) SessionAt(stream uint64) *Session {
+	eng, err := release.NewEngine(d.reg.cfg.Model, d.reg.cfg.Calib, d.reg.cfg.Mechanism)
+	if err != nil {
+		// withDefaults pre-validated the engine configuration.
+		panic(fmt.Sprintf("serve: engine config became invalid: %v", err))
+	}
+	return &Session{
+		ds:     d,
+		stream: stream,
+		src:    d.reg.streamFor(d.name, domainSessions, stream),
+		eng:    eng,
+	}
+}
+
+// Session is one tenant's query handle: a reusable release engine (the
+// cell-histogram buffer survives across queries, so the steady-state
+// hot path allocates nothing) and a private pre-split RNG stream. A
+// Session is NOT safe for concurrent use — open one per goroutine;
+// sessions of one dataset may run fully in parallel.
+type Session struct {
+	ds     *Dataset
+	stream uint64
+	seq    uint64
+	src    *rng.Source
+	eng    *release.Engine
+}
+
+// Dataset returns the session's dataset.
+func (s *Session) Dataset() *Dataset { return s.ds }
+
+// Stream returns the session's stream id.
+func (s *Session) Stream() uint64 { return s.stream }
+
+// Seq returns the next query sequence number.
+func (s *Session) Seq() uint64 { return s.seq }
+
+// LevelView is one privilege tier's served answer: the noisy
+// association count and the noisy cell histogram of the level — the
+// serving analogue of release.View.
+type LevelView struct {
+	Level int               `json:"level"`
+	Count core.LevelRelease `json:"count"`
+	// Cells points into the session's reusable buffer: it is valid
+	// until the session's next query (serialize or copy to retain).
+	Cells *core.CellRelease `json:"cells"`
+}
+
+// querySource advances the session to its next per-query stream.
+// Every query owns a Split child keyed by its sequence number, so a
+// query's draws depend only on (seed, dataset, stream, seq) — never on
+// other sessions.
+func (s *Session) querySource() *rng.Source {
+	src := s.src.Split(s.seq)
+	s.seq++
+	return src
+}
+
+// spend debits the ledger, labeling the op with this session's stream
+// and the query's sequence number. It is the gate in front of every
+// noise draw: on ErrBudgetExceeded nothing has been sampled and the
+// sequence number has not advanced.
+func (s *Session) spend(what string, level int, cost dp.Params) error {
+	label := fmt.Sprintf("s%d/q%d/%s/level%d", s.stream, s.seq, what, level)
+	if err := s.ds.ledger.Spend(label, cost); err != nil {
+		return fmt.Errorf("serve: %s on %q: %w", what, s.ds.name, err)
+	}
+	return nil
+}
+
+// checkLevel validates the level before any budget is spent.
+func (s *Session) checkLevel(level int) error {
+	_, err := s.ds.tree.DepthOfLevel(level)
+	return err
+}
+
+// ReleaseLevel serves a level view: the εg-group-DP association count
+// and the level's noisy cell histogram. It debits 2·PerQuery (count +
+// histogram are two mechanism invocations) as one atomic ledger op.
+func (s *Session) ReleaseLevel(level int) (LevelView, error) {
+	if err := s.checkLevel(level); err != nil {
+		return LevelView{}, err
+	}
+	pq := s.ds.reg.cfg.PerQuery
+	cost := dp.Params{Epsilon: 2 * pq.Epsilon, Delta: 2 * pq.Delta}
+	if err := s.spend("view", level, cost); err != nil {
+		return LevelView{}, err
+	}
+	qsrc := s.querySource()
+	count, err := s.eng.Count(s.ds.tree, level, pq, qsrc.Split(0))
+	if err != nil {
+		return LevelView{}, err
+	}
+	cells, err := s.eng.Cells(s.ds.tree, level, pq, qsrc.Split(1))
+	if err != nil {
+		return LevelView{}, err
+	}
+	return LevelView{Level: level, Count: count, Cells: cells}, nil
+}
+
+// Marginal serves the per-side-group association counts of a level: one
+// fresh PerQuery histogram draw, post-processed (free) into row or
+// column sums.
+func (s *Session) Marginal(level int, side bipartite.Side) ([]float64, error) {
+	if err := s.checkLevel(level); err != nil {
+		return nil, err
+	}
+	if !side.Valid() {
+		return nil, fmt.Errorf("serve: invalid side %v", side)
+	}
+	if err := s.spend("marginal", level, s.ds.reg.cfg.PerQuery); err != nil {
+		return nil, err
+	}
+	cells, err := s.eng.Cells(s.ds.tree, level, s.ds.reg.cfg.PerQuery, s.querySource())
+	if err != nil {
+		return nil, err
+	}
+	return query.MarginalCounts(*cells, side)
+}
+
+// TopK serves the k heaviest side groups of a level according to one
+// fresh PerQuery histogram draw (heavy-hitter identification with the
+// ranking as free post-processing).
+func (s *Session) TopK(level int, side bipartite.Side, k int) ([]int, error) {
+	if err := s.checkLevel(level); err != nil {
+		return nil, err
+	}
+	if !side.Valid() {
+		return nil, fmt.Errorf("serve: invalid side %v", side)
+	}
+	n, err := s.ds.tree.NumSideGroups(level)
+	if err != nil {
+		return nil, err
+	}
+	if k <= 0 || k > n {
+		return nil, fmt.Errorf("serve: k=%d outside [1,%d]", k, n)
+	}
+	if err := s.spend("topk", level, s.ds.reg.cfg.PerQuery); err != nil {
+		return nil, err
+	}
+	cells, err := s.eng.Cells(s.ds.tree, level, s.ds.reg.cfg.PerQuery, s.querySource())
+	if err != nil {
+		return nil, err
+	}
+	return query.TopKGroups(*cells, side, k)
+}

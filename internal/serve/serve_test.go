@@ -1,0 +1,435 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/accountant"
+	"repro/internal/bipartite"
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/dp"
+)
+
+// testConfig is the shared serving setup: budget for exactly 50
+// single-debit queries (ε 1.0 / 0.02, δ 1e-4 / 2e-6).
+func testConfig() Config {
+	return Config{
+		Budget:   dp.Params{Epsilon: 1.0, Delta: 1e-4},
+		PerQuery: dp.Params{Epsilon: 0.02, Delta: 2e-6},
+		Rounds:   5,
+		Seed:     71,
+	}
+}
+
+// testSource returns a fresh edge stream of the shared test dataset.
+func testSource(t testing.TB) bipartite.EdgeSource {
+	t.Helper()
+	cfg := datagen.Config{
+		Name: "serve-test", NumLeft: 120, NumRight: 150, NumEdges: 1800,
+		LeftZipf: 1.9, RightZipf: 2.6, Seed: 5,
+	}
+	edges, nl, nr, err := datagen.EdgeList(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bipartite.NewSliceSource(nl, nr, edges)
+}
+
+// openTestDataset opens a registry with one ingested dataset.
+func openTestDataset(t testing.TB, cfg Config) (*Registry, *Dataset) {
+	t.Helper()
+	reg, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(reg.Close)
+	ds, err := reg.AddDataset("tiny", testSource(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reg, ds
+}
+
+func TestRegistryIngestAndLevelView(t *testing.T) {
+	t.Parallel()
+	reg, ds := openTestDataset(t, testConfig())
+
+	if got := ds.Stats().NumEdges; got != 1800 {
+		t.Fatalf("ingested edges = %d, want 1800", got)
+	}
+	if ds.MaxLevel() != 5 {
+		t.Fatalf("max level = %d, want 5", ds.MaxLevel())
+	}
+	if names := reg.Names(); len(names) != 1 || names[0] != "tiny" {
+		t.Fatalf("names = %v", names)
+	}
+
+	sess := ds.SessionAt(3)
+	view, err := sess.ReleaseLevel(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := ds.Tree().NumSideGroups(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if view.Cells == nil || len(view.Cells.Counts) != k*k {
+		t.Fatalf("level view histogram has %d cells, want %d", len(view.Cells.Counts), k*k)
+	}
+	if view.Count.Level != 2 || view.Count.Sigma <= 0 {
+		t.Fatalf("level view count malformed: %+v", view.Count)
+	}
+
+	// A level view debits exactly 2×PerQuery, atomically.
+	pq := reg.Config().PerQuery
+	spent := ds.Spent()
+	if math.Abs(spent.Epsilon-2*pq.Epsilon) > 1e-12 || math.Abs(spent.Delta-2*pq.Delta) > 1e-18 {
+		t.Fatalf("spent %v after one level view, want 2×%v", spent, pq)
+	}
+	ops := ds.Ops()
+	if len(ops) != 1 || ops[0].Label != "s3/q0/view/level2" {
+		t.Fatalf("audit trail = %+v", ops)
+	}
+
+	// The histogram buffer is the session's reusable engine buffer: a
+	// second query writes into the same backing array.
+	first := &view.Cells.Counts[0]
+	view2, err := sess.ReleaseLevel(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &view2.Cells.Counts[0] != first {
+		t.Fatal("second level view reallocated the session's cell buffer")
+	}
+}
+
+func TestSessionQueriesValidateBeforeSpending(t *testing.T) {
+	t.Parallel()
+	_, ds := openTestDataset(t, testConfig())
+	sess := ds.NewSession()
+
+	if _, err := sess.ReleaseLevel(99); err == nil {
+		t.Fatal("bad level accepted")
+	}
+	if _, err := sess.Marginal(2, bipartite.Side(9)); err == nil {
+		t.Fatal("bad side accepted")
+	}
+	if _, err := sess.TopK(2, bipartite.Left, 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := sess.TopK(2, bipartite.Left, 1<<20); err == nil {
+		t.Fatal("oversized k accepted")
+	}
+	if spent := ds.Spent(); spent.Epsilon != 0 || spent.Delta != 0 {
+		t.Fatalf("invalid queries spent budget: %v", spent)
+	}
+	if sess.Seq() != 0 {
+		t.Fatalf("invalid queries advanced the stream: seq=%d", sess.Seq())
+	}
+}
+
+func TestRegistryDatasetLifecycle(t *testing.T) {
+	t.Parallel()
+	reg, _ := openTestDataset(t, testConfig())
+
+	if _, err := reg.AddDataset("tiny", testSource(t)); !errors.Is(err, ErrDatasetExists) {
+		t.Fatalf("duplicate ingest: %v", err)
+	}
+	if _, err := reg.Dataset("nope"); !errors.Is(err, ErrUnknownDataset) {
+		t.Fatalf("unknown dataset: %v", err)
+	}
+	if err := reg.RemoveDataset("tiny"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Dataset("tiny"); !errors.Is(err, ErrUnknownDataset) {
+		t.Fatalf("removed dataset still served: %v", err)
+	}
+	reg.Close()
+	if _, err := reg.AddDataset("post-close", testSource(t)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("ingest after close: %v", err)
+	}
+}
+
+func TestPhase1EpsilonDebitsIngest(t *testing.T) {
+	t.Parallel()
+	cfg := testConfig()
+	cfg.Phase1Epsilon = 0.01
+	_, ds := openTestDataset(t, cfg)
+	want := 2 * float64(cfg.Rounds) * cfg.Phase1Epsilon
+	if spent := ds.Spent(); math.Abs(spent.Epsilon-want) > 1e-12 {
+		t.Fatalf("phase-1 ingest spent ε=%v, want %v", spent.Epsilon, want)
+	}
+	ops := ds.Ops()
+	if len(ops) != 1 || ops[0].Label != "ingest/phase1" {
+		t.Fatalf("audit trail = %+v", ops)
+	}
+
+	// A budget too small for the specialization must refuse the ingest.
+	tight := testConfig()
+	tight.Phase1Epsilon = 1.0 // 2·5·1.0 = 10 > ε budget 1.0
+	reg2, err := Open(tight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reg2.Close()
+	if _, err := reg2.AddDataset("x", testSource(t)); !errors.Is(err, accountant.ErrBudgetExceeded) {
+		t.Fatalf("over-budget phase 1: %v", err)
+	}
+	if _, err := reg2.Dataset("x"); !errors.Is(err, ErrUnknownDataset) {
+		t.Fatal("failed ingest left the name registered")
+	}
+}
+
+// TestConcurrentSessionsDrainLedgerExactly is the serving layer's race
+// and accounting contract: N goroutine sessions hammer one dataset until
+// the ledger refuses; exactly capacity queries are admitted (no
+// overspend, no stranded budget), and every session's answers match a
+// serial replay of the same per-session sequences — interleaving can
+// change who gets budget, never what anyone's draws are.
+func TestConcurrentSessionsDrainLedgerExactly(t *testing.T) {
+	t.Parallel()
+	cfg := testConfig()
+	const sessions = 8
+	const capacity = 50 // Budget / PerQuery on both components
+
+	_, ds := openTestDataset(t, cfg)
+	var admitted atomic.Int64
+	results := make([][][]float64, sessions)
+	var wg sync.WaitGroup
+	for i := 0; i < sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sess := ds.SessionAt(uint64(i))
+			for {
+				m, err := sess.Marginal(2, bipartite.Left)
+				if err != nil {
+					if !errors.Is(err, accountant.ErrBudgetExceeded) {
+						t.Errorf("session %d: unexpected error: %v", i, err)
+					}
+					return
+				}
+				admitted.Add(1)
+				results[i] = append(results[i], m)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	if got := admitted.Load(); got != capacity {
+		t.Fatalf("admitted %d queries, want exactly %d", got, capacity)
+	}
+	spent, budget := ds.Spent(), ds.Budget()
+	if spent.Epsilon > budget.Epsilon*(1+1e-9) || spent.Delta > budget.Delta*(1+1e-9) {
+		t.Fatalf("overspend: %v > %v", spent, budget)
+	}
+	rem := ds.Remaining()
+	if rem.Epsilon > budget.Epsilon*1e-9 || rem.Delta > budget.Delta*1e-9 {
+		t.Fatalf("ledger not drained to zero: remaining %v", rem)
+	}
+	// Exhausted means exhausted for every query shape.
+	if _, err := ds.NewSession().ReleaseLevel(1); !errors.Is(err, accountant.ErrBudgetExceeded) {
+		t.Fatalf("post-drain level view: %v", err)
+	}
+
+	// Serial replay on a fresh registry: each session re-runs its own
+	// admitted count in order; every answer must be bitwise identical to
+	// what it got under contention.
+	_, replayDS := openTestDataset(t, cfg)
+	for i := 0; i < sessions; i++ {
+		sess := replayDS.SessionAt(uint64(i))
+		for qi, want := range results[i] {
+			got, err := sess.Marginal(2, bipartite.Left)
+			if err != nil {
+				t.Fatalf("replay session %d query %d: %v", i, qi, err)
+			}
+			for gi := range want {
+				if math.Float64bits(got[gi]) != math.Float64bits(want[gi]) {
+					t.Fatalf("session %d query %d group %d: concurrent %v, replay %v",
+						i, qi, gi, want[gi], got[gi])
+				}
+			}
+		}
+	}
+}
+
+// TestSessionReplayByteIdentical pins the full replay contract across
+// registries: same seed, same dataset, same pinned stream, same query
+// sequence — the serialized answers are byte-identical, and distinct
+// streams draw distinct noise.
+func TestSessionReplayByteIdentical(t *testing.T) {
+	t.Parallel()
+	transcript := func(stream uint64) []byte {
+		_, ds := openTestDataset(t, testConfig())
+		sess := ds.SessionAt(stream)
+		var blob []byte
+		view, err := sess.ReleaseLevel(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(view)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blob = append(blob, b...)
+		m, err := sess.Marginal(1, bipartite.Right)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err = json.Marshal(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blob = append(blob, b...)
+		topk, err := sess.TopK(2, bipartite.Left, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err = json.Marshal(topk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return append(blob, b...)
+	}
+
+	a, b := transcript(7), transcript(7)
+	if string(a) != string(b) {
+		t.Fatal("pinned stream did not replay byte-identical answers")
+	}
+	if string(a) == string(transcript(8)) {
+		t.Fatal("distinct streams produced identical transcripts")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	t.Parallel()
+	if _, err := Open(Config{}); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("zero config: %v", err)
+	}
+	bad := testConfig()
+	bad.Rounds = 99
+	if _, err := Open(bad); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("bad rounds: %v", err)
+	}
+	bad = testConfig()
+	bad.Phase1Epsilon = -1
+	if _, err := Open(bad); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("negative phase-1 eps: %v", err)
+	}
+	bad = testConfig()
+	bad.Model = core.GroupModel(42)
+	if _, err := Open(bad); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("bad model: %v", err)
+	}
+
+	// PerQuery defaulting: Budget/64 on both components.
+	cfg := testConfig()
+	cfg.PerQuery = dp.Params{}
+	reg, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+	pq := reg.Config().PerQuery
+	if pq.Epsilon != cfg.Budget.Epsilon/64 || pq.Delta != cfg.Budget.Delta/64 {
+		t.Fatalf("defaulted per-query budget = %v", pq)
+	}
+
+	// Registry rejects empty names and nil sources.
+	if _, err := reg.AddDataset("", testSource(t)); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if _, err := reg.AddDataset("ds", nil); err == nil {
+		t.Fatal("nil source accepted")
+	}
+}
+
+// TestConcurrentIngestLanes fans several ingests across two retained
+// Builder lanes; every dataset must be independently correct.
+func TestConcurrentIngestLanes(t *testing.T) {
+	t.Parallel()
+	cfg := testConfig()
+	cfg.IngestLanes = 2
+	reg, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+
+	const n = 6
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = reg.AddDataset(fmt.Sprintf("ds%d", i), testSource(t))
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("ingest %d: %v", i, err)
+		}
+	}
+	if got := len(reg.Names()); got != n {
+		t.Fatalf("registry serves %d datasets, want %d", got, n)
+	}
+	for i := 0; i < n; i++ {
+		ds, err := reg.Dataset(fmt.Sprintf("ds%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ds.Stats().NumEdges != 1800 {
+			t.Fatalf("dataset %d has %d edges", i, ds.Stats().NumEdges)
+		}
+	}
+}
+
+// benchDataset opens a registry whose budget never exhausts under b.N.
+func benchDataset(b *testing.B) *Dataset {
+	b.Helper()
+	cfg := Config{
+		Budget:   dp.Params{Epsilon: 1e12, Delta: 0.5},
+		PerQuery: dp.Params{Epsilon: 1e-3, Delta: 1e-12},
+		Rounds:   6,
+		Seed:     71,
+	}
+	_, ds := openTestDataset(b, cfg)
+	return ds
+}
+
+// BenchmarkServeSessionMarginal is the serving hot path: ledger debit +
+// one batched histogram release into the session's reusable buffer +
+// marginal post-processing.
+func BenchmarkServeSessionMarginal(b *testing.B) {
+	ds := benchDataset(b)
+	sess := ds.SessionAt(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sess.Marginal(2, bipartite.Left); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkServeSessionLevelView serves the full level view (count +
+// histogram) per iteration.
+func BenchmarkServeSessionLevelView(b *testing.B) {
+	ds := benchDataset(b)
+	sess := ds.SessionAt(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sess.ReleaseLevel(3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -26,7 +26,10 @@ package repro
 
 import (
 	"io"
+	"net/http"
+	"os"
 
+	"repro/internal/accountant"
 	"repro/internal/bipartite"
 	"repro/internal/core"
 	"repro/internal/datagen"
@@ -36,6 +39,7 @@ import (
 	"repro/internal/query"
 	"repro/internal/release"
 	"repro/internal/rng"
+	"repro/internal/serve"
 )
 
 // Core data types.
@@ -279,3 +283,56 @@ func MarginalCounts(c CellRelease, side Side) ([]float64, error) {
 func TopKGroups(c CellRelease, side Side, k int) ([]int, error) {
 	return query.TopKGroups(c, side, k)
 }
+
+// Serving API — the long-lived, budget-accounted, multi-tenant layer
+// over the release engine (internal/serve; cmd/gdpserve is the server
+// binary).
+type (
+	// ServeConfig configures OpenRegistry: per-dataset budget, per-query
+	// cost, hierarchy depth, seed, ingest parallelism.
+	ServeConfig = serve.Config
+	// Registry owns named served datasets and their ingest lanes.
+	Registry = serve.Registry
+	// Dataset is one served hierarchy plus its privacy ledger.
+	Dataset = serve.Dataset
+	// Session is one tenant's query handle: reusable release buffers
+	// and a private pre-split RNG stream. Not safe for concurrent use;
+	// open one per goroutine.
+	Session = serve.Session
+	// LevelView is a session's served answer for one level: noisy count
+	// plus noisy cell histogram.
+	LevelView = serve.LevelView
+)
+
+// OpenRegistry opens an empty serving registry. Datasets are added with
+// Registry.AddDataset from any EdgeSource — the edges stream through
+// the two-pass hierarchy build and are never resident in memory.
+// Queries run through Dataset.NewSession (or SessionAt for replayable
+// pinned streams) and debit the dataset's ledger before any noise is
+// drawn; exhausted budgets refuse queries with an error satisfying
+// errors.Is(err, ErrBudgetExhausted).
+func OpenRegistry(cfg ServeConfig) (*Registry, error) { return serve.Open(cfg) }
+
+// ErrBudgetExhausted is returned (wrapped) by sessions of a dataset
+// whose privacy ledger cannot admit another query.
+var ErrBudgetExhausted = accountant.ErrBudgetExceeded
+
+// NewServeHandler returns the HTTP/JSON front end over a registry —
+// dataset ingest, budget inspection, level views, marginal and top-k
+// queries (see cmd/gdpserve for the standalone server). Server-side
+// path ingest is disabled; see NewServeHandlerWith.
+func NewServeHandler(r *Registry) http.Handler { return serve.NewHandler(r) }
+
+// ServeHandlerOptions configures NewServeHandlerWith.
+type ServeHandlerOptions = serve.HandlerOptions
+
+// NewServeHandlerWith is NewServeHandler with explicit options (e.g.
+// enabling JSON {"path": ...} ingest of server-side files, which is
+// safe only on trusted or loopback listeners).
+func NewServeHandlerWith(r *Registry, opts ServeHandlerOptions) http.Handler {
+	return serve.NewHandlerWith(r, opts)
+}
+
+// OpenEdgeSourceFile sniffs an edge file's format (binary codec vs TSV)
+// and returns a chunked source over it.
+func OpenEdgeSourceFile(f *os.File) (EdgeSource, error) { return serve.OpenEdgeSourceFile(f) }
