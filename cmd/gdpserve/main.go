@@ -71,6 +71,8 @@ func parseArgs(args []string) (cfg repro.ServeConfig, hopts repro.ServeHandlerOp
 		workers    = fs.Int("workers", runtime.GOMAXPROCS(0), "ingest build parallelism")
 		lanes      = fs.Int("lanes", 2, "concurrent ingest lanes (each retains a hierarchy builder)")
 		pathIngest = fs.Bool("allow-path-ingest", false, "allow HTTP clients to ingest server-side files via JSON {\"path\": ...} (file-read oracle on open listeners; uploads are always allowed)")
+		maxUpload  = fs.Int64("max-upload-bytes", 0, "cap on one ingest upload body spooled to temp disk (0 = 1 GiB default, negative = unlimited)")
+		maxSess    = fs.Int("max-sessions", 0, "cap on concurrently open session handles (0 = 1024 default, negative = unlimited)")
 	)
 	fs.Var(preloadFlag{&loads}, "dataset", "preload a dataset as name=path (repeatable; TSV or binary, sniffed)")
 	if err := fs.Parse(args); err != nil {
@@ -95,7 +97,12 @@ func parseArgs(args []string) (cfg repro.ServeConfig, hopts repro.ServeHandlerOp
 		Workers:       *workers,
 		IngestLanes:   *lanes,
 	}
-	return cfg, repro.ServeHandlerOptions{AllowPathIngest: *pathIngest}, *addrFlag, loads, nil
+	hopts = repro.ServeHandlerOptions{
+		AllowPathIngest: *pathIngest,
+		MaxUploadBytes:  *maxUpload,
+		MaxSessions:     *maxSess,
+	}
+	return cfg, hopts, *addrFlag, loads, nil
 }
 
 // preloadFlag accumulates repeated -dataset name=path values.

@@ -175,12 +175,14 @@ func (s *degreeShard) accumulate(chunk []bipartite.Edge) error {
 	return nil
 }
 
-// scanStreamDegreesParallel fans degree accumulation across workers: the
-// reader goroutine recycles chunk buffers through a free list while each
-// worker grows private per-side arrays, merged by integer addition at the
-// end — bit-identical to the serial sweep for any worker count. Only
-// called for sources with declared sides, within the memory cap.
-func scanStreamDegreesParallel(src bipartite.EdgeSource, workers int, nl, nr int32) ([]int64, []int64, error) {
+// fanOutChunks is the shared reader/worker chunk pump of the parallel
+// streaming scans: one reader goroutine recycles chunk buffers through
+// a bounded free list while `workers` goroutines each run accumulate
+// with their worker index over the chunks they pop — per-worker state
+// (and per-worker error capture) belongs to the caller's closure. The
+// returned error is the reader's; callers merge and check their own
+// worker errors after it returns.
+func fanOutChunks(src bipartite.EdgeSource, workers int, accumulate func(worker int, edges []bipartite.Edge)) error {
 	type chunk struct {
 		buf []bipartite.Edge
 		n   int
@@ -190,22 +192,16 @@ func scanStreamDegreesParallel(src bipartite.EdgeSource, workers int, nl, nr int
 		free <- make([]bipartite.Edge, streamChunkEdges)
 	}
 	work := make(chan chunk, workers+1)
-	shards := make([]degreeShard, workers)
-	for i := range shards {
-		shards[i].maxL, shards[i].maxR = -1, -1
-	}
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(s *degreeShard) {
+		go func(w int) {
 			defer wg.Done()
 			for c := range work {
-				if s.err == nil {
-					s.err = s.accumulate(c.buf[:c.n])
-				}
+				accumulate(w, c.buf[:c.n])
 				free <- c.buf
 			}
-		}(&shards[w])
+		}(w)
 	}
 
 	var readErr error
@@ -226,8 +222,26 @@ func scanStreamDegreesParallel(src bipartite.EdgeSource, workers int, nl, nr int
 	}
 	close(work)
 	wg.Wait()
-	if readErr != nil {
-		return nil, nil, readErr
+	return readErr
+}
+
+// scanStreamDegreesParallel fans degree accumulation across workers: the
+// reader goroutine recycles chunk buffers through a free list while each
+// worker grows private per-side arrays, merged by integer addition at the
+// end — bit-identical to the serial sweep for any worker count. Only
+// called for sources with declared sides, within the memory cap.
+func scanStreamDegreesParallel(src bipartite.EdgeSource, workers int, nl, nr int32) ([]int64, []int64, error) {
+	shards := make([]degreeShard, workers)
+	for i := range shards {
+		shards[i].maxL, shards[i].maxR = -1, -1
+	}
+	err := fanOutChunks(src, workers, func(w int, edges []bipartite.Edge) {
+		if s := &shards[w]; s.err == nil {
+			s.err = s.accumulate(edges)
+		}
+	})
+	if err != nil {
+		return nil, nil, err
 	}
 	maxL, maxR := nl-1, nr-1
 	for i := range shards {
@@ -327,52 +341,18 @@ func (t *Tree) scanCellsFromSource(src bipartite.EdgeSource, k, workers int) ([]
 		return counts, nil
 	}
 
-	type chunk struct {
-		buf []bipartite.Edge
-		n   int
-	}
-	free := make(chan []bipartite.Edge, workers+1)
-	for i := 0; i < workers+1; i++ {
-		free <- make([]bipartite.Edge, streamChunkEdges)
-	}
-	work := make(chan chunk, workers+1)
 	parts := make([][]int64, workers)
 	workerErrs := make([]error, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
+	for w := range parts {
 		parts[w] = make([]int64, k*k)
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			for c := range work {
-				if workerErrs[w] == nil {
-					workerErrs[w] = countEdgeChunk(parts[w], c.buf[:c.n], leftGroup, rightGroup, k)
-				}
-				free <- c.buf
-			}
-		}(w)
 	}
-
-	var readErr error
-	for {
-		buf := <-free
-		n, err := src.NextChunk(buf)
-		if err == io.EOF {
-			break
+	err := fanOutChunks(src, workers, func(w int, edges []bipartite.Edge) {
+		if workerErrs[w] == nil {
+			workerErrs[w] = countEdgeChunk(parts[w], edges, leftGroup, rightGroup, k)
 		}
-		if err == nil && n == 0 {
-			err = errors.New("edge source returned an empty chunk without error")
-		}
-		if err != nil {
-			readErr = err
-			break
-		}
-		work <- chunk{buf: buf, n: n}
-	}
-	close(work)
-	wg.Wait()
-	if readErr != nil {
-		return nil, readErr
+	})
+	if err != nil {
+		return nil, err
 	}
 	for _, werr := range workerErrs {
 		if werr != nil {

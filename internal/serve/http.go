@@ -1,10 +1,12 @@
 package serve
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"mime"
 	"net/http"
 	"os"
 	"sort"
@@ -22,7 +24,8 @@ import (
 //	GET    /v1/datasets                  list datasets
 //	GET    /v1/datasets/{name}           dataset info (stats + ledger summary)
 //	GET    /v1/datasets/{name}/budget    ledger state + audit report
-//	POST   /v1/datasets/{name}/sessions  open a session handle ({"stream": n} pins the RNG stream)
+//	POST   /v1/datasets/{name}/sessions  open a session handle ({"stream": n} pins the RNG stream;
+//	                                     auto sessions derive from a disjoint stream domain)
 //	DELETE /v1/sessions/{id}             close a session handle
 //	POST   /v1/sessions/{id}/level       {"level": l} → level view (count + histogram)
 //	POST   /v1/sessions/{id}/marginal    {"level": l, "side": "left"|"right"}
@@ -31,11 +34,19 @@ import (
 //
 // Budget exhaustion returns 429 with code "budget-exhausted"; the
 // ledger was not debited and no noise was drawn. Query responses are a
-// pure function of (seed, dataset, stream id, session query sequence),
-// so replaying a pinned stream returns byte-identical bodies.
+// pure function of (seed, dataset, stream id, session query sequence,
+// query parameters), so replaying a pinned stream returns
+// byte-identical bodies for the same query sequence, while distinct
+// queries draw independent noise even on a shared stream id.
 
 // maxQueryBody bounds the JSON bodies of query endpoints.
 const maxQueryBody = 1 << 20
+
+// Serving-surface resource defaults (see HandlerOptions).
+const (
+	DefaultMaxUploadBytes = int64(1) << 30 // 1 GiB per ingest upload
+	DefaultMaxSessions    = 1024           // open handles per handler
+)
 
 // HandlerOptions configures the HTTP front end.
 type HandlerOptions struct {
@@ -46,6 +57,25 @@ type HandlerOptions struct {
 	// loopback deployments; uploads in the request body are always
 	// allowed.
 	AllowPathIngest bool
+	// MaxUploadBytes caps the size of an ingest request body before it
+	// is spooled to the server's temp disk. Oversized uploads get 413.
+	// 0 selects DefaultMaxUploadBytes; negative disables the cap.
+	MaxUploadBytes int64
+	// MaxSessions caps the concurrently open session handles; opening
+	// one past the cap gets 429 until a handle is DELETEd. 0 selects
+	// DefaultMaxSessions; negative disables the cap.
+	MaxSessions int
+}
+
+// withDefaults resolves the zero-value resource caps.
+func (o HandlerOptions) withDefaults() HandlerOptions {
+	if o.MaxUploadBytes == 0 {
+		o.MaxUploadBytes = DefaultMaxUploadBytes
+	}
+	if o.MaxSessions == 0 {
+		o.MaxSessions = DefaultMaxSessions
+	}
+	return o
 }
 
 // NewHandler returns the HTTP front end for a registry with default
@@ -54,7 +84,7 @@ func NewHandler(reg *Registry) http.Handler { return NewHandlerWith(reg, Handler
 
 // NewHandlerWith returns the HTTP front end with explicit options.
 func NewHandlerWith(reg *Registry, opts HandlerOptions) http.Handler {
-	s := &httpServer{reg: reg, opts: opts, sessions: make(map[uint64]*httpSession)}
+	s := &httpServer{reg: reg, opts: opts.withDefaults(), sessions: make(map[uint64]*httpSession)}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.healthz)
 	mux.HandleFunc("GET /v1/datasets", s.listDatasets)
@@ -106,10 +136,20 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v)
 }
 
+// errSpool marks server-side ingest-spool failures (temp-disk full,
+// unwritable temp dir) — the client did nothing wrong, so they map to
+// 500 rather than the default 400.
+var errSpool = errors.New("serve: spooling ingest body")
+
 // writeErr maps registry errors onto HTTP statuses.
 func writeErr(w http.ResponseWriter, err error) {
 	status, code := http.StatusBadRequest, "bad-request"
+	var tooLarge *http.MaxBytesError
 	switch {
+	case errors.As(err, &tooLarge):
+		status, code = http.StatusRequestEntityTooLarge, "body-too-large"
+	case errors.Is(err, errSpool):
+		status, code = http.StatusInternalServerError, "ingest-spool-failed"
 	case errors.Is(err, accountant.ErrBudgetExceeded):
 		status, code = http.StatusTooManyRequests, "budget-exhausted"
 	case errors.Is(err, ErrUnknownDataset):
@@ -125,7 +165,9 @@ func writeErr(w http.ResponseWriter, err error) {
 }
 
 // decodeBody parses a bounded JSON body into v; an empty body leaves v
-// at its zero value.
+// at its zero value. Unknown fields are rejected: a misspelled key must
+// fail the request up front, not silently run a defaulted query that
+// debits the permanent privacy ledger.
 func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxQueryBody))
 	if err != nil {
@@ -134,8 +176,16 @@ func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
 	if len(body) == 0 {
 		return nil
 	}
-	if err := json.Unmarshal(body, v); err != nil {
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
 		return fmt.Errorf("serve: parsing body: %w", err)
+	}
+	// Reject trailing content after the value: an ambiguous body (two
+	// concatenated requests, appended garbage) must not run as whatever
+	// its first object happens to say.
+	if _, err := dec.Token(); err != io.EOF {
+		return errors.New("serve: parsing body: trailing data after JSON value")
 	}
 	return nil
 }
@@ -186,14 +236,15 @@ func (s *httpServer) listDatasets(w http.ResponseWriter, r *http.Request) {
 }
 
 // ingest cold-starts a dataset. A JSON body {"path": "..."} streams a
-// server-side file; any other body is spooled to a temporary file and
-// streamed from there, so the edges are never resident in memory
+// server-side file; any other body is spooled to a temporary file
+// (bounded by MaxUploadBytes so a client cannot fill the temp disk)
+// and streamed from there, so the edges are never resident in memory
 // regardless of upload size. The format is sniffed from the first
 // bytes: "BPG1" selects the binary codec, anything else is TSV.
 func (s *httpServer) ingest(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	var f *os.File
-	if r.Header.Get("Content-Type") == "application/json" {
+	if mediaType, _, err := mime.ParseMediaType(r.Header.Get("Content-Type")); err == nil && mediaType == "application/json" {
 		if !s.opts.AllowPathIngest {
 			writeJSON(w, http.StatusForbidden, errorBody{
 				Error: "serve: server-side path ingest is disabled (start the server with path ingest enabled, or upload the edge file as the request body)",
@@ -219,7 +270,11 @@ func (s *httpServer) ingest(w http.ResponseWriter, r *http.Request) {
 		}
 		f = file
 	} else {
-		tmp, err := spoolBody(r.Body)
+		body := io.Reader(r.Body)
+		if s.opts.MaxUploadBytes > 0 {
+			body = http.MaxBytesReader(w, r.Body, s.opts.MaxUploadBytes)
+		}
+		tmp, err := spoolBody(body)
 		if err != nil {
 			writeErr(w, err)
 			return
@@ -247,19 +302,47 @@ func (s *httpServer) ingest(w http.ResponseWriter, r *http.Request) {
 func spoolBody(body io.Reader) (*os.File, error) {
 	tmp, err := os.CreateTemp("", "gdpserve-ingest-*")
 	if err != nil {
-		return nil, fmt.Errorf("serve: spooling ingest body: %w", err)
+		return nil, fmt.Errorf("%w: %v", errSpool, err)
 	}
-	if _, err := io.Copy(tmp, body); err != nil {
+	// io.Copy surfaces one error for either side; track the write side
+	// so only temp-file faults (the server's) map to errSpool/500, while
+	// client-side body read errors stay 400.
+	tw := &trackedWriter{w: tmp}
+	if _, err := io.Copy(tw, body); err != nil {
 		tmp.Close()
 		os.Remove(tmp.Name())
-		return nil, fmt.Errorf("serve: spooling ingest body: %w", err)
+		// An over-cap body is the client's fault (413), not a spool
+		// fault; keep the MaxBytesError chain intact for writeErr.
+		var tooLarge *http.MaxBytesError
+		switch {
+		case errors.As(err, &tooLarge):
+			return nil, fmt.Errorf("serve: spooling ingest body: %w", err)
+		case tw.err != nil:
+			return nil, fmt.Errorf("%w: %v", errSpool, err)
+		default:
+			return nil, fmt.Errorf("serve: reading ingest body: %v", err)
+		}
 	}
 	if _, err := tmp.Seek(0, io.SeekStart); err != nil {
 		tmp.Close()
 		os.Remove(tmp.Name())
-		return nil, fmt.Errorf("serve: rewinding ingest spool: %w", err)
+		return nil, fmt.Errorf("%w: rewinding: %v", errSpool, err)
 	}
 	return tmp, nil
+}
+
+// trackedWriter records whether the destination side of a copy failed.
+type trackedWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (t *trackedWriter) Write(p []byte) (int, error) {
+	n, err := t.w.Write(p)
+	if err != nil {
+		t.err = err
+	}
+	return n, err
 }
 
 // OpenEdgeSourceFile sniffs an edge file's format ("BPG1" magic =
@@ -267,8 +350,8 @@ func spoolBody(body io.Reader) (*os.File, error) {
 // the ingest path cmd/gdpserve and the HTTP upload share.
 func OpenEdgeSourceFile(f *os.File) (bipartite.EdgeSource, error) {
 	var magic [4]byte
-	n, err := f.Read(magic[:])
-	if err != nil && n == 0 && err != io.EOF {
+	n, err := io.ReadFull(f, magic[:])
+	if err != nil && err != io.EOF && err != io.ErrUnexpectedEOF {
 		return nil, fmt.Errorf("serve: sniffing %s: %w", f.Name(), err)
 	}
 	if n == 4 && string(magic[:]) == "BPG1" {
@@ -315,13 +398,21 @@ func (s *httpServer) openSession(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
+	s.mu.Lock()
+	if s.opts.MaxSessions > 0 && len(s.sessions) >= s.opts.MaxSessions {
+		s.mu.Unlock()
+		writeJSON(w, http.StatusTooManyRequests, errorBody{
+			Error: fmt.Sprintf("serve: %d session handles already open (the handler cap); DELETE /v1/sessions/{id} to free one", s.opts.MaxSessions),
+			Code:  "too-many-sessions",
+		})
+		return
+	}
 	var sess *Session
 	if req.Stream != nil {
 		sess = ds.SessionAt(*req.Stream)
 	} else {
 		sess = ds.NewSession()
 	}
-	s.mu.Lock()
 	s.nextID++
 	id := s.nextID
 	s.sessions[id] = &httpSession{sess: sess}
@@ -329,6 +420,7 @@ func (s *httpServer) openSession(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusCreated, map[string]any{
 		"session": id,
 		"stream":  sess.Stream(),
+		"pinned":  sess.Pinned(),
 		"dataset": ds.Name(),
 	})
 }
@@ -360,11 +452,28 @@ func (s *httpServer) closeSession(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"closed": id})
 }
 
-// queryRequest is the shared query body shape.
+// queryRequest is the shared query body shape. Level and K are pointers
+// so omitted fields are distinguishable from zero values — a query must
+// name its parameters explicitly before it may spend budget, and each
+// endpoint rejects fields it does not consume (a body shaped for one
+// query kind must not silently run as another).
 type queryRequest struct {
-	Level int    `json:"level"`
+	Level *int   `json:"level"`
 	Side  string `json:"side"`
-	K     int    `json:"k"`
+	K     *int   `json:"k"`
+}
+
+// reject returns an error when the request carries fields the endpoint
+// ignores; silently dropping them could spend budget on a query the
+// client did not intend.
+func (q queryRequest) reject(side, k bool) error {
+	if side && q.Side != "" {
+		return errors.New("serve: \"side\" is not valid for this endpoint")
+	}
+	if k && q.K != nil {
+		return errors.New("serve: \"k\" is not valid for this endpoint")
+	}
+	return nil
 }
 
 // side parses the request's side field.
@@ -379,8 +488,10 @@ func (q queryRequest) side() (bipartite.Side, error) {
 	}
 }
 
-// withSession parses the body, locks the handle, and runs fn.
-func (s *httpServer) withSession(w http.ResponseWriter, r *http.Request, fn func(hs *httpSession, req queryRequest)) {
+// withSession parses the body, locks the handle, and runs fn with the
+// request's level. The level must be present: every query endpoint
+// debits the ledger, so nothing may run against a defaulted level.
+func (s *httpServer) withSession(w http.ResponseWriter, r *http.Request, fn func(hs *httpSession, req queryRequest, level int)) {
 	hs, _, err := s.session(r)
 	if err != nil {
 		writeErr(w, err)
@@ -391,15 +502,23 @@ func (s *httpServer) withSession(w http.ResponseWriter, r *http.Request, fn func
 		writeErr(w, err)
 		return
 	}
+	if req.Level == nil {
+		writeErr(w, errors.New("serve: query body requires \"level\""))
+		return
+	}
 	hs.mu.Lock()
 	defer hs.mu.Unlock()
-	fn(hs, req)
+	fn(hs, req, *req.Level)
 }
 
 func (s *httpServer) level(w http.ResponseWriter, r *http.Request) {
-	s.withSession(w, r, func(hs *httpSession, req queryRequest) {
+	s.withSession(w, r, func(hs *httpSession, req queryRequest, level int) {
+		if err := req.reject(true, true); err != nil {
+			writeErr(w, err)
+			return
+		}
 		seq := hs.sess.Seq()
-		view, err := hs.sess.ReleaseLevel(req.Level)
+		view, err := hs.sess.ReleaseLevel(level)
 		if err != nil {
 			writeErr(w, err)
 			return
@@ -414,14 +533,18 @@ func (s *httpServer) level(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *httpServer) marginal(w http.ResponseWriter, r *http.Request) {
-	s.withSession(w, r, func(hs *httpSession, req queryRequest) {
+	s.withSession(w, r, func(hs *httpSession, req queryRequest, level int) {
+		if err := req.reject(false, true); err != nil {
+			writeErr(w, err)
+			return
+		}
 		side, err := req.side()
 		if err != nil {
 			writeErr(w, err)
 			return
 		}
 		seq := hs.sess.Seq()
-		marginals, err := hs.sess.Marginal(req.Level, side)
+		marginals, err := hs.sess.Marginal(level, side)
 		if err != nil {
 			writeErr(w, err)
 			return
@@ -430,7 +553,7 @@ func (s *httpServer) marginal(w http.ResponseWriter, r *http.Request) {
 			"dataset":   hs.sess.Dataset().Name(),
 			"stream":    hs.sess.Stream(),
 			"seq":       seq,
-			"level":     req.Level,
+			"level":     level,
 			"side":      side.String(),
 			"marginals": marginals,
 		})
@@ -438,14 +561,18 @@ func (s *httpServer) marginal(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *httpServer) topk(w http.ResponseWriter, r *http.Request) {
-	s.withSession(w, r, func(hs *httpSession, req queryRequest) {
+	s.withSession(w, r, func(hs *httpSession, req queryRequest, level int) {
 		side, err := req.side()
 		if err != nil {
 			writeErr(w, err)
 			return
 		}
+		if req.K == nil {
+			writeErr(w, errors.New("serve: top-k body requires \"k\""))
+			return
+		}
 		seq := hs.sess.Seq()
-		groups, err := hs.sess.TopK(req.Level, side, req.K)
+		groups, err := hs.sess.TopK(level, side, *req.K)
 		if err != nil {
 			writeErr(w, err)
 			return
@@ -454,9 +581,9 @@ func (s *httpServer) topk(w http.ResponseWriter, r *http.Request) {
 			"dataset": hs.sess.Dataset().Name(),
 			"stream":  hs.sess.Stream(),
 			"seq":     seq,
-			"level":   req.Level,
+			"level":   level,
 			"side":    side.String(),
-			"k":       req.K,
+			"k":       *req.K,
 			"groups":  groups,
 		})
 	})

@@ -167,6 +167,25 @@ func TestHTTPServeEndToEnd(t *testing.T) {
 	do(t, "POST", base+"/v1/sessions/"+sid+"/marginal", []byte(`{"level": 1, "side": "up"}`), "application/json", http.StatusBadRequest)
 	do(t, "POST", base+"/v1/sessions/99999/level", []byte(`{"level": 1}`), "application/json", http.StatusNotFound)
 
+	// A misspelled or missing level must be rejected BEFORE any budget
+	// is spent — the ledger is permanent, so a typo must not silently
+	// run a defaulted level-0 query.
+	spentBefore := do(t, "GET", base+"/v1/datasets/dblp/budget", nil, "", http.StatusOK)["spent"].(map[string]any)["epsilon"].(float64)
+	do(t, "POST", base+"/v1/sessions/"+sid+"/level", []byte(`{"lvl": 3}`), "application/json", http.StatusBadRequest)
+	do(t, "POST", base+"/v1/sessions/"+sid+"/level", nil, "", http.StatusBadRequest)
+	do(t, "POST", base+"/v1/sessions/"+sid+"/marginal", []byte(`{"side": "left"}`), "application/json", http.StatusBadRequest)
+	do(t, "POST", base+"/v1/sessions/"+sid+"/level", []byte(`{"level": 1}{"level": 3}`), "application/json", http.StatusBadRequest)
+	do(t, "POST", base+"/v1/sessions/"+sid+"/level", []byte(`{"level": 1} trailing`), "application/json", http.StatusBadRequest)
+	// Fields an endpoint does not consume are rejected, not ignored — a
+	// body shaped for one query kind must not run as another.
+	do(t, "POST", base+"/v1/sessions/"+sid+"/level", []byte(`{"level": 1, "side": "left", "k": 5}`), "application/json", http.StatusBadRequest)
+	do(t, "POST", base+"/v1/sessions/"+sid+"/marginal", []byte(`{"level": 1, "side": "left", "k": 5}`), "application/json", http.StatusBadRequest)
+	do(t, "POST", base+"/v1/sessions/"+sid+"/topk", []byte(`{"level": 1, "side": "left"}`), "application/json", http.StatusBadRequest)
+	spentAfter := do(t, "GET", base+"/v1/datasets/dblp/budget", nil, "", http.StatusOK)["spent"].(map[string]any)["epsilon"].(float64)
+	if spentAfter != spentBefore {
+		t.Fatalf("rejected queries spent budget: %v -> %v", spentBefore, spentAfter)
+	}
+
 	// Close the session handle.
 	do(t, "DELETE", base+"/v1/sessions/"+sid, nil, "", http.StatusOK)
 	do(t, "POST", base+"/v1/sessions/"+sid+"/level", []byte(`{"level": 1}`), "application/json", http.StatusNotFound)
@@ -245,13 +264,69 @@ func TestHTTPIngestFromServerPath(t *testing.T) {
 
 // TestHTTPPathIngestDisabledByDefault: without the opt-in, JSON path
 // ingest is refused before any file is opened — the default handler
-// must not be a server-side file-read oracle.
+// must not be a server-side file-read oracle. The check matches the
+// media type, not the raw header, so a charset parameter cannot smuggle
+// the JSON body into the upload-spool branch.
 func TestHTTPPathIngestDisabledByDefault(t *testing.T) {
 	t.Parallel()
 	srv, _ := newTestServer(t, testConfig())
-	out := do(t, "POST", srv.URL+"/v1/datasets/x", []byte(`{"path": "/etc/hostname"}`), "application/json", http.StatusForbidden)
-	if out["code"] != "path-ingest-disabled" {
-		t.Fatalf("path ingest response = %v", out)
+	for _, ct := range []string{"application/json", "application/json; charset=utf-8"} {
+		out := do(t, "POST", srv.URL+"/v1/datasets/x", []byte(`{"path": "/etc/hostname"}`), ct, http.StatusForbidden)
+		if out["code"] != "path-ingest-disabled" {
+			t.Fatalf("path ingest (Content-Type %q) response = %v", ct, out)
+		}
+	}
+}
+
+// TestHTTPIngestUploadBounded: an upload larger than MaxUploadBytes is
+// refused with 413 instead of being spooled to the server's temp disk,
+// and the refused name stays available for a well-sized retry.
+func TestHTTPIngestUploadBounded(t *testing.T) {
+	t.Parallel()
+	tsv := testTSV(t)
+	srv, _ := newTestServerWith(t, testConfig(), HandlerOptions{MaxUploadBytes: int64(len(tsv))})
+	out := do(t, "POST", srv.URL+"/v1/datasets/big", append(tsv, '\n'), "text/tab-separated-values", http.StatusRequestEntityTooLarge)
+	if out["code"] != "body-too-large" {
+		t.Fatalf("oversized upload response = %v", out)
+	}
+	do(t, "POST", srv.URL+"/v1/datasets/big", tsv, "text/tab-separated-values", http.StatusCreated)
+}
+
+// TestHTTPSessionHandleCap: the handle map is bounded — opening past
+// MaxSessions yields 429 until a handle is DELETEd.
+func TestHTTPSessionHandleCap(t *testing.T) {
+	t.Parallel()
+	srv, _ := newTestServerWith(t, testConfig(), HandlerOptions{MaxSessions: 2})
+	base := srv.URL
+	do(t, "POST", base+"/v1/datasets/dblp", testTSV(t), "", http.StatusCreated)
+
+	first := do(t, "POST", base+"/v1/datasets/dblp/sessions", nil, "", http.StatusCreated)
+	do(t, "POST", base+"/v1/datasets/dblp/sessions", nil, "", http.StatusCreated)
+	out := do(t, "POST", base+"/v1/datasets/dblp/sessions", nil, "", http.StatusTooManyRequests)
+	if out["code"] != "too-many-sessions" {
+		t.Fatalf("over-cap session response = %v", out)
+	}
+	sid := fmt.Sprintf("%.0f", first["session"].(float64))
+	do(t, "DELETE", base+"/v1/sessions/"+sid, nil, "", http.StatusOK)
+	do(t, "POST", base+"/v1/datasets/dblp/sessions", nil, "", http.StatusCreated)
+}
+
+// TestHTTPSessionStreamInterop: auto-assigned stream ids stay small
+// (exactly representable as JSON doubles, starting from 0) and the
+// response's pinned flag distinguishes the two disjoint id spaces.
+func TestHTTPSessionStreamInterop(t *testing.T) {
+	t.Parallel()
+	srv, _ := newTestServer(t, testConfig())
+	base := srv.URL
+	do(t, "POST", base+"/v1/datasets/dblp", testTSV(t), "", http.StatusCreated)
+
+	auto := do(t, "POST", base+"/v1/datasets/dblp/sessions", nil, "", http.StatusCreated)
+	if auto["stream"].(float64) != 0 || auto["pinned"] != false {
+		t.Fatalf("auto session = %v", auto)
+	}
+	pin := do(t, "POST", base+"/v1/datasets/dblp/sessions", []byte(`{"stream": 0}`), "application/json", http.StatusCreated)
+	if pin["stream"].(float64) != 0 || pin["pinned"] != true {
+		t.Fatalf("pinned session = %v", pin)
 	}
 }
 

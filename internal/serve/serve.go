@@ -18,15 +18,22 @@
 // Queries run through Session handles. A session owns a
 // release.Engine — the reusable Phase-2 tail, whose cell buffer makes
 // repeated histogram releases allocation-free — and a private RNG
-// stream derived purely from (registry seed, dataset name, session
-// stream id) via rng.Source.Split. Sessions with pinned stream ids
-// replay byte-identical releases for the same query sequence, which is
-// what makes concurrent serving reproducible: give every goroutine its
-// own session and the interleaving cannot change any answer, only the
-// ledger's admission order.
+// stream derived purely from (registry seed, dataset name, data
+// fingerprint, session stream id) via rng.Source.Split — the data
+// fingerprint keeps a re-ingested name from replaying stale noise
+// against new data. Each query then splits off its own
+// child keyed by BOTH the sequence number and the query's full identity
+// (kind, level, side, k), so two sessions that share a stream id but
+// issue different queries never share a single draw — an adversary
+// cannot difference two such responses to cancel the noise. Sessions
+// with pinned stream ids replay byte-identical releases for the same
+// query sequence, which is what makes concurrent serving reproducible:
+// give every goroutine its own session and the interleaving cannot
+// change any answer, only the ledger's admission order.
 package serve
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"hash/fnv"
@@ -58,8 +65,23 @@ var (
 // descends from rng.New(seed).Split(fnv64a(dataset)).Split(domain), so
 // the phase-1 cuts and the session streams never share draws.
 const (
-	domainPhase1   = 1
-	domainSessions = 2
+	domainPhase1 = 1
+	// domainSessions and domainAutoSessions are disjoint derivation
+	// domains for SessionAt (client-pinned ids) and NewSession
+	// (auto-assigned ids): an auto session can never land on a pinned
+	// session's stream no matter what numeric id either carries, and
+	// both id spaces stay small enough to round-trip exactly through
+	// JSON doubles.
+	domainSessions     = 2
+	domainAutoSessions = 3
+)
+
+// Query kinds, folded into every per-query stream derivation so queries
+// of different shapes can never share a draw.
+const (
+	queryKindView = iota + 1
+	queryKindMarginal
+	queryKindTopK
 )
 
 // Config configures a Registry. The zero value is not usable: Budget
@@ -135,6 +157,13 @@ func (c Config) withDefaults() (Config, error) {
 	// engine configuration must be releasable.
 	if _, err := release.NewEngine(c.Model, c.Calib, c.Mechanism); err != nil {
 		return Config{}, fmt.Errorf("%w: %v", ErrBadConfig, err)
+	}
+	// Every served query releases a Gaussian-calibrated cell histogram,
+	// so probe the calibration with the per-query budget NOW: a config
+	// the engine can never answer (e.g. δ=0) must fail Open instead of
+	// draining ledgers through post-spend engine errors.
+	if _, err := core.Sigma(c.PerQuery, 1, c.Calib); err != nil {
+		return Config{}, fmt.Errorf("%w: per-query budget: %v", ErrBadConfig, err)
 	}
 	return c, nil
 }
@@ -270,7 +299,40 @@ func (r *Registry) buildDataset(name string, src bipartite.EdgeSource) (*Dataset
 	if err != nil {
 		return nil, fmt.Errorf("serve: ingest %q: %w", name, err)
 	}
-	return &Dataset{reg: r, name: name, tree: tree, ledger: ledger}, nil
+	return &Dataset{reg: r, name: name, tree: tree, ledger: ledger, print: fingerprintTree(tree)}, nil
+}
+
+// fingerprintTree hashes the dataset as served. The finest-level cell
+// matrix determines every released statistic (higher levels aggregate
+// it, sensitivities derive from it), so two ingests that share a
+// fingerprint answer every query identically — shared noise streams
+// between them reveal nothing — while ANY data change under a reused
+// dataset name re-keys every session stream. Without this term a
+// dataset removed and re-added (or re-ingested after a restart with a
+// pinned seed) would replay the old noise against the new data, and a
+// client could difference the responses to cancel it.
+func fingerprintTree(t *hierarchy.Tree) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	st := t.DatasetStats()
+	put(uint64(st.NumLeft))
+	put(uint64(st.NumRight))
+	put(uint64(st.NumEdges))
+	// Level 0 is the finest histogram; the accessor only errors on a
+	// malformed tree, which BuildFromEdges cannot return.
+	cells, err := t.LevelCellCountsView(0)
+	if err != nil {
+		panic(fmt.Sprintf("serve: fingerprinting built tree: %v", err))
+	}
+	put(uint64(len(cells)))
+	for _, c := range cells {
+		put(uint64(c))
+	}
+	return h.Sum64()
 }
 
 // Dataset returns a served dataset by name.
@@ -317,6 +379,7 @@ type Dataset struct {
 	name   string
 	tree   *hierarchy.Tree
 	ledger *accountant.Ledger
+	print  uint64 // data fingerprint folded into every session stream
 	nextID atomic.Uint64
 }
 
@@ -347,27 +410,42 @@ func (d *Dataset) AuditReport() string { return d.ledger.AuditReport() }
 func (d *Dataset) Ops() []accountant.Op { return d.ledger.Ops() }
 
 // NewSession returns a session on the next auto-assigned stream id.
-// Auto ids are unique per dataset but depend on allocation order; pin
-// ids with SessionAt when replayability matters.
+// Auto sessions derive their noise from a stream domain disjoint from
+// SessionAt's, so no pinned id can ever land on an auto session's
+// stream (and vice versa); their ids are unique per dataset but depend
+// on allocation order, so pin ids with SessionAt when replayability
+// matters.
 func (d *Dataset) NewSession() *Session {
-	return d.SessionAt(d.nextID.Add(1) - 1)
+	return d.session(d.nextID.Add(1)-1, domainAutoSessions, false)
 }
 
-// SessionAt returns a session on a pinned stream id. Two sessions with
-// the same stream id (across restarts, across replicas with one seed)
-// draw identical noise for identical query sequences — the replay
-// contract. Budget is still debited per query regardless of replay, so
-// re-running a sequence costs budget again.
+// SessionAt returns a session on a pinned stream id. Two pinned
+// sessions with the same stream id (across restarts, across replicas
+// with one seed) draw identical noise for identical query sequences
+// against identical data — the replay contract; re-ingesting different
+// data under the same name re-keys the streams (see fingerprintTree). Sharing a stream id leaks nothing beyond the
+// replay itself: queries that differ in kind or parameters derive
+// disjoint noise streams (see querySource). Budget is still debited per
+// query regardless of replay, so re-running a sequence costs budget
+// again.
 func (d *Dataset) SessionAt(stream uint64) *Session {
+	return d.session(stream, domainSessions, true)
+}
+
+// session constructs a handle on one (domain, stream id) noise stream.
+func (d *Dataset) session(stream, domain uint64, pinned bool) *Session {
 	eng, err := release.NewEngine(d.reg.cfg.Model, d.reg.cfg.Calib, d.reg.cfg.Mechanism)
 	if err != nil {
 		// withDefaults pre-validated the engine configuration.
 		panic(fmt.Sprintf("serve: engine config became invalid: %v", err))
 	}
+	// The data fingerprint joins the chain so a re-ingested name never
+	// replays a previous ingest's noise against different data.
 	return &Session{
 		ds:     d,
 		stream: stream,
-		src:    d.reg.streamFor(d.name, domainSessions, stream),
+		pinned: pinned,
+		src:    d.reg.streamFor(d.name, domain, stream).Split(d.print),
 		eng:    eng,
 	}
 }
@@ -380,6 +458,7 @@ func (d *Dataset) SessionAt(stream uint64) *Session {
 type Session struct {
 	ds     *Dataset
 	stream uint64
+	pinned bool
 	seq    uint64
 	src    *rng.Source
 	eng    *release.Engine
@@ -388,8 +467,14 @@ type Session struct {
 // Dataset returns the session's dataset.
 func (s *Session) Dataset() *Dataset { return s.ds }
 
-// Stream returns the session's stream id.
+// Stream returns the session's stream id. Pinned and auto sessions
+// number their streams independently (disjoint derivation domains), so
+// ids are only comparable between sessions of the same kind.
 func (s *Session) Stream() uint64 { return s.stream }
+
+// Pinned reports whether the session's stream id was pinned by the
+// caller (SessionAt) — the replayable kind — or auto-assigned.
+func (s *Session) Pinned() bool { return s.pinned }
 
 // Seq returns the next query sequence number.
 func (s *Session) Seq() uint64 { return s.seq }
@@ -406,11 +491,16 @@ type LevelView struct {
 }
 
 // querySource advances the session to its next per-query stream.
-// Every query owns a Split child keyed by its sequence number, so a
-// query's draws depend only on (seed, dataset, stream, seq) — never on
-// other sessions.
-func (s *Session) querySource() *rng.Source {
-	src := s.src.Split(s.seq)
+// Every query owns a Split chain keyed by its sequence number AND its
+// full identity — one Split level per parameter, so distinct tuples
+// take distinct paths through the stream tree with no hashing step to
+// collide — and a query's draws depend only on (seed, dataset, stream,
+// seq, kind, level, side, k), never on other sessions. Without the
+// identity terms, two sessions pinned to one stream could issue
+// different queries at the same seq, draw the same underlying variates,
+// and let a client difference the responses to cancel the noise.
+func (s *Session) querySource(kind, level int, side bipartite.Side, k int) *rng.Source {
+	src := s.src.Split(s.seq).Split(uint64(kind)).Split(uint64(level)).Split(uint64(side)).Split(uint64(k))
 	s.seq++
 	return src
 }
@@ -418,9 +508,20 @@ func (s *Session) querySource() *rng.Source {
 // spend debits the ledger, labeling the op with this session's stream
 // and the query's sequence number. It is the gate in front of every
 // noise draw: on ErrBudgetExceeded nothing has been sampled and the
-// sequence number has not advanced.
+// sequence number has not advanced. Everything the release engine
+// could reject (level, side, k, the per-query params) is validated
+// before spend is called; in the unreachable case of an engine error
+// after a successful spend, the serving layer fails closed — the
+// budget and the seq slot stay consumed, and nothing is refunded for a
+// draw that may already have happened.
 func (s *Session) spend(what string, level int, cost dp.Params) error {
-	label := fmt.Sprintf("s%d/q%d/%s/level%d", s.stream, s.seq, what, level)
+	// Pinned ("s") and auto ("a") sessions number streams in disjoint
+	// domains; the prefix keeps their audit labels unambiguous.
+	prefix := "s"
+	if !s.pinned {
+		prefix = "a"
+	}
+	label := fmt.Sprintf("%s%d/q%d/%s/level%d", prefix, s.stream, s.seq, what, level)
 	if err := s.ds.ledger.Spend(label, cost); err != nil {
 		return fmt.Errorf("serve: %s on %q: %w", what, s.ds.name, err)
 	}
@@ -445,7 +546,7 @@ func (s *Session) ReleaseLevel(level int) (LevelView, error) {
 	if err := s.spend("view", level, cost); err != nil {
 		return LevelView{}, err
 	}
-	qsrc := s.querySource()
+	qsrc := s.querySource(queryKindView, level, 0, 0)
 	count, err := s.eng.Count(s.ds.tree, level, pq, qsrc.Split(0))
 	if err != nil {
 		return LevelView{}, err
@@ -470,7 +571,7 @@ func (s *Session) Marginal(level int, side bipartite.Side) ([]float64, error) {
 	if err := s.spend("marginal", level, s.ds.reg.cfg.PerQuery); err != nil {
 		return nil, err
 	}
-	cells, err := s.eng.Cells(s.ds.tree, level, s.ds.reg.cfg.PerQuery, s.querySource())
+	cells, err := s.eng.Cells(s.ds.tree, level, s.ds.reg.cfg.PerQuery, s.querySource(queryKindMarginal, level, side, 0))
 	if err != nil {
 		return nil, err
 	}
@@ -497,7 +598,7 @@ func (s *Session) TopK(level int, side bipartite.Side, k int) ([]int, error) {
 	if err := s.spend("topk", level, s.ds.reg.cfg.PerQuery); err != nil {
 		return nil, err
 	}
-	cells, err := s.eng.Cells(s.ds.tree, level, s.ds.reg.cfg.PerQuery, s.querySource())
+	cells, err := s.eng.Cells(s.ds.tree, level, s.ds.reg.cfg.PerQuery, s.querySource(queryKindTopK, level, side, k))
 	if err != nil {
 		return nil, err
 	}

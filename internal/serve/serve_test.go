@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -259,6 +260,219 @@ func TestConcurrentSessionsDrainLedgerExactly(t *testing.T) {
 	}
 }
 
+// TestDistinctQueriesShareNoDraws is the differencing-attack
+// regression: two sessions pinned to ONE stream id issue different
+// queries at the same sequence number. If the per-query streams were
+// keyed only by (stream, seq), both marginals below would be sums over
+// the SAME noisy cell matrix — their totals would agree to float
+// reordering error and a client could difference the responses to
+// cancel the noise. With the query identity folded into the
+// derivation, the draws are independent and the totals disagree by
+// O(noise).
+func TestDistinctQueriesShareNoDraws(t *testing.T) {
+	t.Parallel()
+	_, ds := openTestDataset(t, testConfig())
+
+	sum := func(xs []float64) float64 {
+		var s float64
+		for _, x := range xs {
+			s += x
+		}
+		return s
+	}
+
+	left, err := ds.SessionAt(7).Marginal(2, bipartite.Left)
+	if err != nil {
+		t.Fatal(err)
+	}
+	right, err := ds.SessionAt(7).Marginal(2, bipartite.Right)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Row sums and column sums of one matrix have identical totals; with
+	// independent per-query noise the two totals differ by the noise
+	// scale, orders of magnitude above any float-reordering error.
+	if diff := math.Abs(sum(left) - sum(right)); diff < 1e-6 {
+		t.Fatalf("left/right marginal totals differ by %v — same-stream queries shared noise draws", diff)
+	}
+
+	// A marginal and a top-k on the same (stream, seq, level, side) must
+	// not share cell draws either: under shared draws the top-k's full
+	// ranking would be exactly the stable argsort of the other query's
+	// marginal (TopKGroups ranks by the same side's marginal).
+	m9, err := ds.SessionAt(9).Marginal(2, bipartite.Left)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranking, err := ds.SessionAt(9).TopK(2, bipartite.Left, len(m9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	argsort := make([]int, len(m9))
+	for i := range argsort {
+		argsort[i] = i
+	}
+	sort.SliceStable(argsort, func(a, b int) bool { return m9[argsort[a]] > m9[argsort[b]] })
+	same := true
+	for i := range ranking {
+		if ranking[i] != argsort[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatalf("same-stream top-k ranking %v equals the marginal's argsort — shared cell draws", ranking)
+	}
+
+	// The replay contract is untouched: the SAME query at the same
+	// (stream, seq) still replays bit-identically.
+	replay, err := ds.SessionAt(7).Marginal(2, bipartite.Left)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range left {
+		if math.Float64bits(replay[i]) != math.Float64bits(left[i]) {
+			t.Fatalf("identical query on a shared stream did not replay: group %d %v vs %v", i, replay[i], left[i])
+		}
+	}
+}
+
+// TestQueryDerivationsDistinct sweeps a query-shape space and demands
+// that every (seq, kind, level, side, k) tuple derives a distinct
+// stream — the property the independence of same-stream queries rests
+// on. Each tuple gets a fresh session at one pinned id, so the first
+// draw is a pure function of the tuple.
+func TestQueryDerivationsDistinct(t *testing.T) {
+	t.Parallel()
+	_, ds := openTestDataset(t, testConfig())
+	seen := make(map[uint64]string)
+	for _, kind := range []int{queryKindView, queryKindMarginal, queryKindTopK} {
+		for level := 0; level <= 9; level++ {
+			for _, side := range []bipartite.Side{bipartite.Left, bipartite.Right} {
+				for k := 0; k <= 8; k++ {
+					key := fmt.Sprintf("kind=%d level=%d side=%d k=%d", kind, level, side, k)
+					first := ds.SessionAt(11).querySource(kind, level, side, k).Uint64()
+					if prev, ok := seen[first]; ok {
+						t.Fatalf("query stream collision: %s and %s draw the same first variate", prev, key)
+					}
+					seen[first] = key
+				}
+			}
+		}
+	}
+	// Sequence numbers separate streams too.
+	s := ds.SessionAt(11)
+	s.seq = 1
+	if _, ok := seen[s.querySource(queryKindView, 0, 0, 0).Uint64()]; ok {
+		t.Fatal("seq=1 derivation collided with a seq=0 stream")
+	}
+}
+
+// TestAutoSessionsDisjointFromPinned: auto and pinned sessions derive
+// from disjoint stream domains, so a client pinning ANY id can never
+// land on an auto session's noise stream — while auto ids stay small
+// enough to round-trip exactly through JSON doubles.
+func TestAutoSessionsDisjointFromPinned(t *testing.T) {
+	t.Parallel()
+	_, ds := openTestDataset(t, testConfig())
+	auto := ds.NewSession()
+	if auto.Pinned() {
+		t.Fatal("auto session reports pinned")
+	}
+	if auto.Stream() != 0 {
+		t.Fatalf("first auto stream id = %d, want 0", auto.Stream())
+	}
+	if b := ds.NewSession(); b.Stream() != 1 {
+		t.Fatalf("second auto stream id = %d, want 1", b.Stream())
+	}
+	pinned := ds.SessionAt(auto.Stream())
+	if !pinned.Pinned() || pinned.Stream() != auto.Stream() {
+		t.Fatalf("pinned session = (stream %d, pinned %v)", pinned.Stream(), pinned.Pinned())
+	}
+
+	// Same numeric id, same query — different domains, different noise.
+	ma, err := auto.Marginal(2, bipartite.Left)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mp, err := pinned.Marginal(2, bipartite.Left)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range ma {
+		if math.Float64bits(ma[i]) != math.Float64bits(mp[i]) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("auto and pinned sessions with one numeric id shared a noise stream")
+	}
+
+	// The audit trail tells the two id spaces apart.
+	ops := ds.Ops()
+	if len(ops) != 2 || ops[0].Label != "a0/q0/marginal/level2" || ops[1].Label != "s0/q0/marginal/level2" {
+		t.Fatalf("audit labels = %+v", ops)
+	}
+}
+
+// TestReingestRekeysSessionStreams: session streams fold in a
+// fingerprint of the served data, so removing a dataset and re-adding
+// DIFFERENT data under the same name derives fresh noise — a client
+// cannot difference pre/post responses at one (stream, seq, query) to
+// cancel the noise — while re-ingesting IDENTICAL data preserves the
+// replay contract bit for bit.
+func TestReingestRekeysSessionStreams(t *testing.T) {
+	t.Parallel()
+	reg, ds1 := openTestDataset(t, testConfig())
+	m1, err := ds1.SessionAt(3).Marginal(2, bipartite.Left)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Different data, same name.
+	if err := reg.RemoveDataset("tiny"); err != nil {
+		t.Fatal(err)
+	}
+	other := datagen.Config{
+		Name: "serve-test-b", NumLeft: 120, NumRight: 150, NumEdges: 1800,
+		LeftZipf: 1.9, RightZipf: 2.6, Seed: 6,
+	}
+	edges, nl, nr, err := datagen.EdgeList(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds2, err := reg.AddDataset("tiny", bipartite.NewSliceSource(nl, nr, edges))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds2.print == ds1.print {
+		t.Fatal("different data under one name share a fingerprint")
+	}
+
+	// Identical data, same name: fingerprint and replay are restored.
+	if err := reg.RemoveDataset("tiny"); err != nil {
+		t.Fatal(err)
+	}
+	ds3, err := reg.AddDataset("tiny", testSource(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds3.print != ds1.print {
+		t.Fatal("identical re-ingest changed the fingerprint")
+	}
+	m3, err := ds3.SessionAt(3).Marginal(2, bipartite.Left)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range m1 {
+		if math.Float64bits(m3[i]) != math.Float64bits(m1[i]) {
+			t.Fatalf("identical re-ingest broke replay: group %d %v vs %v", i, m3[i], m1[i])
+		}
+	}
+}
+
 // TestSessionReplayByteIdentical pins the full replay contract across
 // registries: same seed, same dataset, same pinned stream, same query
 // sequence — the serialized answers are byte-identical, and distinct
@@ -326,6 +540,21 @@ func TestConfigValidation(t *testing.T) {
 	bad.Model = core.GroupModel(42)
 	if _, err := Open(bad); !errors.Is(err, ErrBadConfig) {
 		t.Fatalf("bad model: %v", err)
+	}
+
+	// A per-query budget the Gaussian cell calibration can never answer
+	// (δ=0) must fail Open — otherwise every query would debit the
+	// ledger and THEN hit the engine error, draining budget for nothing.
+	bad = testConfig()
+	bad.PerQuery.Delta = 0
+	if _, err := Open(bad); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("zero per-query delta: %v", err)
+	}
+	// The cell histogram is Gaussian-calibrated regardless of the count
+	// mechanism, so a pure-DP mechanism does not lift the requirement.
+	bad.Mechanism = core.MechLaplace
+	if _, err := Open(bad); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("zero per-query delta under laplace: %v", err)
 	}
 
 	// PerQuery defaulting: Budget/64 on both components.

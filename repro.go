@@ -326,9 +326,10 @@ func NewServeHandler(r *Registry) http.Handler { return serve.NewHandler(r) }
 // ServeHandlerOptions configures NewServeHandlerWith.
 type ServeHandlerOptions = serve.HandlerOptions
 
-// NewServeHandlerWith is NewServeHandler with explicit options (e.g.
-// enabling JSON {"path": ...} ingest of server-side files, which is
-// safe only on trusted or loopback listeners).
+// NewServeHandlerWith is NewServeHandler with explicit options: enabling
+// JSON {"path": ...} ingest of server-side files (safe only on trusted
+// or loopback listeners), and the resource caps on upload size and open
+// session handles.
 func NewServeHandlerWith(r *Registry, opts ServeHandlerOptions) http.Handler {
 	return serve.NewHandlerWith(r, opts)
 }
