@@ -228,10 +228,14 @@ func releaseCellsTree(b *testing.B) *hierarchy.Tree {
 }
 
 // BenchmarkReleaseCells isolates the Phase-2 noisy histogram release at
-// the deepest level through the engine hot path: one batched ziggurat
-// fill into a reused buffer (core.ReleaseCellsInto). The pre-refactor
-// per-cell polar loop measured 5,734,665 ns/op and 2 allocs/op on this
-// setup; the engine path must stay ≥3× faster and allocation-free.
+// the deepest level through the engine hot path: chunked blocked-ziggurat
+// fills fused with the counts add into a reused buffer
+// (core.ReleaseCellsInto). The pre-refactor per-cell polar loop measured
+// 5,734,665 ns/op and 2 allocs/op on this setup; the scalar-ziggurat
+// engine path of PR 2 measured ~1.7 ms, and the blocked 512-layer fill
+// holds it near ~1.1 ms — the engine path must stay ≥4× faster than the
+// polar loop and allocation-free (CI diffs the BENCH_phase2.json record
+// against bench/baseline via cmd/benchdiff).
 func BenchmarkReleaseCells(b *testing.B) {
 	tree := releaseCellsTree(b)
 	src := rng.New(5)

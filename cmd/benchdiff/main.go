@@ -1,0 +1,148 @@
+// Command benchdiff compares the machine-readable BENCH_*.json records
+// gdpbench emits against a committed baseline directory and fails on
+// performance regressions — the CI gate that keeps the perf-trajectory
+// records honest instead of decorative.
+//
+// Usage:
+//
+//	benchdiff -baseline bench/baseline -candidate bench
+//	benchdiff -baseline bench/baseline -candidate bench -max-regress 0.30
+//
+// Each tracked metric is a (file, JSON field, direction) triple. A
+// metric regresses when the candidate is worse than the baseline by
+// more than -max-regress (relative): higher-is-better metrics must not
+// fall below baseline·(1−r), lower-is-better metrics must not rise
+// above baseline·(1+r). Files missing from the candidate directory are
+// skipped with a notice (the stream record, for example, is produced by
+// a different CI job than the experiment records), but comparing zero
+// metrics is an error — a misconfigured path must not pass silently.
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// metric is one tracked benchmark field.
+type metric struct {
+	file   string
+	field  string
+	higher bool // true: higher is better (throughput); false: lower is better (latency)
+}
+
+// metrics is the tracked perf surface: Phase-2 release throughput, the
+// streamed ingest rate, and the serving layer's query throughput and
+// cache advantage. Only the load-bearing absolute numbers are gated;
+// the cache is gated through cache_speedup — a same-run ratio of miss
+// to hit cost, stable across host generations — rather than through
+// its absolute nanosecond numbers, which vary more than the tolerance
+// between a laptop and a shared CI runner.
+var metrics = []metric{
+	{file: "BENCH_phase2.json", field: "release_cells_ns_per_op", higher: false},
+	{file: "BENCH_stream.json", field: "edges_per_sec", higher: true},
+	{file: "BENCH_serve.json", field: "queries_per_sec", higher: true},
+	{file: "BENCH_serve.json", field: "cache_speedup", higher: true},
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	var (
+		baseline  = fs.String("baseline", "", "directory holding the committed BENCH_*.json baselines")
+		candidate = fs.String("candidate", "", "directory holding the freshly generated BENCH_*.json records")
+		maxReg    = fs.Float64("max-regress", 0.30, "maximum tolerated relative regression per metric")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *baseline == "" || *candidate == "" {
+		return errors.New("both -baseline and -candidate are required")
+	}
+	if *maxReg <= 0 {
+		return fmt.Errorf("-max-regress must be positive (got %v)", *maxReg)
+	}
+
+	compared := 0
+	var regressions []string
+	for _, m := range metrics {
+		base, ok, err := readField(filepath.Join(*baseline, m.file), m.field)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			fmt.Printf("skip  %-22s %-24s (no baseline)\n", m.file, m.field)
+			continue
+		}
+		cand, ok, err := readField(filepath.Join(*candidate, m.file), m.field)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			fmt.Printf("skip  %-22s %-24s (not regenerated in this run)\n", m.file, m.field)
+			continue
+		}
+		compared++
+		delta := (cand - base) / base
+		worse := delta
+		if m.higher {
+			worse = -delta
+		}
+		status := "ok   "
+		if worse > *maxReg {
+			status = "REGR "
+			regressions = append(regressions,
+				fmt.Sprintf("%s %s: baseline %.4g, candidate %.4g (%+.1f%%)", m.file, m.field, base, cand, 100*delta))
+		}
+		fmt.Printf("%s %-22s %-24s baseline %14.4g  candidate %14.4g  %+7.1f%%\n",
+			status, m.file, m.field, base, cand, 100*delta)
+	}
+	if compared == 0 {
+		return errors.New("no metrics compared: check the -baseline and -candidate paths")
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("%d metric(s) regressed beyond %.0f%%:\n  %s",
+			len(regressions), *maxReg*100, strings.Join(regressions, "\n  "))
+	}
+	fmt.Printf("benchdiff: %d metric(s) within %.0f%% of baseline\n", compared, *maxReg*100)
+	return nil
+}
+
+// readField extracts one numeric field from a JSON record file. A
+// missing file or missing field reports ok=false (skipped); malformed
+// JSON or a non-numeric field is an error.
+func readField(path, field string) (float64, bool, error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return 0, false, nil
+	}
+	if err != nil {
+		return 0, false, err
+	}
+	var rec map[string]any
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return 0, false, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	v, ok := rec[field]
+	if !ok {
+		return 0, false, nil
+	}
+	f, ok := v.(float64)
+	if !ok {
+		return 0, false, fmt.Errorf("%s: field %q is %T, want number", path, field, v)
+	}
+	if f <= 0 {
+		return 0, false, fmt.Errorf("%s: field %q = %v, want a positive number", path, field, f)
+	}
+	return f, true, nil
+}

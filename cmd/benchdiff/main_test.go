@@ -1,0 +1,66 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeRec(t *testing.T, dir, name, body string) {
+	t.Helper()
+	if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBenchdiffPassesWithinTolerance(t *testing.T) {
+	base, cand := t.TempDir(), t.TempDir()
+	writeRec(t, base, "BENCH_phase2.json", `{"release_cells_ns_per_op": 1000000}`)
+	writeRec(t, cand, "BENCH_phase2.json", `{"release_cells_ns_per_op": 1200000}`)
+	writeRec(t, base, "BENCH_serve.json", `{"queries_per_sec": 100000, "cache_speedup": 13.4}`)
+	writeRec(t, cand, "BENCH_serve.json", `{"queries_per_sec": 90000, "cache_speedup": 11.8}`)
+	if err := run([]string{"-baseline", base, "-candidate", cand}); err != nil {
+		t.Fatalf("within-tolerance run failed: %v", err)
+	}
+}
+
+func TestBenchdiffFailsOnRegression(t *testing.T) {
+	base, cand := t.TempDir(), t.TempDir()
+	writeRec(t, base, "BENCH_phase2.json", `{"release_cells_ns_per_op": 1000000}`)
+	writeRec(t, cand, "BENCH_phase2.json", `{"release_cells_ns_per_op": 1400000}`) // +40% ns/op
+	err := run([]string{"-baseline", base, "-candidate", cand})
+	if err == nil || !strings.Contains(err.Error(), "release_cells_ns_per_op") {
+		t.Fatalf("40%% ns/op regression not caught: %v", err)
+	}
+	// A throughput drop on a higher-is-better metric is a regression too.
+	writeRec(t, cand, "BENCH_phase2.json", `{"release_cells_ns_per_op": 1000000}`)
+	writeRec(t, base, "BENCH_serve.json", `{"queries_per_sec": 100000}`)
+	writeRec(t, cand, "BENCH_serve.json", `{"queries_per_sec": 60000}`) // -40% q/s
+	err = run([]string{"-baseline", base, "-candidate", cand})
+	if err == nil || !strings.Contains(err.Error(), "queries_per_sec") {
+		t.Fatalf("throughput regression not caught: %v", err)
+	}
+}
+
+func TestBenchdiffSkipsMissingCandidateFiles(t *testing.T) {
+	base, cand := t.TempDir(), t.TempDir()
+	writeRec(t, base, "BENCH_phase2.json", `{"release_cells_ns_per_op": 1000000}`)
+	writeRec(t, base, "BENCH_stream.json", `{"edges_per_sec": 1e6}`)
+	writeRec(t, cand, "BENCH_phase2.json", `{"release_cells_ns_per_op": 900000}`)
+	// BENCH_stream.json is produced by a different CI job; its absence
+	// from the candidate dir must not fail the delta gate.
+	if err := run([]string{"-baseline", base, "-candidate", cand}); err != nil {
+		t.Fatalf("missing candidate file should skip, got: %v", err)
+	}
+}
+
+func TestBenchdiffRefusesEmptyComparison(t *testing.T) {
+	base, cand := t.TempDir(), t.TempDir()
+	if err := run([]string{"-baseline", base, "-candidate", cand}); err == nil {
+		t.Fatal("comparing zero metrics must fail (misconfigured paths)")
+	}
+	if err := run([]string{"-candidate", cand}); err == nil {
+		t.Fatal("missing -baseline must fail")
+	}
+}

@@ -46,6 +46,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"sync"
@@ -122,9 +123,37 @@ func run(args []string) error {
 		edgesFile    = fs.String("edges", "", "stream an edge file (TSV or binary graph) through the chunked build instead of running experiments")
 		rounds       = fs.Int("rounds", 9, "specialization rounds for -edges")
 		streamVerify = fs.Bool("streamverify", false, "with -edges: also run the in-memory path and fail unless the releases are byte-identical")
+
+		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile of the whole run to this file (go tool pprof)")
+		memProfile = fs.String("memprofile", "", "write an end-of-run heap profile to this file (go tool pprof)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "gdpbench: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle allocations so the heap profile reflects retained memory
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "gdpbench: memprofile:", err)
+			}
+		}()
 	}
 	if *edgesFile != "" {
 		return runEdges(*edgesFile, *rounds, *workers, *seed, *streamVerify, *benchDir)
@@ -196,9 +225,16 @@ type serveRecord struct {
 	WallMS     float64 `json:"wall_ms"`
 	QueriesSec float64 `json:"queries_per_sec"`
 	P50QueryMS float64 `json:"p50_query_ms"`
-	Workers    int     `json:"workers"`
-	Seed       uint64  `json:"seed"`
-	UnixMS     int64   `json:"unix_ms"`
+	// CacheMissNs and CacheHitNs compare one marginal query computed
+	// fresh (ledger debit + Phase 2 + cache insert) against the same
+	// query replayed out of the response cache (no debit, no draw);
+	// CacheSpeedup is their ratio.
+	CacheMissNs  float64 `json:"cache_miss_ns_per_op"`
+	CacheHitNs   float64 `json:"cache_hit_ns_per_op"`
+	CacheSpeedup float64 `json:"cache_speedup"`
+	Workers      int     `json:"workers"`
+	Seed         uint64  `json:"seed"`
+	UnixMS       int64   `json:"unix_ms"`
 }
 
 // writeServeBench measures the serving layer end to end in-process and
@@ -273,18 +309,43 @@ func writeServeBench(dir string, seed uint64, workers int) error {
 	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
 	p50 := all[len(all)/2]
 
+	// Cache hit vs miss: a fresh pinned stream computes its sequence
+	// (misses: ledger debit + Phase 2 + cache insert), then a second
+	// session replays the identical (stream, seq, query) keys out of the
+	// response cache (hits: no debit, no draw).
+	const cacheProbe = 256
+	missSess := ds.SessionAt(1 << 20)
+	missStart := time.Now()
+	for q := 0; q < cacheProbe; q++ {
+		if _, err := missSess.Marginal(level, repro.Left); err != nil {
+			return fmt.Errorf("serve bench cache-miss probe: %w", err)
+		}
+	}
+	missNs := float64(time.Since(missStart).Nanoseconds()) / cacheProbe
+	hitSess := ds.SessionAt(1 << 20)
+	hitStart := time.Now()
+	for q := 0; q < cacheProbe; q++ {
+		if _, err := hitSess.Marginal(level, repro.Left); err != nil {
+			return fmt.Errorf("serve bench cache-hit probe: %w", err)
+		}
+	}
+	hitNs := float64(time.Since(hitStart).Nanoseconds()) / cacheProbe
+
 	rec := serveRecord{
-		Edges:      ds.Stats().NumEdges,
-		Sessions:   sessions,
-		Queries:    len(all),
-		Level:      level,
-		IngestMS:   ingestMS,
-		WallMS:     float64(wall.Nanoseconds()) / 1e6,
-		QueriesSec: float64(len(all)) / wall.Seconds(),
-		P50QueryMS: float64(p50.Nanoseconds()) / 1e6,
-		Workers:    workers,
-		Seed:       seed,
-		UnixMS:     start.UnixMilli(),
+		Edges:        ds.Stats().NumEdges,
+		Sessions:     sessions,
+		Queries:      len(all),
+		Level:        level,
+		IngestMS:     ingestMS,
+		WallMS:       float64(wall.Nanoseconds()) / 1e6,
+		QueriesSec:   float64(len(all)) / wall.Seconds(),
+		P50QueryMS:   float64(p50.Nanoseconds()) / 1e6,
+		CacheMissNs:  missNs,
+		CacheHitNs:   hitNs,
+		CacheSpeedup: missNs / hitNs,
+		Workers:      workers,
+		Seed:         seed,
+		UnixMS:       start.UnixMilli(),
 	}
 	data, err := json.MarshalIndent(rec, "", "  ")
 	if err != nil {

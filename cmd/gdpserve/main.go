@@ -73,6 +73,7 @@ func parseArgs(args []string) (cfg repro.ServeConfig, hopts repro.ServeHandlerOp
 		pathIngest = fs.Bool("allow-path-ingest", false, "allow HTTP clients to ingest server-side files via JSON {\"path\": ...} (file-read oracle on open listeners; uploads are always allowed)")
 		maxUpload  = fs.Int64("max-upload-bytes", 0, "cap on one ingest upload body spooled to temp disk (0 = 1 GiB default, negative = unlimited)")
 		maxSess    = fs.Int("max-sessions", 0, "cap on concurrently open session handles (0 = 1024 default, negative = unlimited)")
+		maxCache   = fs.Int("max-cache-entries", 0, "per-dataset response-cache capacity; replayed (stream, seq, query) keys serve their prior answer without re-debiting the ledger (0 = 1024 default, negative = disable caching)")
 	)
 	fs.Var(preloadFlag{&loads}, "dataset", "preload a dataset as name=path (repeatable; TSV or binary, sniffed)")
 	if err := fs.Parse(args); err != nil {
@@ -90,12 +91,13 @@ func parseArgs(args []string) (cfg repro.ServeConfig, hopts repro.ServeHandlerOp
 		Budget: repro.Params{Epsilon: *eps, Delta: *delta},
 		// A zero PerQuery (neither flag set) selects the Budget/64
 		// serving default in OpenRegistry.
-		PerQuery:      repro.Params{Epsilon: *queryEps, Delta: *queryDelta},
-		Rounds:        *rounds,
-		Phase1Epsilon: *phase1,
-		Seed:          resolvedSeed,
-		Workers:       *workers,
-		IngestLanes:   *lanes,
+		PerQuery:        repro.Params{Epsilon: *queryEps, Delta: *queryDelta},
+		Rounds:          *rounds,
+		Phase1Epsilon:   *phase1,
+		Seed:            resolvedSeed,
+		Workers:         *workers,
+		IngestLanes:     *lanes,
+		MaxCacheEntries: *maxCache,
 	}
 	hopts = repro.ServeHandlerOptions{
 		AllowPathIngest: *pathIngest,

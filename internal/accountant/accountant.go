@@ -37,13 +37,26 @@ type Op struct {
 	Cost dp.Params
 }
 
+// opRec is the internal audit-trail entry: the label lives as a span of
+// the ledger's shared label arena instead of an individual string, so
+// admitting an op costs no per-op string allocation — the serving hot
+// path debits the ledger on every query, and its labels arrive as bytes
+// assembled in the caller's scratch (SpendBytes). Ops() materializes the
+// exported Op shape on demand.
+type opRec struct {
+	labelOff int
+	labelLen int
+	cost     dp.Params
+}
+
 // Ledger tracks expenditures against a fixed total budget under basic
 // (sequential) composition. It is safe for concurrent use: pipeline phases
 // may spend from worker goroutines.
 type Ledger struct {
 	mu     sync.Mutex
 	budget dp.Params
-	ops    []Op
+	ops    []opRec
+	arena  []byte // concatenated op labels, indexed by opRec spans
 	eps    float64
 	delta  float64
 }
@@ -64,20 +77,41 @@ func (l *Ledger) Budget() dp.Params { return l.budget }
 // operations would exceed the total budget. A tiny relative tolerance
 // absorbs floating-point drift so that n spends of total/n always fit.
 func (l *Ledger) Spend(label string, cost dp.Params) error {
+	// The string→[]byte conversion allocates, which is fine off the hot
+	// path; per-query spenders assemble bytes and call SpendBytes.
+	return l.SpendBytes([]byte(label), cost)
+}
+
+// SpendBytes is Spend with the label passed as bytes — the zero-alloc
+// form for hot paths that assemble labels in a reusable scratch buffer.
+// The bytes are copied into the ledger's arena before returning; the
+// caller may reuse label immediately.
+func (l *Ledger) SpendBytes(label []byte, cost dp.Params) error {
 	if err := cost.Validate(); err != nil {
 		return err
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if err := l.admit(len(label), cost); err != nil {
+		return fmt.Errorf("%w (label %q)", err, label)
+	}
+	l.arena = append(l.arena, label...)
+	return nil
+}
+
+// admit checks the budget and, on success, records the op with a label
+// span of labelLen bytes that the caller appends to the arena next.
+// Callers hold l.mu.
+func (l *Ledger) admit(labelLen int, cost dp.Params) error {
 	const tol = 1e-9
 	if l.eps+cost.Epsilon > l.budget.Epsilon*(1+tol) ||
 		l.delta+cost.Delta > l.budget.Delta*(1+tol)+tol*1e-9 {
-		return fmt.Errorf("%w: spent %s + requested %s > budget %s (label %q)",
-			ErrBudgetExceeded, dp.Params{Epsilon: l.eps, Delta: l.delta}, cost, l.budget, label)
+		return fmt.Errorf("%w: spent %s + requested %s > budget %s",
+			ErrBudgetExceeded, dp.Params{Epsilon: l.eps, Delta: l.delta}, cost, l.budget)
 	}
 	l.eps += cost.Epsilon
 	l.delta += cost.Delta
-	l.ops = append(l.ops, Op{Seq: len(l.ops) + 1, Label: label, Cost: cost})
+	l.ops = append(l.ops, opRec{labelOff: len(l.arena), labelLen: labelLen, cost: cost})
 	return nil
 }
 
@@ -99,11 +133,31 @@ func (l *Ledger) Remaining() dp.Params {
 	}
 }
 
-// Ops returns a copy of the audit trail in admission order.
+// OpCount returns the number of admitted operations without
+// materializing the audit trail (Ops allocates one label string per op;
+// callers that only need the count — status endpoints polled in a loop —
+// should use this).
+func (l *Ledger) OpCount() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.ops)
+}
+
+// Ops returns a copy of the audit trail in admission order. The Op
+// labels are materialized from the arena here, at audit time, rather
+// than allocated per admission.
 func (l *Ledger) Ops() []Op {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return append([]Op(nil), l.ops...)
+	out := make([]Op, len(l.ops))
+	for i, rec := range l.ops {
+		out[i] = Op{
+			Seq:   i + 1,
+			Label: string(l.arena[rec.labelOff : rec.labelOff+rec.labelLen]),
+			Cost:  rec.cost,
+		}
+	}
+	return out
 }
 
 // AuditReport renders the trail as a human-readable multi-line string.

@@ -392,9 +392,19 @@ func releaseCellsResolved(dst *CellRelease, t *hierarchy.Tree, level int, sens i
 	return nil
 }
 
+// noiseChunk is the granularity at which noisyCells interleaves the
+// batched ziggurat fill with the counts add: a multiple of rng.ZigBlock
+// (so the uniform stream is consumed exactly as one whole-slice
+// NormalsSigma call would consume it — the chunking is invisible to
+// replay) that keeps the noise window and its counts L1/L2-resident
+// while the add runs. Without chunking, a 4^9-cell release streams the
+// 2 MB histogram out of cache during the fill and drags it (plus the
+// 2 MB count matrix) back through memory for the add.
+const noiseChunk = 16 * rng.ZigBlock
+
 // noisyCells fills buf (grown if its capacity is short) with
-// counts + N(0, σ²) noise from one batched fill. σ = 0 (empty dataset)
-// copies the counts unchanged.
+// counts + N(0, σ²) noise from chunked batched fills. σ = 0 (empty
+// dataset) copies the counts unchanged.
 func noisyCells(buf []float64, counts []int64, sigma float64, src *rng.Source) []float64 {
 	if cap(buf) < len(counts) {
 		buf = make([]float64, len(counts))
@@ -402,9 +412,21 @@ func noisyCells(buf []float64, counts []int64, sigma float64, src *rng.Source) [
 		buf = buf[:len(counts)]
 	}
 	if sigma > 0 {
-		src.NormalsSigma(buf, sigma)
-		for i, c := range counts {
-			buf[i] += float64(c)
+		for off := 0; off < len(buf); {
+			end := off + noiseChunk
+			// A final fragment shorter than one ziggurat block would be
+			// consumed through a different sampler path than a whole-slice
+			// fill would use; absorb it into the last chunk so every chunk
+			// boundary the fill sees is one the un-chunked fill also sees.
+			if len(buf)-end < rng.ZigBlock {
+				end = len(buf)
+			}
+			window := buf[off:end]
+			src.NormalsSigma(window, sigma)
+			for i, c := range counts[off:end] {
+				window[i] += float64(c)
+			}
+			off = end
 		}
 	} else {
 		for i, c := range counts {

@@ -18,6 +18,15 @@ import (
 // "how many associations does this author group account for?" — the
 // paper's motivating sensitive aggregate.
 func MarginalCounts(c core.CellRelease, side bipartite.Side) ([]float64, error) {
+	return MarginalCountsInto(nil, c, side)
+}
+
+// MarginalCountsInto is MarginalCounts writing into dst, reusing dst's
+// capacity — the serving hot path: a session passes its retained scratch
+// every query and steady-state marginals allocate nothing. dst may be
+// nil or short (it is grown as needed); the returned slice is the
+// resized dst.
+func MarginalCountsInto(dst []float64, c core.CellRelease, side bipartite.Side) ([]float64, error) {
 	if !side.Valid() {
 		return nil, fmt.Errorf("query: invalid side %v", side)
 	}
@@ -25,18 +34,36 @@ func MarginalCounts(c core.CellRelease, side bipartite.Side) ([]float64, error) 
 	if k <= 0 || len(c.Counts) != k*k {
 		return nil, fmt.Errorf("query: malformed cell release (%d counts for k=%d)", len(c.Counts), k)
 	}
-	out := make([]float64, k)
-	for i := 0; i < k; i++ {
+	if cap(dst) < k {
+		dst = make([]float64, k)
+	} else {
+		dst = dst[:k]
+	}
+	switch side {
+	case bipartite.Left:
+		// Row sums: walk the matrix row-major so every cell is touched
+		// exactly once in memory order.
+		for i := 0; i < k; i++ {
+			var sum float64
+			for _, v := range c.Counts[i*k : (i+1)*k] {
+				sum += v
+			}
+			dst[i] = sum
+		}
+	case bipartite.Right:
+		// Column sums: accumulate rows into dst to keep the single
+		// sequential pass over the matrix.
+		for i := range dst {
+			dst[i] = 0
+		}
 		for j := 0; j < k; j++ {
-			switch side {
-			case bipartite.Left:
-				out[i] += c.Counts[i*k+j]
-			case bipartite.Right:
-				out[i] += c.Counts[j*k+i]
+			row := c.Counts[j*k : (j+1)*k]
+			for i, v := range row {
+				dst[i] += v
 			}
 		}
 	}
-	return out, nil
+	return dst, nil
 }
 
 // MarginalError compares released marginals against the exact incident
@@ -67,19 +94,63 @@ func MarginalError(t *hierarchy.Tree, c core.CellRelease, side bipartite.Side) (
 // side, descending — the noisy "heaviest author groups" list a data user
 // would compute.
 func TopKGroups(c core.CellRelease, side bipartite.Side, k int) ([]int, error) {
-	marginals, err := MarginalCounts(c, side)
+	var s TopKScratch
+	return TopKGroupsInto(&s, c, side, k)
+}
+
+// TopKScratch holds the reusable buffers of TopKGroupsInto: the marginal
+// vector and the index permutation it ranks. A serving session retains
+// one scratch for its lifetime so steady-state top-k queries allocate
+// nothing. The zero value is ready to use.
+type TopKScratch struct {
+	marginals []float64
+	sorter    topkSorter
+}
+
+// TopKGroupsInto is TopKGroups ranking through the caller's scratch. The
+// returned slice aliases the scratch and is valid until its next use;
+// copy to retain.
+func TopKGroupsInto(s *TopKScratch, c core.CellRelease, side bipartite.Side, k int) ([]int, error) {
+	marginals, err := MarginalCountsInto(s.marginals, c, side)
 	if err != nil {
 		return nil, err
 	}
+	s.marginals = marginals
 	if k <= 0 || k > len(marginals) {
 		return nil, fmt.Errorf("query: k=%d outside [1,%d]", k, len(marginals))
 	}
-	idx := make([]int, len(marginals))
-	for i := range idx {
-		idx[i] = i
+	if cap(s.sorter.idx) < len(marginals) {
+		s.sorter.idx = make([]int, len(marginals))
+	} else {
+		s.sorter.idx = s.sorter.idx[:len(marginals)]
 	}
-	sort.SliceStable(idx, func(a, b int) bool { return marginals[idx[a]] > marginals[idx[b]] })
-	return idx[:k], nil
+	for i := range s.sorter.idx {
+		s.sorter.idx[i] = i
+	}
+	s.sorter.vals = marginals
+	sort.Sort(&s.sorter)
+	return s.sorter.idx[:k], nil
+}
+
+// topkSorter orders an index permutation by descending marginal with the
+// index itself as the tie-break. The total order makes the (unstable)
+// sort.Sort produce exactly what sort.SliceStable over an ascending
+// initial permutation produced — equal values stay in ascending index
+// order — while a concrete Interface on a retained pointer keeps the
+// sort allocation-free.
+type topkSorter struct {
+	idx  []int
+	vals []float64
+}
+
+func (t *topkSorter) Len() int      { return len(t.idx) }
+func (t *topkSorter) Swap(i, j int) { t.idx[i], t.idx[j] = t.idx[j], t.idx[i] }
+func (t *topkSorter) Less(i, j int) bool {
+	a, b := t.idx[i], t.idx[j]
+	if t.vals[a] != t.vals[b] {
+		return t.vals[a] > t.vals[b]
+	}
+	return a < b
 }
 
 // TopKPrecision measures how many of the released top-k groups are truly

@@ -80,6 +80,18 @@ func (e *Engine) CellsSigma(t *hierarchy.Tree, level int, sigma float64, adverti
 	return &e.cells, nil
 }
 
+// LoadCells copies src into the Engine's reusable buffer and returns
+// the buffer view — how a serving-layer cache hit rehydrates a retained
+// histogram while preserving the engine's buffer-reuse contract (the
+// result is valid until the next Cells/CellsSigma/LoadCells call, and
+// repeated queries keep writing one backing array).
+func (e *Engine) LoadCells(src *core.CellRelease) *core.CellRelease {
+	counts := e.cells.Counts
+	e.cells = *src
+	e.cells.Counts = append(counts[:0], src.Counts...)
+	return &e.cells
+}
+
 // CloneCellRelease deep-copies a cell release so it survives the Engine
 // buffer's next reuse — what the artifact assembly does when it retains
 // every level's histogram.

@@ -7,32 +7,45 @@ import "math"
 // The Marsaglia polar Normal costs a log and a square root per pair of
 // variates and rejects ~21% of its uniforms, which is fine for scalar
 // queries but dominates Phase 2 when a release fills a 4^9-cell noisy
-// histogram. NormalsSigma instead runs a 128-layer Marsaglia–Tsang
-// ziggurat: ~98.8% of draws are one Uint64, one table lookup and one
+// histogram. NormalsSigma instead runs a 512-layer Marsaglia–Tsang
+// ziggurat: ~99.25% of draws are one Uint64, one table lookup and one
 // multiply; the remaining draws fall back to a slow path that samples the
-// wedge (one exp) or the tail (two logs). The two samplers realize the
-// same N(0, 1) law — rng_test.go cross-validates moments and the KS
-// statistic of both against the exact normal CDF — but they consume the
-// underlying uniform stream differently, so Normal() is kept unchanged
-// for draw-for-draw compatibility with existing seeded streams.
+// wedge (one exp) or the tail (two logs). The
+// two samplers realize the same N(0, 1) law — rng_test.go
+// cross-validates moments and the KS statistic of both against the exact
+// normal CDF — but they consume the underlying uniform stream
+// differently, so Normal() is kept unchanged for draw-for-draw
+// compatibility with existing seeded streams.
 
 // Ziggurat constants: zigTailR is the right edge of the last layer and
-// zigArea the common area of each of the 128 layers (tail included in
-// layer 0), the canonical Marsaglia–Tsang parameters for 128 layers.
+// zigArea the common area of each of the zigLayers layers (tail included
+// in layer 0). The pair was computed by solving the ziggurat closure
+// condition (the recurrence from x_{N-1} = r down to x_1 must satisfy
+// zigArea/x_1 + exp(-x_1²/2) = 1) with 200-step bisection in float64;
+// the same solver reproduces the canonical Marsaglia–Tsang 128-layer
+// (3.442619855899, 9.91256303526217e-3) and Doornik 256-layer
+// (3.6541528853610088, 4.92867323399891e-3) constants to ~1e-13, and
+// TestZigguratTableCloses pins the closure residual. 512 layers keep the
+// slow-path entry rate at ~0.75% (128 layers: ~2.8%) — each layer
+// boundary halving roughly halves the wedge traffic — which matters
+// because a slow draw costs ~10× a fast one. Bits 0–8 of each uniform
+// index the layer and bits 9–63 form the position, so the two fields
+// tile the word exactly.
 const (
-	zigTailR = 3.442619855899
-	zigArea  = 9.91256303526217e-3
-	// zigM scales the 56-bit signed integer drawn per sample to [-1, 1).
-	zigM = 1 << 55
+	zigLayers = 512
+	zigTailR  = 3.852046150368392
+	zigArea   = 2.456766351541349e-3
+	// zigM scales the 55-bit signed integer drawn per sample to [-1, 1).
+	zigM = 1 << 54
 )
 
 // Ziggurat tables, filled by initZiggurat: zigK[i] is the acceptance
-// threshold for the |56-bit integer| in layer i, zigW[i] the layer's
+// threshold for the |55-bit position| in layer i, zigW[i] the layer's
 // scale x_i/zigM, and zigF[i] = exp(-x_i²/2).
 var (
-	zigK [128]uint64
-	zigW [128]float64
-	zigF [128]float64
+	zigK [zigLayers]uint64
+	zigW [zigLayers]float64
+	zigF [zigLayers]float64
 )
 
 func init() { initZiggurat() }
@@ -45,10 +58,10 @@ func initZiggurat() {
 	zigK[0] = uint64((dn / q) * zigM)
 	zigK[1] = 0
 	zigW[0] = q / zigM
-	zigW[127] = dn / zigM
+	zigW[zigLayers-1] = dn / zigM
 	zigF[0] = 1
-	zigF[127] = math.Exp(-0.5 * dn * dn)
-	for i := 126; i >= 1; i-- {
+	zigF[zigLayers-1] = math.Exp(-0.5 * dn * dn)
+	for i := zigLayers - 2; i >= 1; i-- {
 		dn = math.Sqrt(-2 * math.Log(zigArea/dn+math.Exp(-0.5*dn*dn)))
 		zigK[i+1] = uint64((dn / tn) * zigM)
 		tn = dn
@@ -57,14 +70,50 @@ func initZiggurat() {
 	}
 }
 
+// Blocked fill geometry. ZigBlock uniforms are generated per batch — 4 KB,
+// small enough that the block, the straggler index list and the output
+// window all stay L1-resident while the branch-free transform runs.
+// Fills shorter than zigBlockMin samples go through the per-sample scalar
+// loop instead: the blocked path's stack buffers cost more to set up
+// than a handful of samples are worth. The scalar loop keeps the
+// historical one-uniform-per-sample consumption PATTERN, but its
+// values still changed with the 128→512-layer table swap (different
+// bit split, tables and tail edge) — no ziggurat draw replays the
+// pre-512-layer values, only Normal()'s polar stream is untouched.
+const (
+	// ZigBlock is the blocked fill's batch size in samples. Exported so
+	// callers that chunk a larger fill (core.noisyCells fusing the counts
+	// add into the noise pass) can pick a multiple of it: NormalsSigma
+	// consumes the uniform stream identically whether a fill of
+	// n·ZigBlock samples arrives as one call or as n calls.
+	ZigBlock = 512
+
+	// zigBlockMin balances the blocked path's fixed setup (the ~6 KB of
+	// stack buffers the runtime zeroes per call) against its ~1.3
+	// ns/sample advantage: below ~128 samples the scalar loop wins.
+	zigBlockMin = 128
+)
+
 // NormalsSigma fills dst with independent normal variates of mean 0 and
 // standard deviation sigma, drawn from the ziggurat sampler. One batched
 // call replaces len(dst) scalar Normal calls in the Phase-2 release hot
 // path. A non-positive sigma fills dst with zeros (empty levels need no
-// noise). NormalsSigma advances the same uniform stream as every other
-// sampler on the Source but is not draw-for-draw compatible with
-// Normal(); give each consumer its own Split stream when exact replay
-// matters.
+// noise).
+//
+// Fills of zigBlockMin or more samples run the blocked fast path: a whole
+// block of uniforms is generated at once (xoshiro state in registers, no
+// per-sample method call), the rectangular accept runs branch-free over
+// the block with rejected indices compacted into a straggler list, and
+// one short pass re-draws the stragglers through normalZigSlow. The
+// output law is identical to the scalar path's — the fast-path accept
+// test and the slow-path samplers are unchanged — but the uniform stream
+// is consumed block-at-a-time rather than sample-at-a-time, so fixed-seed
+// outputs differ from the pre-blocked implementation whenever a slow-path
+// draw occurs (the golden test pins the new stream). Consumption depends
+// only on len(dst) and the stream position, never on sigma. NormalsSigma
+// advances the same uniform stream as every other sampler on the Source
+// but is not draw-for-draw compatible with Normal(); give each consumer
+// its own Split stream when exact replay matters.
 func (r *Source) NormalsSigma(dst []float64, sigma float64) {
 	if sigma <= 0 {
 		for i := range dst {
@@ -72,13 +121,74 @@ func (r *Source) NormalsSigma(dst []float64, sigma float64) {
 		}
 		return
 	}
+	if len(dst) < zigBlockMin {
+		r.normalsSigmaScalar(dst, sigma)
+		return
+	}
+	var block [ZigBlock]uint64
+	var strag [ZigBlock]int32
+	for len(dst) > 0 {
+		n := len(dst)
+		if n > ZigBlock {
+			n = ZigBlock
+		}
+		out := dst[:n]
+		ns := r.zigFillBlock(out, &block, &strag, sigma)
+		// Compact straggler pass: the ~0.75% of samples that missed the
+		// rectangle re-enter the exact wedge/tail sampler in index order,
+		// drawing further uniforms from the stream as needed. The calls
+		// live here, in the outer per-block loop, so the hot transform in
+		// zigFillBlock stays call-free (a call inside that function would
+		// force the compiler to keep its loop state on the stack).
+		for _, si := range strag[:ns] {
+			v := block[si]
+			out[si] = sigma * r.normalZigSlow(int64(v)>>9, v&(zigLayers-1))
+		}
+		dst = dst[n:]
+	}
+}
+
+// zigFillBlock draws len(out) uniforms into block, writes every sample's
+// fast-path ziggurat value to out, and compacts the indices that missed
+// the rectangular accept into strag, returning how many. The accept runs
+// branch-free: every value is computed and stored unconditionally, and
+// the straggler list is built by unconditional store + masked increment,
+// so the loop carries no data-dependent branches — and the function
+// contains no calls after the uniform fill, which is what lets the
+// compiler keep the whole loop state in registers.
+func (r *Source) zigFillBlock(out []float64, block *[ZigBlock]uint64, strag *[ZigBlock]int32, sigma float64) int {
+	n := len(out)
+	r.fillUint64(block[:n])
+	ns := 0
+	for i, v := range block[:n] {
+		// Bits 0–8 select the layer, bits 9–63 form a signed 55-bit
+		// uniform; the two fields are disjoint, so layer and position
+		// are independent.
+		j := int64(v) >> 9
+		iz := v & (zigLayers - 1)
+		neg := j >> 63
+		abs := uint64((j ^ neg) - neg)
+		out[i] = sigma * (float64(j) * zigW[iz])
+		// Reject iff abs >= zigK[iz]: both operands are < 2^63, so the
+		// subtraction's sign bit is the comparison. The &-mask on the
+		// index lets the compiler drop the bounds check (ns <= i < n).
+		strag[ns&(ZigBlock-1)] = int32(i)
+		ns += int((zigK[iz] - 1 - abs) >> 63)
+	}
+	return ns
+}
+
+// normalsSigmaScalar is the per-sample ziggurat loop, kept for fills too
+// short to amortize the blocked path's buffers. It consumes exactly one
+// uniform per fast-path sample, interleaved with any slow-path draws —
+// the historical NormalsSigma consumption pattern — but draws the
+// 512-layer tables, so its fixed-seed values differ from the 128-layer
+// era like every other ziggurat path.
+func (r *Source) normalsSigmaScalar(dst []float64, sigma float64) {
 	for i := range dst {
 		u := r.Uint64()
-		// Bits 0–6 select the layer, bits 8–63 form a signed 56-bit
-		// uniform; the two fields are disjoint, so layer and position are
-		// independent.
-		j := int64(u) >> 8
-		iz := u & 127
+		j := int64(u) >> 9
+		iz := u & (zigLayers - 1)
 		abs := uint64(j)
 		if j < 0 {
 			abs = uint64(-j)
@@ -91,7 +201,7 @@ func (r *Source) NormalsSigma(dst []float64, sigma float64) {
 	}
 }
 
-// normalZigSlow handles the ~1.2% of ziggurat draws that miss the
+// normalZigSlow handles the ~0.75% of ziggurat draws that miss the
 // rectangular fast path: layer 0 falls through to Marsaglia's exact tail
 // sampler beyond zigTailR, other layers accept or reject inside the
 // wedge between f(x_i) and f(x_{i-1}), resampling from scratch on
@@ -117,8 +227,8 @@ func (r *Source) normalZigSlow(j int64, iz uint64) float64 {
 			return x
 		}
 		u := r.Uint64()
-		j = int64(u) >> 8
-		iz = u & 127
+		j = int64(u) >> 9
+		iz = u & (zigLayers - 1)
 		abs := uint64(j)
 		if j < 0 {
 			abs = uint64(-j)

@@ -205,3 +205,97 @@ func BenchmarkNormalsSigma(b *testing.B) {
 		src.NormalsSigma(dst, 1.5)
 	}
 }
+
+// TestZigguratTableCloses pins the 512-layer geometry: the recurrence
+// from x_{N-1} = zigTailR down to x_1 must close the ziggurat exactly —
+// zigArea/x_1 + f(x_1) = 1, i.e. the top layer's strip is the whole
+// remaining area. A wrong (zigTailR, zigArea) pair (the constants come
+// from an offline bisection solve, not a published table) would leave a
+// residual here long before the statistical tests could see the bias.
+func TestZigguratTableCloses(t *testing.T) {
+	x1 := zigW[1] * zigM
+	if res := math.Abs(zigArea/x1 + math.Exp(-0.5*x1*x1) - 1); res > 1e-12 {
+		t.Errorf("ziggurat closure residual = %v, want < 1e-12", res)
+	}
+	// The tables must be monotone: x_i increases with i, f decreases.
+	for i := 2; i < zigLayers; i++ {
+		if zigW[i] <= zigW[i-1] {
+			t.Fatalf("zigW not increasing at layer %d", i)
+		}
+		if zigF[i] >= zigF[i-1] {
+			t.Fatalf("zigF not decreasing at layer %d", i)
+		}
+	}
+	if zigW[zigLayers-1]*zigM != zigTailR {
+		t.Errorf("last layer edge = %v, want zigTailR %v", zigW[zigLayers-1]*zigM, zigTailR)
+	}
+}
+
+// TestNormalsSigmaGolden pins the blocked fill's exact fixed-seed output
+// so replay stability across platforms and future refactors is a tested
+// contract, not an accident. The blocked path consumes the uniform
+// stream block-at-a-time (these values intentionally differ from the
+// pre-blocked scalar implementation), and fills below the block-path
+// cutoff run the scalar loop — its prefix agrees with the blocked path
+// until the block's first straggler re-draw lands.
+func TestNormalsSigmaGolden(t *testing.T) {
+	dst := make([]float64, 4096)
+	New(42).NormalsSigma(dst, 1.5)
+	golden := []struct {
+		i    int
+		bits uint64
+	}{
+		{0, 0xbfe5901ef1728a72},
+		{1, 0x40002332c60159a1},
+		{2, 0xbfb9c6a96fc127b1},
+		{3, 0xc000c550634b23c0},
+		{511, 0x3fe4c93235dd8577},
+		{512, 0x3fc9826b1a6fefbc},
+		{1023, 0xbff98f2075640ec6},
+		{2048, 0xc0024380a5caded8},
+		{4095, 0x3fcb7bfe2d87d7ba},
+	}
+	for _, g := range golden {
+		if got := math.Float64bits(dst[g.i]); got != g.bits {
+			t.Errorf("dst[%d] = %v (0x%016x), want 0x%016x", g.i, dst[g.i], got, g.bits)
+		}
+	}
+	small := make([]float64, 8)
+	New(42).NormalsSigma(small, 1.5)
+	goldenSmall := []uint64{
+		0xbfe5901ef1728a72, 0x40002332c60159a1, 0xbfb9c6a96fc127b1, 0xc000c550634b23c0,
+		0xbfe4cc0dd7f5b4f9, 0xbff57e80e1e056b9, 0x3fe6398910636ae6, 0xc000ea706239202e,
+	}
+	for i, want := range goldenSmall {
+		if got := math.Float64bits(small[i]); got != want {
+			t.Errorf("small[%d] = %v (0x%016x), want 0x%016x", i, small[i], got, want)
+		}
+	}
+}
+
+// TestNormalsSigmaChunkedStreamEquivalent is the contract core.noisyCells
+// builds on: a fill issued as chunks at ZigBlock multiples consumes the
+// stream identically to one whole-slice call, so the release engine can
+// interleave the counts add at chunk granularity without changing a
+// single released byte.
+func TestNormalsSigmaChunkedStreamEquivalent(t *testing.T) {
+	const n = 10 * ZigBlock
+	whole := make([]float64, n)
+	srcW := New(99)
+	srcW.NormalsSigma(whole, 2)
+
+	chunked := make([]float64, n)
+	srcC := New(99)
+	for off := 0; off < n; off += 2 * ZigBlock {
+		srcC.NormalsSigma(chunked[off:off+2*ZigBlock], 2)
+	}
+	for i := range whole {
+		if math.Float64bits(whole[i]) != math.Float64bits(chunked[i]) {
+			t.Fatalf("index %d: whole %v != chunked %v", i, whole[i], chunked[i])
+		}
+	}
+	// The sources must land in the same stream state too.
+	if srcW.Uint64() != srcC.Uint64() {
+		t.Fatal("whole and chunked fills left the stream in different states")
+	}
+}

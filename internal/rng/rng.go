@@ -13,7 +13,7 @@
 //
 // Normal variates come in two forms: the scalar Normal/NormalSigma
 // (Marsaglia polar, kept draw-for-draw stable for existing seeded
-// streams) and the batched NormalsSigma (normal.go), a 128-layer
+// streams) and the batched NormalsSigma (normal.go), a 512-layer
 // ziggurat that fills a whole slice per call — the Phase-2 release path
 // uses it to noise an entire level histogram in one call instead of one
 // method call per cell. Both realize the same N(0, σ²) law; the tests
@@ -95,22 +95,55 @@ func (r *Source) Uint64() uint64 {
 	return result
 }
 
+// fillUint64 writes len(dst) consecutive stream outputs into dst. It is
+// the bulk counterpart of Uint64 for the blocked samplers: the xoshiro
+// state lives in registers for the whole loop instead of being loaded and
+// stored through r.s once per output, which roughly halves the cost of a
+// long uniform run. The stream advances exactly as len(dst) Uint64 calls
+// would.
+func (r *Source) fillUint64(dst []uint64) {
+	s0, s1, s2, s3 := r.s[0], r.s[1], r.s[2], r.s[3]
+	for i := range dst {
+		dst[i] = bits.RotateLeft64(s0+s3, 23) + s0
+		t := s1 << 17
+		s2 ^= s0
+		s3 ^= s1
+		s1 ^= s2
+		s0 ^= s3
+		s2 ^= t
+		s3 = bits.RotateLeft64(s3, 45)
+	}
+	r.s[0], r.s[1], r.s[2], r.s[3] = s0, s1, s2, s3
+}
+
 // Split derives a new Source from the current stream state and a caller
 // chosen label. Child streams with distinct labels are independent of each
 // other and of the parent's subsequent output, which makes fan-out across
 // goroutines reproducible: split once per worker before starting them.
 func (r *Source) Split(label uint64) *Source {
+	child := new(Source)
+	r.SplitTo(child, label)
+	return child
+}
+
+// SplitTo is Split writing the derived child stream into dst instead of
+// allocating one — the serving layer's per-query derivation chain reuses
+// one scratch Source across queries, so a steady-state query performs no
+// heap allocation. dst and r may be the same Source: the parent output
+// that seeds the child is drawn before dst is overwritten, so
+// src.SplitTo(src, label) collapses a chain link in place. The derived
+// state is identical to Split's for the same (parent state, label).
+func (r *Source) SplitTo(dst *Source, label uint64) {
 	// Mix the parent state and the label through SplitMix64 so that
 	// consecutive labels do not produce correlated children.
 	sm := r.Uint64() ^ (label * 0x9e3779b97f4a7c15)
-	var child Source
-	for i := range child.s {
-		child.s[i] = splitmix64(&sm)
+	for i := range dst.s {
+		dst.s[i] = splitmix64(&sm)
 	}
-	if child.s[0]|child.s[1]|child.s[2]|child.s[3] == 0 {
-		child.s[0] = 1
+	if dst.s[0]|dst.s[1]|dst.s[2]|dst.s[3] == 0 {
+		dst.s[0] = 1
 	}
-	return &child
+	dst.spare, dst.hasSpare = 0, false
 }
 
 // Float64 returns a uniform float64 in [0, 1).

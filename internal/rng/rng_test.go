@@ -432,3 +432,49 @@ func BenchmarkLaplace(b *testing.B) {
 		_ = r.Laplace(1)
 	}
 }
+
+// TestSplitToMatchesSplit pins the zero-alloc SplitTo to Split: same
+// derived state for the same (parent state, label), including in-place
+// self-collapse (src.SplitTo(src, label)), and the polar spare is
+// cleared so a recycled scratch Source cannot leak a previous stream's
+// cached variate.
+func TestSplitToMatchesSplit(t *testing.T) {
+	a, b := New(7), New(7)
+	want := a.Split(13)
+	var got Source
+	b.SplitTo(&got, 13)
+	for i := 0; i < 16; i++ {
+		if w, g := want.Uint64(), got.Uint64(); w != g {
+			t.Fatalf("draw %d: Split %d != SplitTo %d", i, w, g)
+		}
+	}
+	// Parents advanced identically.
+	if a.Uint64() != b.Uint64() {
+		t.Fatal("Split and SplitTo advanced their parents differently")
+	}
+
+	// In-place chain collapse: x.SplitTo(x, l) == x = x.Split(l).
+	c, d := New(11), New(11)
+	wantChain := c.Split(1).Split(2).Split(3)
+	e := d
+	e.SplitTo(e, 1)
+	e.SplitTo(e, 2)
+	e.SplitTo(e, 3)
+	for i := 0; i < 16; i++ {
+		if w, g := wantChain.Uint64(), e.Uint64(); w != g {
+			t.Fatalf("chained draw %d: Split %d != SplitTo %d", i, w, g)
+		}
+	}
+
+	// A dirty spare must not survive into the derived stream.
+	f := New(3)
+	f.Normal() // leaves hasSpare set
+	var dirty Source
+	dirty.spare, dirty.hasSpare = 123, true
+	f.SplitTo(&dirty, 5)
+	g := New(3)
+	g.Normal()
+	if dirty.Normal() != g.Split(5).Normal() {
+		t.Fatal("SplitTo leaked a stale polar spare into the child stream")
+	}
+}

@@ -37,7 +37,11 @@ import (
 // pure function of (seed, dataset, stream id, session query sequence,
 // query parameters), so replaying a pinned stream returns
 // byte-identical bodies for the same query sequence, while distinct
-// queries draw independent noise even on a shared stream id.
+// queries draw independent noise even on a shared stream id. Replays
+// resident in the dataset's response cache are served without a ledger
+// debit (the DP cost of those bytes was already paid; the budget
+// endpoint's "cache" stats count them), so read-heavy clients replaying
+// pinned streams do not drain budgets.
 
 // maxQueryBody bounds the JSON bodies of query endpoints.
 const maxQueryBody = 1 << 20
@@ -65,6 +69,12 @@ type HandlerOptions struct {
 	// one past the cap gets 429 until a handle is DELETEd. 0 selects
 	// DefaultMaxSessions; negative disables the cap.
 	MaxSessions int
+	// MaxCacheEntries overrides the registry's per-dataset response-cache
+	// capacity (Config.MaxCacheEntries) for the whole registry this
+	// handler fronts, including datasets ingested before the handler was
+	// constructed. 0 inherits the registry's setting; negative disables
+	// response caching.
+	MaxCacheEntries int
 }
 
 // withDefaults resolves the zero-value resource caps.
@@ -84,6 +94,9 @@ func NewHandler(reg *Registry) http.Handler { return NewHandlerWith(reg, Handler
 
 // NewHandlerWith returns the HTTP front end with explicit options.
 func NewHandlerWith(reg *Registry, opts HandlerOptions) http.Handler {
+	if opts.MaxCacheEntries != 0 {
+		reg.setCacheCap(opts.MaxCacheEntries)
+	}
 	s := &httpServer{reg: reg, opts: opts.withDefaults(), sessions: make(map[uint64]*httpSession)}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.healthz)
@@ -127,13 +140,53 @@ type errorBody struct {
 	Code  string `json:"code"`
 }
 
-// writeJSON writes one JSON response.
+// encodeBuffer pairs a reusable byte buffer with a JSON encoder bound to
+// it; writeJSON checks one out per response so the HTTP path does not
+// allocate a fresh encoder (and its indent state) per request.
+type encodeBuffer struct {
+	buf bytes.Buffer
+	enc *json.Encoder
+}
+
+// encodeBuffers pools response-encoding state across requests, keeping
+// the HTTP serving path allocation-flat under sustained load. Buffers
+// that ballooned on an unusually large response (a deep level view) are
+// dropped instead of pooled so one outlier cannot pin megabytes.
+var encodeBuffers = sync.Pool{
+	New: func() any {
+		e := &encodeBuffer{}
+		e.enc = json.NewEncoder(&e.buf)
+		e.enc.SetIndent("", "  ")
+		return e
+	},
+}
+
+// maxPooledEncodeBuffer bounds the capacity a buffer may keep when it
+// returns to the pool. It is sized to hold a deep level view (a 4^9-cell
+// histogram serializes to a few MB) so the largest — and most
+// reallocation-sensitive — responses benefit from pooling too; sync.Pool
+// entries are dropped across GC cycles, so a ballooned buffer is
+// retained only transiently even at this cap.
+const maxPooledEncodeBuffer = 8 << 20
+
+// writeJSON writes one JSON response through the encoder pool.
 func writeJSON(w http.ResponseWriter, status int, v any) {
+	e := encodeBuffers.Get().(*encodeBuffer)
+	e.buf.Reset()
+	encodeErr := e.enc.Encode(v)
+	body := e.buf.Bytes()
+	if encodeErr != nil {
+		// Nothing has been written to the client yet; surface a clean 500
+		// in the same JSON error shape every other response uses.
+		status = http.StatusInternalServerError
+		body = []byte(`{"error":"serve: encoding response","code":"encode-failed"}` + "\n")
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	_ = enc.Encode(v)
+	_, _ = w.Write(body)
+	if e.buf.Cap() <= maxPooledEncodeBuffer {
+		encodeBuffers.Put(e)
+	}
 }
 
 // errSpool marks server-side ingest-spool failures (temp-disk full,
@@ -380,7 +433,8 @@ func (s *httpServer) budget(w http.ResponseWriter, r *http.Request) {
 		"budget":    toBudgetJSON(ds.Budget()),
 		"spent":     toBudgetJSON(ds.Spent()),
 		"remaining": toBudgetJSON(ds.Remaining()),
-		"ops":       len(ds.Ops()),
+		"ops":       ds.OpCount(),
+		"cache":     ds.CacheStats(),
 		"audit":     ds.AuditReport(),
 	})
 }

@@ -378,3 +378,50 @@ func TestOpenEdgeSourceFile(t *testing.T) {
 		}
 	}
 }
+
+// TestHTTPCachedReplaySkipsDebit: two handles pinned to one stream issue
+// the same query sequence; the second handle's responses are
+// byte-identical and spend nothing (the response cache covers them), and
+// the budget endpoint reports the hit. With caching disabled through
+// HandlerOptions, the same replay debits twice.
+func TestHTTPCachedReplaySkipsDebit(t *testing.T) {
+	t.Parallel()
+	run := func(opts HandlerOptions) (first, replay []byte, ops float64, stats map[string]any) {
+		srv, _ := newTestServerWith(t, testConfig(), opts)
+		base := srv.URL
+		do(t, "POST", base+"/v1/datasets/dblp", testTSV(t), "", http.StatusCreated)
+		open := func() string {
+			s := do(t, "POST", base+"/v1/datasets/dblp/sessions", []byte(`{"stream": 6}`), "application/json", http.StatusCreated)
+			return fmt.Sprintf("%.0f", s["session"].(float64))
+		}
+		q := []byte(`{"level": 2, "side": "left"}`)
+		sid1 := open()
+		first = doRaw(t, "POST", base+"/v1/sessions/"+sid1+"/marginal", q, "application/json", http.StatusOK)
+		sid2 := open()
+		replay = doRaw(t, "POST", base+"/v1/sessions/"+sid2+"/marginal", q, "application/json", http.StatusOK)
+		budget := do(t, "GET", base+"/v1/datasets/dblp/budget", nil, "", http.StatusOK)
+		return first, replay, budget["ops"].(float64), budget["cache"].(map[string]any)
+	}
+
+	first, replay, ops, stats := run(HandlerOptions{})
+	if !bytes.Equal(first, replay) {
+		t.Fatal("cached HTTP replay is not byte-identical")
+	}
+	if ops != 1 {
+		t.Fatalf("cached replay debited the ledger: %v ops, want 1", ops)
+	}
+	if stats["hits"].(float64) != 1 || stats["misses"].(float64) != 1 {
+		t.Fatalf("budget cache stats = %v, want 1 hit / 1 miss", stats)
+	}
+
+	first, replay, ops, stats = run(HandlerOptions{MaxCacheEntries: -1})
+	if !bytes.Equal(first, replay) {
+		t.Fatal("uncached replay must still be byte-identical (pinned stream contract)")
+	}
+	if ops != 2 {
+		t.Fatalf("with caching disabled, replay should debit again: %v ops, want 2", ops)
+	}
+	if stats["hits"].(float64) != 0 || stats["misses"].(float64) != 0 {
+		t.Fatalf("disabled cache recorded traffic: %v", stats)
+	}
+}

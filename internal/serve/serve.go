@@ -30,6 +30,13 @@
 // query sequence, which is what makes concurrent serving reproducible:
 // give every goroutine its own session and the interleaving cannot
 // change any answer, only the ledger's admission order.
+//
+// Because answers are pure functions of their key, every dataset also
+// carries a bounded-LRU response cache (cache.go): replaying a resident
+// (stream, seq, query) key returns the byte-identical prior answer
+// without debiting the ledger or re-running Phase 2 — the DP cost of
+// those bytes was already paid. Concurrent replays of one key compute
+// once. Config.MaxCacheEntries sizes it; re-ingests start a fresh cache.
 package serve
 
 import (
@@ -37,6 +44,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
@@ -116,6 +124,16 @@ type Config struct {
 	// IngestLanes bounds concurrent dataset builds; each lane retains
 	// one hierarchy.Builder across ingests (default 1).
 	IngestLanes int
+	// MaxCacheEntries bounds each dataset's response cache: answered
+	// pinned-session queries are retained by their full identity (stream
+	// domain, stream id, seq, kind, level, side, k) and a replay of the
+	// exact key returns the byte-identical prior answer WITHOUT debiting
+	// the ledger or re-running Phase 2 — the DP cost of a cached answer
+	// was already paid (see cache.go). Auto sessions bypass the cache:
+	// their keys are never replayable. 0 selects DefaultMaxCacheEntries;
+	// negative disables caching. Mind the memory: a cached level view
+	// retains its whole cell histogram.
+	MaxCacheEntries int
 }
 
 // withDefaults validates cfg and fills the serving defaults.
@@ -153,6 +171,9 @@ func (c Config) withDefaults() (Config, error) {
 	if c.IngestLanes < 0 {
 		return Config{}, fmt.Errorf("%w: negative ingest lanes %d", ErrBadConfig, c.IngestLanes)
 	}
+	if c.MaxCacheEntries == 0 {
+		c.MaxCacheEntries = DefaultMaxCacheEntries
+	}
 	// Fail the whole registry rather than every future session: the
 	// engine configuration must be releasable.
 	if _, err := release.NewEngine(c.Model, c.Calib, c.Mechanism); err != nil {
@@ -178,6 +199,12 @@ type Registry struct {
 	// closed check can never block forever on a drained channel.
 	ingests sync.WaitGroup
 
+	// cacheCap is the live per-dataset response-cache capacity. It is
+	// read on every cache insertion (not captured at dataset build), so
+	// the HTTP handler's MaxCacheEntries override reaches datasets that
+	// already exist; ≤ 0 disables caching.
+	cacheCap atomic.Int64
+
 	mu       sync.RWMutex
 	closed   bool
 	datasets map[string]*Dataset // nil value = ingest in flight (name reserved)
@@ -194,10 +221,27 @@ func Open(cfg Config) (*Registry, error) {
 		lanes:    make(chan *hierarchy.Builder, cfg.IngestLanes),
 		datasets: make(map[string]*Dataset),
 	}
+	r.cacheCap.Store(int64(cfg.MaxCacheEntries))
 	for i := 0; i < cfg.IngestLanes; i++ {
 		r.lanes <- hierarchy.NewBuilder()
 	}
 	return r, nil
+}
+
+// setCacheCap retargets the live response-cache capacity (the HTTP
+// handler's MaxCacheEntries override) and eagerly trims every existing
+// dataset's cache to it — a shrink (or a disable, after which no
+// insertion would ever trim again) must release the retained answers,
+// not strand them until the dataset is removed.
+func (r *Registry) setCacheCap(n int) {
+	r.cacheCap.Store(int64(n))
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, ds := range r.datasets {
+		if ds != nil {
+			ds.cache.trim(n)
+		}
+	}
 }
 
 // Config returns the registry's resolved configuration.
@@ -299,7 +343,17 @@ func (r *Registry) buildDataset(name string, src bipartite.EdgeSource) (*Dataset
 	if err != nil {
 		return nil, fmt.Errorf("serve: ingest %q: %w", name, err)
 	}
-	return &Dataset{reg: r, name: name, tree: tree, ledger: ledger, print: fingerprintTree(tree)}, nil
+	return &Dataset{
+		reg:    r,
+		name:   name,
+		tree:   tree,
+		ledger: ledger,
+		print:  fingerprintTree(tree),
+		// A fresh cache per ingest is the invalidation story: re-adding a
+		// name (same or different data) can never serve a previous
+		// incarnation's answers.
+		cache: newRespCache(func() int { return int(r.cacheCap.Load()) }),
+	}, nil
 }
 
 // fingerprintTree hashes the dataset as served. The finest-level cell
@@ -380,8 +434,12 @@ type Dataset struct {
 	tree   *hierarchy.Tree
 	ledger *accountant.Ledger
 	print  uint64 // data fingerprint folded into every session stream
+	cache  *respCache
 	nextID atomic.Uint64
 }
+
+// CacheStats reports the dataset's response-cache counters.
+func (d *Dataset) CacheStats() CacheStats { return d.cache.stats() }
 
 // Name returns the registry key.
 func (d *Dataset) Name() string { return d.name }
@@ -409,6 +467,10 @@ func (d *Dataset) AuditReport() string { return d.ledger.AuditReport() }
 // Ops returns the ledger's audit trail.
 func (d *Dataset) Ops() []accountant.Op { return d.ledger.Ops() }
 
+// OpCount returns the number of admitted ledger operations without
+// materializing the audit trail.
+func (d *Dataset) OpCount() int { return d.ledger.OpCount() }
+
 // NewSession returns a session on the next auto-assigned stream id.
 // Auto sessions derive their noise from a stream domain disjoint from
 // SessionAt's, so no pinned id can ever land on an auto session's
@@ -423,11 +485,13 @@ func (d *Dataset) NewSession() *Session {
 // sessions with the same stream id (across restarts, across replicas
 // with one seed) draw identical noise for identical query sequences
 // against identical data — the replay contract; re-ingesting different
-// data under the same name re-keys the streams (see fingerprintTree). Sharing a stream id leaks nothing beyond the
-// replay itself: queries that differ in kind or parameters derive
-// disjoint noise streams (see querySource). Budget is still debited per
-// query regardless of replay, so re-running a sequence costs budget
-// again.
+// data under the same name re-keys the streams (see fingerprintTree).
+// Sharing a stream id leaks nothing beyond the replay itself: queries
+// that differ in kind or parameters derive disjoint noise streams (see
+// querySource). Re-running a sequence costs budget again only when the
+// key has left the response cache: replays resident in the dataset's
+// cache are served without a debit — their DP cost was already paid —
+// while evicted or never-cached keys recompute and debit (cache.go).
 func (d *Dataset) SessionAt(stream uint64) *Session {
 	return d.session(stream, domainSessions, true)
 }
@@ -444,6 +508,7 @@ func (d *Dataset) session(stream, domain uint64, pinned bool) *Session {
 	return &Session{
 		ds:     d,
 		stream: stream,
+		domain: domain,
 		pinned: pinned,
 		src:    d.reg.streamFor(d.name, domain, stream).Split(d.print),
 		eng:    eng,
@@ -451,17 +516,87 @@ func (d *Dataset) session(stream, domain uint64, pinned bool) *Session {
 }
 
 // Session is one tenant's query handle: a reusable release engine (the
-// cell-histogram buffer survives across queries, so the steady-state
-// hot path allocates nothing) and a private pre-split RNG stream. A
-// Session is NOT safe for concurrent use — open one per goroutine;
+// cell-histogram buffer survives across queries), a private pre-split
+// RNG stream, and the scratch buffers of the query tail — the per-query
+// stream chain, the ledger label, and the marginal/top-k result vectors.
+// Everything a steady-state query touches is retained here, so after
+// warm-up a Marginal or TopK performs zero heap allocations end to end.
+// A Session is NOT safe for concurrent use — open one per goroutine;
 // sessions of one dataset may run fully in parallel.
 type Session struct {
 	ds     *Dataset
 	stream uint64
+	domain uint64
 	pinned bool
 	seq    uint64
 	src    *rng.Source
 	eng    *release.Engine
+
+	// qsrc and qsub are the per-query stream-derivation scratch: the
+	// Split chain collapses through them in place (rng.Source.SplitTo)
+	// instead of allocating a Source per link.
+	qsrc, qsub rng.Source
+	// label is the ledger-label assembly buffer (accountant.SpendBytes).
+	label []byte
+	// marginals, topk and topkOut back the slices Marginal and TopK
+	// return; all are overwritten by the session's next query.
+	marginals []float64
+	topk      query.TopKScratch
+	topkOut   []int
+}
+
+// useCache reports whether this session's queries go through the
+// dataset's response cache. Only pinned sessions participate: an auto
+// session's stream id is unique for the dataset's lifetime and its seq
+// only grows, so its keys can never be replayed — caching them would
+// spend LRU capacity (and, for level views, whole retained histograms)
+// on entries that evict the pinned replays the cache exists for.
+func (s *Session) useCache() bool { return s.pinned && s.ds.cache.enabled() }
+
+// cacheKeyFor is the query's full identity in the dataset's response
+// cache — the same tuple the per-query stream derivation folds in, so
+// equal keys imply byte-identical answers.
+func (s *Session) cacheKeyFor(kind, level int, side bipartite.Side, k int) cacheKey {
+	return cacheKey{
+		domain: s.domain,
+		stream: s.stream,
+		seq:    s.seq,
+		kind:   uint8(kind),
+		level:  int32(level),
+		side:   uint8(side),
+		k:      int32(k),
+	}
+}
+
+// serveCached is the one implementation of the cache singleflight
+// protocol every query kind runs: acquire the key; as owner, compute
+// (debiting the ledger) and publish into the entry before waking
+// waiters; as waiter, wait — retrying if the owner aborted — and on a
+// hit consume the seq slot and advance the session stream exactly as
+// computing would have, WITHOUT a ledger debit. It returns the resident
+// entry on a hit and nil after an owner compute, so callers load the
+// payload without passing a third closure (keeping the hit path
+// allocation-free).
+func (s *Session) serveCached(key cacheKey, compute func() error, publish func(*cacheEntry)) (*cacheEntry, error) {
+	c := s.ds.cache
+	for {
+		e, owner := c.acquire(key)
+		if owner {
+			if err := compute(); err != nil {
+				c.abort(e)
+				return nil, err
+			}
+			publish(e)
+			c.complete(e)
+			return nil, nil
+		}
+		<-e.ready
+		if !e.ok {
+			continue // owner aborted; retry (one waiter becomes owner)
+		}
+		s.querySource(int(key.kind), int(key.level), bipartite.Side(key.side), int(key.k))
+		return e, nil
+	}
 }
 
 // Dataset returns the session's dataset.
@@ -499,10 +634,18 @@ type LevelView struct {
 // identity terms, two sessions pinned to one stream could issue
 // different queries at the same seq, draw the same underlying variates,
 // and let a client difference the responses to cancel the noise.
+// The chain collapses in place through the session's scratch Source
+// (values identical to the allocating Split chain); the returned
+// pointer is invalidated by the session's next query.
 func (s *Session) querySource(kind, level int, side bipartite.Side, k int) *rng.Source {
-	src := s.src.Split(s.seq).Split(uint64(kind)).Split(uint64(level)).Split(uint64(side)).Split(uint64(k))
+	q := &s.qsrc
+	s.src.SplitTo(q, s.seq)
+	q.SplitTo(q, uint64(kind))
+	q.SplitTo(q, uint64(level))
+	q.SplitTo(q, uint64(side))
+	q.SplitTo(q, uint64(k))
 	s.seq++
-	return src
+	return q
 }
 
 // spend debits the ledger, labeling the op with this session's stream
@@ -516,13 +659,23 @@ func (s *Session) querySource(kind, level int, side bipartite.Side, k int) *rng.
 // draw that may already have happened.
 func (s *Session) spend(what string, level int, cost dp.Params) error {
 	// Pinned ("s") and auto ("a") sessions number streams in disjoint
-	// domains; the prefix keeps their audit labels unambiguous.
-	prefix := "s"
+	// domains; the prefix keeps their audit labels unambiguous. The
+	// label is assembled in the session's scratch and copied into the
+	// ledger's arena — no per-query string allocation.
+	prefix := byte('s')
 	if !s.pinned {
-		prefix = "a"
+		prefix = 'a'
 	}
-	label := fmt.Sprintf("%s%d/q%d/%s/level%d", prefix, s.stream, s.seq, what, level)
-	if err := s.ds.ledger.Spend(label, cost); err != nil {
+	b := append(s.label[:0], prefix)
+	b = strconv.AppendUint(b, s.stream, 10)
+	b = append(b, "/q"...)
+	b = strconv.AppendUint(b, s.seq, 10)
+	b = append(b, '/')
+	b = append(b, what...)
+	b = append(b, "/level"...)
+	b = strconv.AppendInt(b, int64(level), 10)
+	s.label = b
+	if err := s.ds.ledger.SpendBytes(b, cost); err != nil {
 		return fmt.Errorf("serve: %s on %q: %w", what, s.ds.name, err)
 	}
 	return nil
@@ -537,21 +690,45 @@ func (s *Session) checkLevel(level int) error {
 // ReleaseLevel serves a level view: the εg-group-DP association count
 // and the level's noisy cell histogram. It debits 2·PerQuery (count +
 // histogram are two mechanism invocations) as one atomic ledger op.
+// A response-cache hit on the full query identity returns the
+// byte-identical prior answer without debiting the ledger (cache.go).
 func (s *Session) ReleaseLevel(level int) (LevelView, error) {
 	if err := s.checkLevel(level); err != nil {
 		return LevelView{}, err
 	}
+	if s.useCache() {
+		var view LevelView
+		e, err := s.serveCached(s.cacheKeyFor(queryKindView, level, 0, 0),
+			func() (err error) { view, err = s.releaseLevelCompute(level); return err },
+			func(e *cacheEntry) {
+				e.view = &cachedView{count: view.Count, cells: release.CloneCellRelease(*view.Cells)}
+			})
+		if err != nil {
+			return LevelView{}, err
+		}
+		if e != nil { // hit: rehydrate through the session's engine buffer
+			return LevelView{Level: level, Count: e.view.count, Cells: s.eng.LoadCells(&e.view.cells)}, nil
+		}
+		return view, nil
+	}
+	return s.releaseLevelCompute(level)
+}
+
+// releaseLevelCompute is the ledgered Phase-2 path of ReleaseLevel.
+func (s *Session) releaseLevelCompute(level int) (LevelView, error) {
 	pq := s.ds.reg.cfg.PerQuery
 	cost := dp.Params{Epsilon: 2 * pq.Epsilon, Delta: 2 * pq.Delta}
 	if err := s.spend("view", level, cost); err != nil {
 		return LevelView{}, err
 	}
 	qsrc := s.querySource(queryKindView, level, 0, 0)
-	count, err := s.eng.Count(s.ds.tree, level, pq, qsrc.Split(0))
+	qsrc.SplitTo(&s.qsub, 0)
+	count, err := s.eng.Count(s.ds.tree, level, pq, &s.qsub)
 	if err != nil {
 		return LevelView{}, err
 	}
-	cells, err := s.eng.Cells(s.ds.tree, level, pq, qsrc.Split(1))
+	qsrc.SplitTo(&s.qsub, 1)
+	cells, err := s.eng.Cells(s.ds.tree, level, pq, &s.qsub)
 	if err != nil {
 		return LevelView{}, err
 	}
@@ -560,7 +737,9 @@ func (s *Session) ReleaseLevel(level int) (LevelView, error) {
 
 // Marginal serves the per-side-group association counts of a level: one
 // fresh PerQuery histogram draw, post-processed (free) into row or
-// column sums.
+// column sums. The returned slice points into the session's reusable
+// scratch — like LevelView.Cells, it is valid until the session's next
+// query; copy to retain.
 func (s *Session) Marginal(level int, side bipartite.Side) ([]float64, error) {
 	if err := s.checkLevel(level); err != nil {
 		return nil, err
@@ -568,6 +747,25 @@ func (s *Session) Marginal(level int, side bipartite.Side) ([]float64, error) {
 	if !side.Valid() {
 		return nil, fmt.Errorf("serve: invalid side %v", side)
 	}
+	if s.useCache() {
+		var m []float64
+		e, err := s.serveCached(s.cacheKeyFor(queryKindMarginal, level, side, 0),
+			func() (err error) { m, err = s.marginalCompute(level, side); return err },
+			func(e *cacheEntry) { e.marginals = append([]float64(nil), m...) })
+		if err != nil {
+			return nil, err
+		}
+		if e != nil { // hit: copy into the session's reusable scratch
+			s.marginals = append(s.marginals[:0], e.marginals...)
+			return s.marginals, nil
+		}
+		return m, nil
+	}
+	return s.marginalCompute(level, side)
+}
+
+// marginalCompute is the ledgered Phase-2 path of Marginal.
+func (s *Session) marginalCompute(level int, side bipartite.Side) ([]float64, error) {
 	if err := s.spend("marginal", level, s.ds.reg.cfg.PerQuery); err != nil {
 		return nil, err
 	}
@@ -575,12 +773,19 @@ func (s *Session) Marginal(level int, side bipartite.Side) ([]float64, error) {
 	if err != nil {
 		return nil, err
 	}
-	return query.MarginalCounts(*cells, side)
+	m, err := query.MarginalCountsInto(s.marginals, *cells, side)
+	if err != nil {
+		return nil, err
+	}
+	s.marginals = m
+	return m, nil
 }
 
 // TopK serves the k heaviest side groups of a level according to one
 // fresh PerQuery histogram draw (heavy-hitter identification with the
-// ranking as free post-processing).
+// ranking as free post-processing). The returned slice points into the
+// session's reusable scratch — valid until the session's next query;
+// copy to retain.
 func (s *Session) TopK(level int, side bipartite.Side, k int) ([]int, error) {
 	if err := s.checkLevel(level); err != nil {
 		return nil, err
@@ -595,6 +800,25 @@ func (s *Session) TopK(level int, side bipartite.Side, k int) ([]int, error) {
 	if k <= 0 || k > n {
 		return nil, fmt.Errorf("serve: k=%d outside [1,%d]", k, n)
 	}
+	if s.useCache() {
+		var groups []int
+		e, err := s.serveCached(s.cacheKeyFor(queryKindTopK, level, side, k),
+			func() (err error) { groups, err = s.topKCompute(level, side, k); return err },
+			func(e *cacheEntry) { e.topk = append([]int(nil), groups...) })
+		if err != nil {
+			return nil, err
+		}
+		if e != nil { // hit: copy into the session's reusable scratch
+			s.topkOut = append(s.topkOut[:0], e.topk...)
+			return s.topkOut, nil
+		}
+		return groups, nil
+	}
+	return s.topKCompute(level, side, k)
+}
+
+// topKCompute is the ledgered Phase-2 path of TopK.
+func (s *Session) topKCompute(level int, side bipartite.Side, k int) ([]int, error) {
 	if err := s.spend("topk", level, s.ds.reg.cfg.PerQuery); err != nil {
 		return nil, err
 	}
@@ -602,5 +826,5 @@ func (s *Session) TopK(level int, side bipartite.Side, k int) ([]int, error) {
 	if err != nil {
 		return nil, err
 	}
-	return query.TopKGroups(*cells, side, k)
+	return query.TopKGroupsInto(&s.topk, *cells, side, k)
 }

@@ -284,6 +284,22 @@ func TopKGroups(c CellRelease, side Side, k int) ([]int, error) {
 	return query.TopKGroups(c, side, k)
 }
 
+// MarginalCountsInto is MarginalCounts reusing dst's capacity — the
+// zero-allocation form for callers looping over releases.
+func MarginalCountsInto(dst []float64, c CellRelease, side Side) ([]float64, error) {
+	return query.MarginalCountsInto(dst, c, side)
+}
+
+// TopKScratch holds TopKGroupsInto's reusable ranking buffers; the zero
+// value is ready to use.
+type TopKScratch = query.TopKScratch
+
+// TopKGroupsInto is TopKGroups ranking through the caller's scratch;
+// the returned slice is valid until the scratch's next use.
+func TopKGroupsInto(s *TopKScratch, c CellRelease, side Side, k int) ([]int, error) {
+	return query.TopKGroupsInto(s, c, side, k)
+}
+
 // Serving API — the long-lived, budget-accounted, multi-tenant layer
 // over the release engine (internal/serve; cmd/gdpserve is the server
 // binary).
@@ -302,6 +318,10 @@ type (
 	// LevelView is a session's served answer for one level: noisy count
 	// plus noisy cell histogram.
 	LevelView = serve.LevelView
+	// ServeCacheStats reports a dataset's response-cache counters
+	// (Dataset.CacheStats): hits replay prior answers without debiting
+	// the ledger.
+	ServeCacheStats = serve.CacheStats
 )
 
 // OpenRegistry opens an empty serving registry. Datasets are added with
