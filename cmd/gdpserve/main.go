@@ -74,6 +74,10 @@ func parseArgs(args []string) (cfg repro.ServeConfig, hopts repro.ServeHandlerOp
 		maxUpload  = fs.Int64("max-upload-bytes", 0, "cap on one ingest upload body spooled to temp disk (0 = 1 GiB default, negative = unlimited)")
 		maxSess    = fs.Int("max-sessions", 0, "cap on concurrently open session handles (0 = 1024 default, negative = unlimited)")
 		maxCache   = fs.Int("max-cache-entries", 0, "per-dataset response-cache capacity; replayed (stream, seq, query) keys serve their prior answer without re-debiting the ledger (0 = 1024 default, negative = disable caching)")
+		ledgerDir  = fs.String("ledger-dir", "", "directory for durable per-dataset privacy ledgers (WAL + snapshot); restarts replay spent budget so exhausted datasets stay exhausted (empty = in-memory ledgers, forgotten on exit)")
+		fsync      = fs.String("fsync", "always", "durable-ledger fsync policy: always (sync before every admitted spend), interval, or off")
+		fsyncEvery = fs.Duration("fsync-interval", 0, "max unsynced window under -fsync interval (0 = 100ms default)")
+		snapEvery  = fs.Int("snapshot-every", 0, "compact each ledger WAL into a snapshot after this many records (0 = 1024 default, negative = never compact)")
 	)
 	fs.Var(preloadFlag{&loads}, "dataset", "preload a dataset as name=path (repeatable; TSV or binary, sniffed)")
 	if err := fs.Parse(args); err != nil {
@@ -91,13 +95,17 @@ func parseArgs(args []string) (cfg repro.ServeConfig, hopts repro.ServeHandlerOp
 		Budget: repro.Params{Epsilon: *eps, Delta: *delta},
 		// A zero PerQuery (neither flag set) selects the Budget/64
 		// serving default in OpenRegistry.
-		PerQuery:        repro.Params{Epsilon: *queryEps, Delta: *queryDelta},
-		Rounds:          *rounds,
-		Phase1Epsilon:   *phase1,
-		Seed:            resolvedSeed,
-		Workers:         *workers,
-		IngestLanes:     *lanes,
-		MaxCacheEntries: *maxCache,
+		PerQuery:            repro.Params{Epsilon: *queryEps, Delta: *queryDelta},
+		Rounds:              *rounds,
+		Phase1Epsilon:       *phase1,
+		Seed:                resolvedSeed,
+		Workers:             *workers,
+		IngestLanes:         *lanes,
+		MaxCacheEntries:     *maxCache,
+		LedgerDir:           *ledgerDir,
+		LedgerFsync:         repro.LedgerFsyncPolicy(*fsync),
+		LedgerFsyncInterval: *fsyncEvery,
+		LedgerSnapshotEvery: *snapEvery,
 	}
 	hopts = repro.ServeHandlerOptions{
 		AllowPathIngest: *pathIngest,
@@ -133,7 +141,12 @@ func run(ctx context.Context, args []string, started func(addr string)) error {
 	if err != nil {
 		return err
 	}
-	defer reg.Close()
+	// Close flushes and syncs every durable ledger WAL — the graceful
+	// path that makes interval/off fsync policies safe across clean
+	// shutdowns. Its error must reach the operator: a spend the WAL
+	// could not persist is a budget that will under-report on restart.
+	closeReg := func() error { return reg.Close() }
+	defer func() { _ = closeReg() }()
 
 	for _, l := range loads {
 		if err := ingestFile(reg, l.name, l.path); err != nil {
@@ -166,7 +179,7 @@ func run(ctx context.Context, args []string, started func(addr string)) error {
 		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 			return err
 		}
-		return nil
+		return closeReg()
 	}
 }
 

@@ -37,6 +37,45 @@ type Op struct {
 	Cost dp.Params
 }
 
+// Ledger is the privacy-expenditure accounting contract: a fixed total
+// (ε, δ) budget debited under basic sequential composition, with an
+// auditable admission-ordered trail. Spend and SpendBytes either admit
+// an operation in full or reject it with ErrBudgetExceeded (or, for
+// durable implementations, an I/O failure) having changed nothing — the
+// caller must not release any noisy bytes for an op that was not
+// admitted. Implementations are safe for concurrent use.
+//
+// MemLedger is the in-memory implementation (process lifetime only);
+// DurableLedger persists every admission to an append-only WAL before
+// reporting it admitted, so spends survive crashes and restarts. A
+// future consensus-backed implementation can share budgets across
+// replicas behind the same interface.
+type Ledger interface {
+	// Budget returns the configured total.
+	Budget() dp.Params
+	// Spend admits an operation or returns ErrBudgetExceeded (spending
+	// nothing) if it would exceed the total budget.
+	Spend(label string, cost dp.Params) error
+	// SpendBytes is Spend with the label passed as reusable bytes — the
+	// zero-alloc form for hot paths. The bytes are copied before return.
+	SpendBytes(label []byte, cost dp.Params) error
+	// Spent returns the basic-composition total of admitted operations.
+	Spent() dp.Params
+	// Remaining returns the budget left, clamped at zero per component.
+	Remaining() dp.Params
+	// OpCount returns the number of admitted operations.
+	OpCount() int
+	// Ops returns a copy of the audit trail in admission order.
+	Ops() []Op
+	// AuditReport renders the trail as a human-readable string.
+	AuditReport() string
+}
+
+var (
+	_ Ledger = (*MemLedger)(nil)
+	_ Ledger = (*DurableLedger)(nil)
+)
+
 // opRec is the internal audit-trail entry: the label lives as a span of
 // the ledger's shared label arena instead of an individual string, so
 // admitting an op costs no per-op string allocation — the serving hot
@@ -49,10 +88,12 @@ type opRec struct {
 	cost     dp.Params
 }
 
-// Ledger tracks expenditures against a fixed total budget under basic
-// (sequential) composition. It is safe for concurrent use: pipeline phases
-// may spend from worker goroutines.
-type Ledger struct {
+// MemLedger tracks expenditures against a fixed total budget under basic
+// (sequential) composition, in memory only: state does not survive the
+// process (use DurableLedger where spends must outlive a restart). It is
+// safe for concurrent use: pipeline phases may spend from worker
+// goroutines.
+type MemLedger struct {
 	mu     sync.Mutex
 	budget dp.Params
 	ops    []opRec
@@ -61,22 +102,22 @@ type Ledger struct {
 	delta  float64
 }
 
-// NewLedger returns a ledger with the given total budget.
-func NewLedger(budget dp.Params) (*Ledger, error) {
+// NewLedger returns an in-memory ledger with the given total budget.
+func NewLedger(budget dp.Params) (*MemLedger, error) {
 	if err := budget.Validate(); err != nil {
 		return nil, err
 	}
-	return &Ledger{budget: budget}, nil
+	return &MemLedger{budget: budget}, nil
 }
 
 // Budget returns the configured total.
-func (l *Ledger) Budget() dp.Params { return l.budget }
+func (l *MemLedger) Budget() dp.Params { return l.budget }
 
 // Spend admits an operation with the given cost, or returns
 // ErrBudgetExceeded (spending nothing) if basic composition of all admitted
 // operations would exceed the total budget. A tiny relative tolerance
 // absorbs floating-point drift so that n spends of total/n always fit.
-func (l *Ledger) Spend(label string, cost dp.Params) error {
+func (l *MemLedger) Spend(label string, cost dp.Params) error {
 	// The string→[]byte conversion allocates, which is fine off the hot
 	// path; per-query spenders assemble bytes and call SpendBytes.
 	return l.SpendBytes([]byte(label), cost)
@@ -86,37 +127,47 @@ func (l *Ledger) Spend(label string, cost dp.Params) error {
 // form for hot paths that assemble labels in a reusable scratch buffer.
 // The bytes are copied into the ledger's arena before returning; the
 // caller may reuse label immediately.
-func (l *Ledger) SpendBytes(label []byte, cost dp.Params) error {
+func (l *MemLedger) SpendBytes(label []byte, cost dp.Params) error {
 	if err := cost.Validate(); err != nil {
 		return err
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if err := l.admit(len(label), cost); err != nil {
+	if err := l.check(cost); err != nil {
 		return fmt.Errorf("%w (label %q)", err, label)
 	}
-	l.arena = append(l.arena, label...)
+	l.commit(label, cost)
 	return nil
 }
 
-// admit checks the budget and, on success, records the op with a label
-// span of labelLen bytes that the caller appends to the arena next.
-// Callers hold l.mu.
-func (l *Ledger) admit(labelLen int, cost dp.Params) error {
+// check reports whether the budget can admit cost, mutating nothing —
+// the durable ledger relies on that, logging the op between check and
+// commit. Only a RELATIVE tolerance absorbs floating-point drift (so n
+// spends of total/n always fit); there is deliberately no absolute
+// slack, because a strictly zero-delta budget is a pure-ε guarantee and
+// must reject ANY op with Delta > 0, however tiny. Callers hold l.mu.
+func (l *MemLedger) check(cost dp.Params) error {
 	const tol = 1e-9
 	if l.eps+cost.Epsilon > l.budget.Epsilon*(1+tol) ||
-		l.delta+cost.Delta > l.budget.Delta*(1+tol)+tol*1e-9 {
+		l.delta+cost.Delta > l.budget.Delta*(1+tol) {
 		return fmt.Errorf("%w: spent %s + requested %s > budget %s",
 			ErrBudgetExceeded, dp.Params{Epsilon: l.eps, Delta: l.delta}, cost, l.budget)
 	}
-	l.eps += cost.Epsilon
-	l.delta += cost.Delta
-	l.ops = append(l.ops, opRec{labelOff: len(l.arena), labelLen: labelLen, cost: cost})
 	return nil
 }
 
+// commit records a checked op. Callers hold l.mu and have ensured
+// check(cost) passed (replay of a durable trail recommits historical
+// ops without rechecking — their admission is already fact).
+func (l *MemLedger) commit(label []byte, cost dp.Params) {
+	l.eps += cost.Epsilon
+	l.delta += cost.Delta
+	l.ops = append(l.ops, opRec{labelOff: len(l.arena), labelLen: len(label), cost: cost})
+	l.arena = append(l.arena, label...)
+}
+
 // Spent returns the basic-composition total of admitted operations.
-func (l *Ledger) Spent() dp.Params {
+func (l *MemLedger) Spent() dp.Params {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return dp.Params{Epsilon: l.eps, Delta: l.delta}
@@ -124,7 +175,7 @@ func (l *Ledger) Spent() dp.Params {
 
 // Remaining returns the budget left under basic composition. Components
 // are clamped at zero.
-func (l *Ledger) Remaining() dp.Params {
+func (l *MemLedger) Remaining() dp.Params {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return dp.Params{
@@ -137,7 +188,7 @@ func (l *Ledger) Remaining() dp.Params {
 // materializing the audit trail (Ops allocates one label string per op;
 // callers that only need the count — status endpoints polled in a loop —
 // should use this).
-func (l *Ledger) OpCount() int {
+func (l *MemLedger) OpCount() int {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return len(l.ops)
@@ -146,7 +197,7 @@ func (l *Ledger) OpCount() int {
 // Ops returns a copy of the audit trail in admission order. The Op
 // labels are materialized from the arena here, at audit time, rather
 // than allocated per admission.
-func (l *Ledger) Ops() []Op {
+func (l *MemLedger) Ops() []Op {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	out := make([]Op, len(l.ops))
@@ -161,7 +212,7 @@ func (l *Ledger) Ops() []Op {
 }
 
 // AuditReport renders the trail as a human-readable multi-line string.
-func (l *Ledger) AuditReport() string {
+func (l *MemLedger) AuditReport() string {
 	ops := l.Ops()
 	spent := l.Spent()
 	var b strings.Builder

@@ -1,0 +1,624 @@
+// DurableLedger: crash-correct privacy accounting.
+//
+// DP spend is permanent by definition, so the ledger is the one piece
+// of serving state that must outlive the process: an in-memory ledger
+// that forgets its debits on restart silently re-arms exhausted budgets
+// — a privacy violation, not an ops gap. DurableLedger writes every
+// operation to an append-only write-ahead log and (under FsyncAlways)
+// fsyncs it BEFORE the spend is admitted, so no caller ever releases
+// noisy bytes for an op that is not durably logged. Reopening the same
+// path replays the log: spent budget stays spent, the audit trail is
+// bit-identical, and an exhausted ledger reopens exhausted.
+//
+// Failure semantics are strictly fail-closed. If a WAL write or fsync
+// fails, the spend is NOT admitted, the in-memory state is untouched,
+// and the ledger latches the failure: every subsequent spend returns
+// ErrLedgerFailed until the ledger is reopened (a failed write may have
+// left a torn record on disk; appending more records after it would put
+// durable spends beyond a tear that replay must truncate at). Replay
+// tolerates exactly one torn tail — the prefix up to the first frame
+// that fails its checksum is the ledger, the tail is discarded and the
+// file truncated — while structural corruption (sequence gaps, foreign
+// magic, an unreadable snapshot) refuses to open at all.
+//
+// Every SnapshotEvery WAL records the ledger compacts: the full op
+// trail is written to <path>.snap (temp file + fsync + atomic rename +
+// directory fsync) and the WAL is reset to just its header. A crash
+// between the rename and the WAL reset leaves both files describing an
+// overlapping history; replay skips WAL records at or below the
+// snapshot's sequence number.
+//
+// All file writes go through the WriteSyncer seam so tests can fail any
+// write or fsync and assert the fail-closed contract.
+package accountant
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/dp"
+)
+
+// Errors returned by the durable ledger.
+var (
+	// ErrLedgerClosed is returned by spends after Close: a closed ledger
+	// fails closed rather than admitting unlogged spends.
+	ErrLedgerClosed = errors.New("accountant: durable ledger is closed")
+	// ErrLedgerFailed is the latched state after a WAL write or fsync
+	// failure: no further spends are admitted until the ledger is
+	// reopened (which replays the durable prefix).
+	ErrLedgerFailed = errors.New("accountant: durable ledger write failed; ledger is latched closed, reopen to recover")
+	// ErrLedgerCorrupt marks structural corruption replay cannot repair
+	// by truncating a torn tail: sequence gaps, foreign file magic, an
+	// invalid snapshot.
+	ErrLedgerCorrupt = errors.New("accountant: ledger file corrupt")
+	// ErrBudgetMismatch refuses to reopen a ledger under a different
+	// total budget than it was created with — raising the budget of a
+	// partially spent ledger would mint privacy out of thin air.
+	ErrBudgetMismatch = errors.New("accountant: ledger file was created with a different budget")
+	// ErrLedgerLocked reports that another live process holds the WAL.
+	ErrLedgerLocked = errors.New("accountant: ledger file is locked by another process")
+)
+
+// FsyncPolicy selects when the WAL reaches stable storage.
+type FsyncPolicy string
+
+const (
+	// FsyncAlways syncs every record before its spend is admitted: a
+	// reported admission is durable even across power loss. The default.
+	FsyncAlways FsyncPolicy = "always"
+	// FsyncInterval syncs at most every FsyncInterval of wall time:
+	// admissions inside the window may be lost to a crash (the reopened
+	// ledger then under-counts spend — it never over-counts).
+	FsyncInterval FsyncPolicy = "interval"
+	// FsyncOff never syncs except on Close; durability degrades to
+	// whatever the OS page cache survives.
+	FsyncOff FsyncPolicy = "off"
+)
+
+// ParseFsyncPolicy resolves a policy name; "" selects FsyncAlways.
+func ParseFsyncPolicy(s string) (FsyncPolicy, error) {
+	switch FsyncPolicy(s) {
+	case "":
+		return FsyncAlways, nil
+	case FsyncAlways, FsyncInterval, FsyncOff:
+		return FsyncPolicy(s), nil
+	}
+	return "", fmt.Errorf("accountant: unknown fsync policy %q (want %q, %q or %q)",
+		s, FsyncAlways, FsyncInterval, FsyncOff)
+}
+
+// WriteSyncer is the durable ledger's file-write seam: *os.File in
+// production, a fault injector in tests.
+type WriteSyncer interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// Durability defaults.
+const (
+	DefaultFsyncInterval = 100 * time.Millisecond
+	DefaultSnapshotEvery = 1024
+)
+
+// DurableOptions configures OpenDurableLedger. The zero value selects
+// FsyncAlways, the default snapshot cadence, and real files.
+type DurableOptions struct {
+	// Fsync is the WAL sync policy; "" selects FsyncAlways.
+	Fsync FsyncPolicy
+	// FsyncInterval bounds the unsynced window under FsyncInterval
+	// (default DefaultFsyncInterval).
+	FsyncInterval time.Duration
+	// SnapshotEvery compacts the WAL after this many records (0 selects
+	// DefaultSnapshotEvery; negative disables compaction).
+	SnapshotEvery int
+	// OpenWriter opens a path for appending — the fault-injection seam.
+	// nil uses os.OpenFile(O_WRONLY|O_APPEND|O_CREATE). Replay reads
+	// and the flock are NOT routed through it: injected faults hit
+	// writes and syncs, exactly the failures the ledger must fail
+	// closed on.
+	OpenWriter func(path string) (WriteSyncer, error)
+}
+
+func (o DurableOptions) withDefaults() (DurableOptions, error) {
+	p, err := ParseFsyncPolicy(string(o.Fsync))
+	if err != nil {
+		return DurableOptions{}, err
+	}
+	o.Fsync = p
+	if o.FsyncInterval <= 0 {
+		o.FsyncInterval = DefaultFsyncInterval
+	}
+	if o.SnapshotEvery == 0 {
+		o.SnapshotEvery = DefaultSnapshotEvery
+	}
+	if o.OpenWriter == nil {
+		o.OpenWriter = func(path string) (WriteSyncer, error) {
+			return os.OpenFile(path, os.O_WRONLY|os.O_APPEND|os.O_CREATE, 0o644)
+		}
+	}
+	return o, nil
+}
+
+// DurableStatus reports a durable ledger's backing state — the audit
+// surface's durability panel.
+type DurableStatus struct {
+	Path   string `json:"path"`
+	Policy string `json:"policy"`
+	// WALRecords / WALBytes describe the live WAL segment (records
+	// since the last snapshot; bytes include the header).
+	WALRecords int   `json:"wal_records"`
+	WALBytes   int64 `json:"wal_bytes"`
+	// SnapshotOps is the op count captured in the snapshot file.
+	SnapshotOps int `json:"snapshot_ops"`
+	// ReplayedOps is how many ops the last open restored from disk.
+	ReplayedOps int `json:"replayed_ops"`
+	// Compactions counts snapshot+truncate cycles this ledger ran.
+	Compactions int `json:"compactions"`
+	// Unsynced counts records written since the last fsync (always 0
+	// under FsyncAlways) — the worst-case admission loss of a crash now.
+	Unsynced int  `json:"unsynced"`
+	Closed   bool `json:"closed"`
+	// Err is the latched failure, "" while healthy.
+	Err string `json:"error,omitempty"`
+}
+
+// DurableLedger is the WAL+snapshot-backed Ledger implementation. The
+// in-memory MemLedger state is the cache; the log is the truth.
+type DurableLedger struct {
+	path     string
+	snapPath string
+	opts     DurableOptions
+
+	// mem holds the replayed/admitted state; its mutex also guards every
+	// field below (one lock keeps the check→log→commit sequence atomic).
+	mem         MemLedger
+	w           WriteSyncer
+	lockF       *os.File // flock holder; also the replay read handle
+	scratch     []byte   // payload assembly buffer
+	buf         []byte   // frame assembly buffer
+	walRecords  int
+	walBytes    int64
+	snapOps     int
+	replayed    int
+	compactions int
+	unsynced    int
+	lastSync    time.Time
+	failed      error
+	closed      bool
+}
+
+// OpenDurableLedger opens (creating if absent) the WAL at path and
+// replays it, together with its snapshot at path+".snap", into a live
+// ledger with the given total budget. A reopened ledger resumes exactly
+// where the durable prefix left off: Spent, OpCount and Ops reproduce
+// the prior process's admitted history, and an exhausted budget stays
+// exhausted. Reopening under a different budget fails with
+// ErrBudgetMismatch. The file is flock'd for the ledger's lifetime; a
+// second live process gets ErrLedgerLocked.
+func OpenDurableLedger(budget dp.Params, path string, opts DurableOptions) (*DurableLedger, error) {
+	if err := budget.Validate(); err != nil {
+		return nil, err
+	}
+	opts, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	d := &DurableLedger{
+		path:     path,
+		snapPath: path + ".snap",
+		opts:     opts,
+		mem:      MemLedger{budget: budget},
+	}
+
+	// The WAL file itself carries the inter-process lock, held for the
+	// ledger's lifetime through a dedicated read handle.
+	lockF, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("accountant: opening ledger %s: %w", path, err)
+	}
+	if err := lockLedgerFile(lockF); err != nil {
+		lockF.Close()
+		return nil, fmt.Errorf("%w: %s", err, path)
+	}
+	d.lockF = lockF
+
+	fail := func(err error) (*DurableLedger, error) {
+		lockF.Close()
+		return nil, err
+	}
+
+	// Snapshot first: it is the compacted history the WAL appends to.
+	if snap, err := os.ReadFile(d.snapPath); err == nil {
+		if err := d.loadSnapshot(snap); err != nil {
+			return fail(err)
+		}
+	} else if !errors.Is(err, fs.ErrNotExist) {
+		return fail(fmt.Errorf("accountant: reading snapshot %s: %w", d.snapPath, err))
+	}
+	d.snapOps = len(d.mem.ops)
+
+	// Replay the WAL's valid prefix and truncate any torn tail so the
+	// append writer starts at a clean record boundary.
+	data, err := io.ReadAll(lockF)
+	if err != nil {
+		return fail(fmt.Errorf("accountant: reading ledger %s: %w", path, err))
+	}
+	validLen, err := d.replayWAL(data)
+	if err != nil {
+		return fail(err)
+	}
+	if validLen < int64(len(data)) {
+		if err := lockF.Truncate(validLen); err != nil {
+			return fail(fmt.Errorf("accountant: truncating torn ledger tail %s: %w", path, err))
+		}
+	}
+	d.replayed = len(d.mem.ops)
+	d.walBytes = validLen
+
+	d.w, err = opts.OpenWriter(path)
+	if err != nil {
+		return fail(fmt.Errorf("accountant: opening ledger writer %s: %w", path, err))
+	}
+	d.lastSync = time.Now()
+	if validLen == 0 {
+		if err := d.writeWALHeader(); err != nil {
+			d.w.Close()
+			return fail(fmt.Errorf("accountant: writing ledger header %s: %w", path, err))
+		}
+	}
+	return d, nil
+}
+
+// loadSnapshot applies a snapshot file. Snapshots are written atomically
+// (temp + rename), so unlike the WAL they get no torn-tail tolerance:
+// anything short of a fully valid file is ErrLedgerCorrupt — silently
+// ignoring a bad snapshot would re-arm every budget it recorded.
+func (d *DurableLedger) loadSnapshot(data []byte) error {
+	corrupt := func(what string) error {
+		return fmt.Errorf("%w: snapshot %s: %s", ErrLedgerCorrupt, d.snapPath, what)
+	}
+	if len(data) < len(snapMagic) || string(data[:len(snapMagic)]) != snapMagic {
+		return corrupt("bad magic")
+	}
+	off := len(snapMagic)
+	payload, n, ok := nextFrame(data[off:])
+	if !ok {
+		return corrupt("bad header frame")
+	}
+	hdr, ok := parseHeaderPayload(payload, true)
+	if !ok || hdr.version != ledgerVersion {
+		return corrupt("bad header record")
+	}
+	if hdr.budget != d.mem.budget {
+		return fmt.Errorf("%w: snapshot %s has budget %s, configured %s",
+			ErrBudgetMismatch, d.snapPath, hdr.budget, d.mem.budget)
+	}
+	off += n
+	for i := uint64(0); i < hdr.opCount; i++ {
+		payload, n, ok := nextFrame(data[off:])
+		if !ok {
+			return corrupt(fmt.Sprintf("op frame %d torn or missing", i+1))
+		}
+		op, ok := parseOpPayload(payload)
+		if !ok || op.seq != i+1 || op.cost.Validate() != nil {
+			return corrupt(fmt.Sprintf("op record %d invalid", i+1))
+		}
+		d.mem.commit(op.label, op.cost)
+		off += n
+	}
+	if off != len(data) {
+		return corrupt("trailing bytes after final op")
+	}
+	return nil
+}
+
+// replayWAL applies the WAL's valid prefix on top of the snapshot state
+// and returns its byte length. Records at or below the snapshot's last
+// sequence number are skipped (the compaction-crash overlap); the first
+// torn frame ends the prefix; a sequence gap is structural corruption.
+func (d *DurableLedger) replayWAL(data []byte) (int64, error) {
+	if len(data) < len(walMagic) {
+		// Empty or mid-creation: treat as fresh. Ops cannot exist past a
+		// header that was never fully written.
+		return 0, nil
+	}
+	if string(data[:len(walMagic)]) != walMagic {
+		return 0, fmt.Errorf("%w: %s: bad WAL magic", ErrLedgerCorrupt, d.path)
+	}
+	off := len(walMagic)
+	payload, n, ok := nextFrame(data[off:])
+	if !ok {
+		return 0, nil // torn header: same mid-creation case
+	}
+	hdr, ok := parseHeaderPayload(payload, false)
+	if !ok || hdr.version != ledgerVersion {
+		return 0, fmt.Errorf("%w: %s: bad WAL header", ErrLedgerCorrupt, d.path)
+	}
+	if hdr.budget != d.mem.budget {
+		return 0, fmt.Errorf("%w: %s has budget %s, configured %s",
+			ErrBudgetMismatch, d.path, hdr.budget, d.mem.budget)
+	}
+	off += n
+	for off < len(data) {
+		payload, n, ok := nextFrame(data[off:])
+		if !ok {
+			break // torn tail: the prefix is the ledger
+		}
+		op, ok := parseOpPayload(payload)
+		if !ok {
+			break // torn/garbage payload that still checksummed? impossible, but fail safe
+		}
+		next := uint64(len(d.mem.ops)) + 1
+		switch {
+		case op.seq < next:
+			// Overlap with the snapshot (crash between snapshot rename
+			// and WAL reset): already applied, skip.
+		case op.seq == next:
+			if op.cost.Validate() != nil {
+				return 0, fmt.Errorf("%w: %s: op %d has invalid cost", ErrLedgerCorrupt, d.path, op.seq)
+			}
+			d.mem.commit(op.label, op.cost)
+			d.walRecords++
+		default:
+			return 0, fmt.Errorf("%w: %s: op sequence gap (have %d ops, next record is %d)",
+				ErrLedgerCorrupt, d.path, next-1, op.seq)
+		}
+		off += n
+	}
+	return int64(off), nil
+}
+
+// writeWALHeader writes magic+header to a fresh WAL through the seam.
+// Callers hold the lock (or are in Open, pre-publication).
+func (d *DurableLedger) writeWALHeader() error {
+	d.scratch = appendHeaderPayload(d.scratch[:0], d.mem.budget, 0, false)
+	d.buf = append(d.buf[:0], walMagic...)
+	d.buf = frame(d.buf, d.scratch)
+	if _, err := d.w.Write(d.buf); err != nil {
+		return err
+	}
+	d.walBytes = int64(len(d.buf))
+	d.walRecords = 0
+	if d.opts.Fsync != FsyncOff {
+		if err := d.w.Sync(); err != nil {
+			return err
+		}
+		d.lastSync = time.Now()
+	}
+	return nil
+}
+
+// Spend implements Ledger.
+func (d *DurableLedger) Spend(label string, cost dp.Params) error {
+	return d.SpendBytes([]byte(label), cost)
+}
+
+// SpendBytes implements Ledger: check the budget, log the op, make it
+// durable per the fsync policy, and only then admit it. Any logging
+// failure latches the ledger (see the package comment) and admits
+// nothing.
+func (d *DurableLedger) SpendBytes(label []byte, cost dp.Params) error {
+	if err := cost.Validate(); err != nil {
+		return err
+	}
+	l := &d.mem
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if d.failed != nil {
+		return fmt.Errorf("%w (label %q)", d.failed, label)
+	}
+	if err := l.check(cost); err != nil {
+		return fmt.Errorf("%w (label %q)", err, label)
+	}
+	// Compact BEFORE appending the new record: a compaction failure then
+	// cleanly aborts this spend instead of leaving an already-admitted
+	// op entangled with a half-reset WAL.
+	if d.opts.SnapshotEvery > 0 && d.walRecords >= d.opts.SnapshotEvery {
+		if err := d.compactLocked(); err != nil {
+			d.failed = fmt.Errorf("%w: compaction: %v", ErrLedgerFailed, err)
+			return fmt.Errorf("%w (label %q)", d.failed, label)
+		}
+	}
+	seq := uint64(len(l.ops)) + 1
+	d.buf, d.scratch = appendOpFrame(d.buf[:0], d.scratch, seq, cost, label)
+	if err := d.logLocked(d.buf); err != nil {
+		d.failed = fmt.Errorf("%w: op %d: %v", ErrLedgerFailed, seq, err)
+		return fmt.Errorf("%w (label %q)", d.failed, label)
+	}
+	l.commit(label, cost)
+	d.walRecords++
+	d.walBytes += int64(len(d.buf))
+	return nil
+}
+
+// logLocked appends one frame and applies the fsync policy.
+func (d *DurableLedger) logLocked(frame []byte) error {
+	if _, err := d.w.Write(frame); err != nil {
+		return err
+	}
+	switch d.opts.Fsync {
+	case FsyncAlways:
+		if err := d.w.Sync(); err != nil {
+			return err
+		}
+		d.unsynced = 0
+		d.lastSync = time.Now()
+	case FsyncInterval:
+		d.unsynced++
+		if time.Since(d.lastSync) >= d.opts.FsyncInterval {
+			if err := d.w.Sync(); err != nil {
+				return err
+			}
+			d.unsynced = 0
+			d.lastSync = time.Now()
+		}
+	case FsyncOff:
+		d.unsynced++
+	}
+	return nil
+}
+
+// compactLocked snapshots the full trail and resets the WAL: temp file,
+// fsync, atomic rename, directory fsync, then truncate+re-head the WAL.
+// Callers hold the lock.
+func (d *DurableLedger) compactLocked() error {
+	l := &d.mem
+	tmp := d.snapPath + ".tmp"
+	_ = os.Remove(tmp)
+	w, err := d.opts.OpenWriter(tmp)
+	if err != nil {
+		return fmt.Errorf("opening %s: %w", tmp, err)
+	}
+	// Assemble the whole snapshot and write it in one call; snapshots
+	// run every SnapshotEvery spends, so an O(ops) buffer here is cheap.
+	buf := append([]byte(nil), snapMagic...)
+	d.scratch = appendHeaderPayload(d.scratch[:0], l.budget, uint64(len(l.ops)), true)
+	buf = frame(buf, d.scratch)
+	for i, rec := range l.ops {
+		label := l.arena[rec.labelOff : rec.labelOff+rec.labelLen]
+		d.scratch = appendOpPayload(d.scratch[:0], uint64(i)+1, rec.cost, label)
+		buf = frame(buf, d.scratch)
+	}
+	if _, err := w.Write(buf); err != nil {
+		w.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("writing %s: %w", tmp, err)
+	}
+	if err := w.Sync(); err != nil {
+		w.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("syncing %s: %w", tmp, err)
+	}
+	if err := w.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("closing %s: %w", tmp, err)
+	}
+	if err := os.Rename(tmp, d.snapPath); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("publishing snapshot: %w", err)
+	}
+	syncDir(filepath.Dir(d.snapPath))
+
+	// The snapshot now owns the history; reset the WAL to a bare header.
+	// From here on a failure latches the ledger (the WAL is mid-surgery),
+	// but the snapshot already holds every admitted op — reopening loses
+	// nothing.
+	if err := d.w.Close(); err != nil {
+		return fmt.Errorf("closing WAL for reset: %w", err)
+	}
+	if err := d.lockF.Truncate(0); err != nil {
+		return fmt.Errorf("truncating WAL: %w", err)
+	}
+	if d.w, err = d.opts.OpenWriter(d.path); err != nil {
+		return fmt.Errorf("reopening WAL: %w", err)
+	}
+	if err := d.writeWALHeader(); err != nil {
+		return fmt.Errorf("rewriting WAL header: %w", err)
+	}
+	d.snapOps = len(l.ops)
+	d.compactions++
+	d.unsynced = 0
+	return nil
+}
+
+// syncDir fsyncs a directory so a just-renamed file's dirent is durable.
+// Best effort: some filesystems refuse directory fsync.
+func syncDir(dir string) {
+	if f, err := os.Open(dir); err == nil {
+		_ = f.Sync()
+		f.Close()
+	}
+}
+
+// Sync flushes the WAL to stable storage regardless of policy.
+func (d *DurableLedger) Sync() error {
+	d.mem.mu.Lock()
+	defer d.mem.mu.Unlock()
+	if d.failed != nil {
+		return d.failed
+	}
+	if err := d.w.Sync(); err != nil {
+		d.failed = fmt.Errorf("%w: sync: %v", ErrLedgerFailed, err)
+		return d.failed
+	}
+	d.unsynced = 0
+	d.lastSync = time.Now()
+	return nil
+}
+
+// Close flushes and closes the WAL and releases the file lock. The
+// ledger fails closed afterwards: further spends return ErrLedgerClosed.
+// Close is idempotent.
+func (d *DurableLedger) Close() error {
+	d.mem.mu.Lock()
+	defer d.mem.mu.Unlock()
+	if d.closed {
+		return nil
+	}
+	d.closed = true
+	var errs []error
+	if d.w != nil {
+		// Flush even under FsyncOff/Interval: Close is the graceful-
+		// shutdown path and must leave every admitted op durable. Skip
+		// only if the ledger already latched a write failure (the tail
+		// is torn; replay will discard it).
+		if d.failed == nil {
+			if err := d.w.Sync(); err != nil {
+				errs = append(errs, fmt.Errorf("accountant: syncing ledger %s: %w", d.path, err))
+			} else {
+				d.unsynced = 0
+			}
+		}
+		if err := d.w.Close(); err != nil {
+			errs = append(errs, fmt.Errorf("accountant: closing ledger %s: %w", d.path, err))
+		}
+		d.w = nil
+	}
+	if d.lockF != nil {
+		if err := d.lockF.Close(); err != nil { // also releases the flock
+			errs = append(errs, err)
+		}
+		d.lockF = nil
+	}
+	if d.failed == nil {
+		d.failed = ErrLedgerClosed
+	}
+	return errors.Join(errs...)
+}
+
+// Status reports the ledger's durable-backing state.
+func (d *DurableLedger) Status() DurableStatus {
+	d.mem.mu.Lock()
+	defer d.mem.mu.Unlock()
+	st := DurableStatus{
+		Path:        d.path,
+		Policy:      string(d.opts.Fsync),
+		WALRecords:  d.walRecords,
+		WALBytes:    d.walBytes,
+		SnapshotOps: d.snapOps,
+		ReplayedOps: d.replayed,
+		Compactions: d.compactions,
+		Unsynced:    d.unsynced,
+		Closed:      d.closed,
+	}
+	if d.failed != nil && !errors.Is(d.failed, ErrLedgerClosed) {
+		st.Err = d.failed.Error()
+	}
+	return st
+}
+
+// Budget, Spent, Remaining, OpCount, Ops and AuditReport delegate to the
+// replayed in-memory state (reads never touch the disk).
+func (d *DurableLedger) Budget() dp.Params    { return d.mem.Budget() }
+func (d *DurableLedger) Spent() dp.Params     { return d.mem.Spent() }
+func (d *DurableLedger) Remaining() dp.Params { return d.mem.Remaining() }
+func (d *DurableLedger) OpCount() int         { return d.mem.OpCount() }
+func (d *DurableLedger) Ops() []Op            { return d.mem.Ops() }
+func (d *DurableLedger) AuditReport() string  { return d.mem.AuditReport() }

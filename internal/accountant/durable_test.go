@@ -1,0 +1,544 @@
+package accountant
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/dp"
+)
+
+// faultSyncer wraps a real file and fails the Nth write or sync — the
+// fault-injection seam's test double. failWrite may tear the record:
+// partialWrite writes a prefix of the frame before reporting failure,
+// exactly what a crashed kernel flush leaves behind.
+type faultSyncer struct {
+	f            *os.File
+	writes       int
+	syncs        int
+	failWrite    int // 1-based write call to fail; 0 = never
+	failSync     int // 1-based sync call to fail; 0 = never
+	partialWrite bool
+}
+
+func (s *faultSyncer) Write(p []byte) (int, error) {
+	s.writes++
+	if s.failWrite != 0 && s.writes >= s.failWrite {
+		if s.partialWrite && len(p) > 1 {
+			n, _ := s.f.Write(p[:len(p)/2])
+			return n, errors.New("injected partial write")
+		}
+		return 0, errors.New("injected write failure")
+	}
+	return s.f.Write(p)
+}
+
+func (s *faultSyncer) Sync() error {
+	s.syncs++
+	if s.failSync != 0 && s.syncs >= s.failSync {
+		return errors.New("injected sync failure")
+	}
+	return s.f.Sync()
+}
+
+func (s *faultSyncer) Close() error { return s.f.Close() }
+
+// openFault returns DurableOptions whose writer wraps real files in a
+// faultSyncer configured by fn (called per opened file).
+func openFault(fn func(*faultSyncer)) DurableOptions {
+	return DurableOptions{
+		OpenWriter: func(path string) (WriteSyncer, error) {
+			f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND|os.O_CREATE, 0o644)
+			if err != nil {
+				return nil, err
+			}
+			fs := &faultSyncer{f: f}
+			if fn != nil {
+				fn(fs)
+			}
+			return fs, nil
+		},
+	}
+}
+
+func mustOpen(t *testing.T, budget dp.Params, path string, opts DurableOptions) *DurableLedger {
+	t.Helper()
+	d, err := OpenDurableLedger(budget, path, opts)
+	if err != nil {
+		t.Fatalf("OpenDurableLedger(%s): %v", path, err)
+	}
+	return d
+}
+
+func TestDurableRoundTrip(t *testing.T) {
+	budget := dp.Params{Epsilon: 1, Delta: 1e-5}
+	path := filepath.Join(t.TempDir(), "ledger.wal")
+
+	d := mustOpen(t, budget, path, DurableOptions{})
+	want := []struct {
+		label string
+		cost  dp.Params
+	}{
+		{"ingest/phase1", dp.Params{Epsilon: 0.3}},
+		{"s1/q0/view/level2", dp.Params{Epsilon: 0.2, Delta: 2e-6}},
+		{"s1/q1/marginal/level1", dp.Params{Epsilon: 0.1, Delta: 1e-6}},
+	}
+	for _, op := range want {
+		if err := d.Spend(op.label, op.cost); err != nil {
+			t.Fatalf("Spend(%q): %v", op.label, err)
+		}
+	}
+	spent, ops := d.Spent(), d.Ops()
+	if err := d.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := d.Spend("after-close", dp.Params{Epsilon: 0.01}); !errors.Is(err, ErrLedgerClosed) {
+		t.Fatalf("Spend after Close: got %v, want ErrLedgerClosed", err)
+	}
+
+	re := mustOpen(t, budget, path, DurableOptions{})
+	defer re.Close()
+	if got := re.Spent(); got != spent {
+		t.Fatalf("reopened Spent = %s, want %s", got, spent)
+	}
+	if got := re.Ops(); !reflect.DeepEqual(got, ops) {
+		t.Fatalf("reopened Ops = %+v, want %+v", got, ops)
+	}
+	if st := re.Status(); st.ReplayedOps != len(want) {
+		t.Fatalf("ReplayedOps = %d, want %d", st.ReplayedOps, len(want))
+	}
+	// The replayed ledger keeps accounting against the same budget.
+	if err := re.Spend("post-restart", dp.Params{Epsilon: 0.5}); !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("over-budget spend after replay: got %v, want ErrBudgetExceeded", err)
+	}
+	if err := re.Spend("post-restart", dp.Params{Epsilon: 0.4, Delta: 1e-6}); err != nil {
+		t.Fatalf("in-budget spend after replay: %v", err)
+	}
+}
+
+func TestDurableExhaustedStaysExhausted(t *testing.T) {
+	budget := dp.Params{Epsilon: 0.1, Delta: 1e-6}
+	path := filepath.Join(t.TempDir(), "ledger.wal")
+	d := mustOpen(t, budget, path, DurableOptions{})
+	for i := 0; i < 4; i++ {
+		if err := d.Spend(fmt.Sprintf("q%d", i), dp.Params{Epsilon: 0.025, Delta: 25e-8}); err != nil {
+			t.Fatalf("spend %d: %v", i, err)
+		}
+	}
+	if err := d.Spend("q4", dp.Params{Epsilon: 0.025}); !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("drain: got %v, want ErrBudgetExceeded", err)
+	}
+	d.Close()
+
+	re := mustOpen(t, budget, path, DurableOptions{})
+	defer re.Close()
+	if err := re.Spend("q4", dp.Params{Epsilon: 0.025}); !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("reopened exhausted ledger admitted a spend: %v", err)
+	}
+}
+
+// TestDurableTornTail truncates the WAL at EVERY byte length between the
+// clean end and the end of the first op and asserts reopen never fails:
+// full frames replay, partial frames are discarded and the file repaired.
+func TestDurableTornTail(t *testing.T) {
+	budget := dp.Params{Epsilon: 1, Delta: 1e-5}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ledger.wal")
+
+	d := mustOpen(t, budget, path, DurableOptions{})
+	var sizes []int64 // file size after the header and after each op
+	st := d.Status()
+	sizes = append(sizes, st.WALBytes)
+	costs := []dp.Params{
+		{Epsilon: 0.1, Delta: 1e-6},
+		{Epsilon: 0.2, Delta: 2e-6},
+		{Epsilon: 0.15, Delta: 3e-6},
+	}
+	for i, c := range costs {
+		if err := d.Spend(fmt.Sprintf("op%d", i), c); err != nil {
+			t.Fatalf("spend %d: %v", i, err)
+		}
+		sizes = append(sizes, d.Status().WALBytes)
+	}
+	d.Close()
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(full)) != sizes[len(sizes)-1] {
+		t.Fatalf("file is %d bytes, status says %d", len(full), sizes[len(sizes)-1])
+	}
+
+	opsAfter := func(n int) dp.Params {
+		var p dp.Params
+		for _, c := range costs[:n] {
+			p.Epsilon += c.Epsilon
+			p.Delta += c.Delta
+		}
+		return p
+	}
+	for cut := sizes[0]; cut <= sizes[len(sizes)-1]; cut++ {
+		tpath := filepath.Join(dir, fmt.Sprintf("torn-%d.wal", cut))
+		if err := os.WriteFile(tpath, full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		re, err := OpenDurableLedger(budget, tpath, DurableOptions{})
+		if err != nil {
+			t.Fatalf("reopen at cut %d: %v", cut, err)
+		}
+		// The replayed prefix is the ops whose frames fully fit.
+		wantOps := 0
+		for wantOps+1 < len(sizes) && sizes[wantOps+1] <= cut {
+			wantOps++
+		}
+		if got := re.OpCount(); got != wantOps {
+			re.Close()
+			t.Fatalf("cut %d: OpCount = %d, want %d", cut, got, wantOps)
+		}
+		if got, want := re.Spent(), opsAfter(wantOps); got != want {
+			re.Close()
+			t.Fatalf("cut %d: Spent = %s, want %s", cut, got, want)
+		}
+		// The torn tail must be gone: the next spend appends at a clean
+		// boundary and survives another reopen.
+		if err := re.Spend("after-tear", dp.Params{Epsilon: 0.01}); err != nil {
+			re.Close()
+			t.Fatalf("cut %d: spend after repair: %v", cut, err)
+		}
+		spent := re.Spent()
+		re.Close()
+		re2, err := OpenDurableLedger(budget, tpath, DurableOptions{})
+		if err != nil {
+			t.Fatalf("cut %d: second reopen: %v", cut, err)
+		}
+		if got := re2.Spent(); got != spent {
+			t.Fatalf("cut %d: post-repair Spent = %s, want %s", cut, got, spent)
+		}
+		re2.Close()
+	}
+}
+
+// TestDurableFailClosed injects a failure into every write and sync call
+// number in turn and asserts the contract at each kill point: the failed
+// spend is not admitted, the failure latches, and the reopened ledger's
+// spent is exactly the admitted prefix — never more than the client saw
+// admitted, never more than the budget.
+func TestDurableFailClosed(t *testing.T) {
+	budget := dp.Params{Epsilon: 1, Delta: 1e-5}
+	cost := dp.Params{Epsilon: 0.05, Delta: 1e-7}
+	const spends = 8
+
+	run := func(t *testing.T, arm func(*faultSyncer), partial bool) {
+		dir := t.TempDir()
+		path := filepath.Join(dir, "ledger.wal")
+		opts := openFault(func(fs *faultSyncer) {
+			fs.partialWrite = partial
+			arm(fs)
+		})
+		d := mustOpen(t, budget, path, opts)
+		admitted := 0
+		var failedAt error
+		for i := 0; i < spends; i++ {
+			err := d.Spend(fmt.Sprintf("q%d", i), cost)
+			if err == nil {
+				admitted++
+				continue
+			}
+			failedAt = err
+			break
+		}
+		if failedAt != nil {
+			if !errors.Is(failedAt, ErrLedgerFailed) {
+				t.Fatalf("injected fault surfaced as %v, want ErrLedgerFailed", failedAt)
+			}
+			// The failure latches: nothing is admitted afterwards.
+			if err := d.Spend("after-fault", cost); !errors.Is(err, ErrLedgerFailed) {
+				t.Fatalf("spend after latched failure: got %v, want ErrLedgerFailed", err)
+			}
+			if st := d.Status(); st.Err == "" {
+				t.Fatal("Status.Err empty after latched failure")
+			}
+		}
+		// Accumulate like the ledger does (repeated addition), so the
+		// float rounding matches exactly.
+		var wantSpent dp.Params
+		for i := 0; i < admitted; i++ {
+			wantSpent.Epsilon += cost.Epsilon
+			wantSpent.Delta += cost.Delta
+		}
+		if got := d.Spent(); got != wantSpent {
+			t.Fatalf("Spent after fault = %s, want %s (%d admitted)", got, wantSpent, admitted)
+		}
+		d.Close()
+
+		re := mustOpen(t, budget, path, DurableOptions{})
+		defer re.Close()
+		got := re.Spent()
+		// The reopened trail must cover every admission the client saw
+		// (FsyncAlways: durable before admitted) without inventing spend
+		// beyond the budget.
+		if got.Epsilon < wantSpent.Epsilon || got.Delta < wantSpent.Delta {
+			t.Fatalf("reopened Spent %s < client-observed admitted %s", got, wantSpent)
+		}
+		if got.Epsilon > budget.Epsilon || got.Delta > budget.Delta {
+			t.Fatalf("reopened Spent %s exceeds budget %s", got, budget)
+		}
+		// At most the one in-flight (torn) op beyond the admitted set.
+		if n := re.OpCount(); n != admitted && n != admitted+1 {
+			t.Fatalf("reopened OpCount = %d, want %d or %d", n, admitted, admitted+1)
+		}
+	}
+
+	// Write call 1 is the WAL header; arm faults from call 2 onward.
+	for w := 2; w <= spends+1; w++ {
+		for _, partial := range []bool{false, true} {
+			t.Run(fmt.Sprintf("write%d_partial=%v", w, partial), func(t *testing.T) {
+				run(t, func(fs *faultSyncer) { fs.failWrite = w }, partial)
+			})
+		}
+	}
+	for s := 2; s <= spends+1; s++ {
+		t.Run(fmt.Sprintf("sync%d", s), func(t *testing.T) {
+			run(t, func(fs *faultSyncer) { fs.failSync = s }, false)
+		})
+	}
+}
+
+func TestDurableSnapshotCompaction(t *testing.T) {
+	budget := dp.Params{Epsilon: 10, Delta: 1e-4}
+	path := filepath.Join(t.TempDir(), "ledger.wal")
+	opts := DurableOptions{SnapshotEvery: 3}
+
+	d := mustOpen(t, budget, path, opts)
+	const n = 11
+	for i := 0; i < n; i++ {
+		if err := d.Spend(fmt.Sprintf("op%d", i), dp.Params{Epsilon: 0.1, Delta: 1e-7}); err != nil {
+			t.Fatalf("spend %d: %v", i, err)
+		}
+	}
+	st := d.Status()
+	if st.Compactions == 0 {
+		t.Fatal("no compaction ran at SnapshotEvery=3 over 11 ops")
+	}
+	if st.SnapshotOps == 0 {
+		t.Fatal("snapshot holds no ops after compaction")
+	}
+	if st.WALRecords >= n {
+		t.Fatalf("WAL was never reset: %d records", st.WALRecords)
+	}
+	ops, spent := d.Ops(), d.Spent()
+	d.Close()
+
+	re := mustOpen(t, budget, path, opts)
+	defer re.Close()
+	if got := re.Spent(); got != spent {
+		t.Fatalf("reopened Spent = %s, want %s", got, spent)
+	}
+	if got := re.Ops(); !reflect.DeepEqual(got, ops) {
+		t.Fatalf("reopened Ops after compaction diverge:\n got %+v\nwant %+v", got, ops)
+	}
+}
+
+// TestDurableCompactionCrashOverlap simulates a crash between the
+// snapshot rename and the WAL reset: the snapshot and the old WAL then
+// describe overlapping history, and replay must not double-count it.
+func TestDurableCompactionCrashOverlap(t *testing.T) {
+	budget := dp.Params{Epsilon: 10, Delta: 1e-4}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ledger.wal")
+	opts := DurableOptions{SnapshotEvery: 100} // no compaction during setup
+
+	d := mustOpen(t, budget, path, opts)
+	const n = 5
+	for i := 0; i < n; i++ {
+		if err := d.Spend(fmt.Sprintf("op%d", i), dp.Params{Epsilon: 0.1, Delta: 1e-7}); err != nil {
+			t.Fatalf("spend %d: %v", i, err)
+		}
+	}
+	ops, spent := d.Ops(), d.Spent()
+	d.Close()
+	oldWAL, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Force a compaction (SnapshotEvery=1 compacts before the 6th spend),
+	// then restore the pre-compaction WAL over the reset one — the exact
+	// state a crash at the rename/reset boundary leaves behind, with the
+	// snapshot covering everything the stale WAL repeats.
+	d2 := mustOpen(t, budget, path, DurableOptions{SnapshotEvery: 1})
+	if err := d2.Spend("trigger", dp.Params{Epsilon: 0.1, Delta: 1e-7}); err != nil {
+		t.Fatalf("trigger spend: %v", err)
+	}
+	if st := d2.Status(); st.Compactions == 0 {
+		t.Fatal("setup failed: no compaction triggered")
+	}
+	d2.Close()
+	if err := os.WriteFile(path, oldWAL, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	re := mustOpen(t, budget, path, DurableOptions{})
+	defer re.Close()
+	// The snapshot holds ops 1..n (all of the stale WAL's records), so
+	// replay must skip every one of them: total ops = n, not 2n.
+	if got := re.OpCount(); got != n {
+		t.Fatalf("overlap replay OpCount = %d, want %d (double-counted)", got, n)
+	}
+	if got := re.Spent(); got != spent {
+		t.Fatalf("overlap replay Spent = %s, want %s", got, spent)
+	}
+	if got := re.Ops(); !reflect.DeepEqual(got, ops) {
+		t.Fatalf("overlap replay Ops diverge:\n got %+v\nwant %+v", got, ops)
+	}
+}
+
+func TestDurableBudgetMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ledger.wal")
+	d := mustOpen(t, dp.Params{Epsilon: 1, Delta: 1e-5}, path, DurableOptions{})
+	if err := d.Spend("op", dp.Params{Epsilon: 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	d.Close()
+	if _, err := OpenDurableLedger(dp.Params{Epsilon: 2, Delta: 1e-5}, path, DurableOptions{}); !errors.Is(err, ErrBudgetMismatch) {
+		t.Fatalf("reopen under larger budget: got %v, want ErrBudgetMismatch", err)
+	}
+}
+
+func TestDurableLocking(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ledger.wal")
+	budget := dp.Params{Epsilon: 1, Delta: 1e-5}
+	d := mustOpen(t, budget, path, DurableOptions{})
+	defer d.Close()
+	if _, err := OpenDurableLedger(budget, path, DurableOptions{}); !errors.Is(err, ErrLedgerLocked) {
+		t.Fatalf("second open of a live ledger: got %v, want ErrLedgerLocked", err)
+	}
+}
+
+func TestDurableCorruptMagic(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ledger.wal")
+	if err := os.WriteFile(path, []byte("NOTAWAL1 some junk that is long enough"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenDurableLedger(dp.Params{Epsilon: 1, Delta: 1e-5}, path, DurableOptions{}); !errors.Is(err, ErrLedgerCorrupt) {
+		t.Fatalf("foreign magic: got %v, want ErrLedgerCorrupt", err)
+	}
+}
+
+func TestDurableCorruptSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ledger.wal")
+	budget := dp.Params{Epsilon: 1, Delta: 1e-5}
+	d := mustOpen(t, budget, path, DurableOptions{SnapshotEvery: 1})
+	for i := 0; i < 3; i++ {
+		if err := d.Spend(fmt.Sprintf("op%d", i), dp.Params{Epsilon: 0.1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.Close()
+	snap := path + ".snap"
+	data, err := os.ReadFile(snap)
+	if err != nil {
+		t.Fatalf("expected a snapshot at %s: %v", snap, err)
+	}
+	// Unlike the WAL, a snapshot gets no torn-tail tolerance: it was
+	// written atomically, so a short file is corruption, not a crash.
+	if err := os.WriteFile(snap, data[:len(data)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenDurableLedger(budget, path, DurableOptions{}); !errors.Is(err, ErrLedgerCorrupt) {
+		t.Fatalf("truncated snapshot: got %v, want ErrLedgerCorrupt", err)
+	}
+}
+
+func TestDurableFsyncPolicies(t *testing.T) {
+	budget := dp.Params{Epsilon: 1, Delta: 1e-5}
+	for _, policy := range []FsyncPolicy{FsyncAlways, FsyncInterval, FsyncOff} {
+		t.Run(string(policy), func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "ledger.wal")
+			var fs *faultSyncer
+			opts := openFault(func(s *faultSyncer) { fs = s })
+			opts.Fsync = policy
+			d := mustOpen(t, budget, path, opts)
+			for i := 0; i < 5; i++ {
+				if err := d.Spend(fmt.Sprintf("op%d", i), dp.Params{Epsilon: 0.1, Delta: 1e-7}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			st := d.Status()
+			switch policy {
+			case FsyncAlways:
+				if st.Unsynced != 0 {
+					t.Fatalf("FsyncAlways left %d unsynced records", st.Unsynced)
+				}
+				// header + one sync per op
+				if fs.syncs < 6 {
+					t.Fatalf("FsyncAlways issued %d syncs, want ≥ 6", fs.syncs)
+				}
+			case FsyncOff:
+				if st.Unsynced != 5 {
+					t.Fatalf("FsyncOff shows %d unsynced, want 5", st.Unsynced)
+				}
+			}
+			spent := d.Spent()
+			if err := d.Close(); err != nil {
+				t.Fatal(err)
+			}
+			// Close syncs under every policy: the graceful path is durable.
+			re := mustOpen(t, budget, path, DurableOptions{})
+			if got := re.Spent(); got != spent {
+				t.Fatalf("policy %s: reopened Spent = %s, want %s", policy, got, spent)
+			}
+			re.Close()
+		})
+	}
+}
+
+func TestParseFsyncPolicy(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want FsyncPolicy
+		ok   bool
+	}{
+		{"", FsyncAlways, true},
+		{"always", FsyncAlways, true},
+		{"interval", FsyncInterval, true},
+		{"off", FsyncOff, true},
+		{"sometimes", "", false},
+	} {
+		got, err := ParseFsyncPolicy(tc.in)
+		if tc.ok != (err == nil) || got != tc.want {
+			t.Errorf("ParseFsyncPolicy(%q) = %q, %v; want %q, ok=%v", tc.in, got, err, tc.want, tc.ok)
+		}
+	}
+}
+
+// TestZeroDeltaBudgetRejectsDelta pins the admit-tolerance fix: a
+// strictly zero-delta budget is a pure-ε guarantee and must reject ANY
+// op carrying positive δ, however tiny — the old absolute slack admitted
+// δ up to ~1e-18 against δ-budget 0.
+func TestZeroDeltaBudgetRejectsDelta(t *testing.T) {
+	l, err := NewLedger(dp.Params{Epsilon: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Spend("tiny-delta", dp.Params{Epsilon: 0.1, Delta: 1e-19}); !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("zero-delta budget admitted δ=1e-19: %v", err)
+	}
+	if err := l.Spend("pure-eps", dp.Params{Epsilon: 0.1}); err != nil {
+		t.Fatalf("pure-ε spend against zero-delta budget: %v", err)
+	}
+	// The relative tolerance still lets n spends of total/n fit exactly.
+	l2, err := NewLedger(dp.Params{Epsilon: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 7; i++ {
+		if err := l2.Spend("slice", dp.Params{Epsilon: 1.0 / 7}); err != nil {
+			t.Fatalf("slice %d of ε/7: %v", i, err)
+		}
+	}
+}

@@ -1,0 +1,9 @@
+//go:build !unix
+
+package accountant
+
+import "os"
+
+// lockLedgerFile is a no-op on platforms without flock; single-writer
+// discipline is then the operator's responsibility.
+func lockLedgerFile(*os.File) error { return nil }

@@ -1,0 +1,29 @@
+//go:build unix
+
+package accountant
+
+import (
+	"errors"
+	"os"
+	"syscall"
+)
+
+// lockLedgerFile takes a non-blocking exclusive flock on the WAL so two
+// live processes can never interleave appends to one ledger (each would
+// replay only its own view of the budget). The kernel releases the lock
+// when the holding process dies — including SIGKILL — so a crashed
+// server never strands its ledgers.
+func lockLedgerFile(f *os.File) error {
+	err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB)
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, syscall.EWOULDBLOCK):
+		return ErrLedgerLocked
+	case errors.Is(err, syscall.ENOTSUP), errors.Is(err, syscall.ENOSYS):
+		// Filesystems without flock (some network mounts): degrade to
+		// unlocked operation rather than refusing durability entirely.
+		return nil
+	}
+	return err
+}

@@ -422,6 +422,22 @@ func (s *httpServer) datasetInfo(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, describeDataset(ds))
 }
 
+// durabilityJSON is the /budget "durability" field: durable datasets
+// embed the full accountant.DurableStatus, in-memory ones report only
+// {"durable": false}.
+type durabilityJSON struct {
+	Durable bool `json:"durable"`
+	*accountant.DurableStatus
+}
+
+func describeDurability(ds *Dataset) durabilityJSON {
+	st, ok := ds.Durability()
+	if !ok {
+		return durabilityJSON{}
+	}
+	return durabilityJSON{Durable: true, DurableStatus: &st}
+}
+
 func (s *httpServer) budget(w http.ResponseWriter, r *http.Request) {
 	ds, err := s.reg.Dataset(r.PathValue("name"))
 	if err != nil {
@@ -429,13 +445,14 @@ func (s *httpServer) budget(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"dataset":   ds.Name(),
-		"budget":    toBudgetJSON(ds.Budget()),
-		"spent":     toBudgetJSON(ds.Spent()),
-		"remaining": toBudgetJSON(ds.Remaining()),
-		"ops":       ds.OpCount(),
-		"cache":     ds.CacheStats(),
-		"audit":     ds.AuditReport(),
+		"dataset":    ds.Name(),
+		"budget":     toBudgetJSON(ds.Budget()),
+		"spent":      toBudgetJSON(ds.Spent()),
+		"remaining":  toBudgetJSON(ds.Remaining()),
+		"ops":        ds.OpCount(),
+		"cache":      ds.CacheStats(),
+		"durability": describeDurability(ds),
+		"audit":      ds.AuditReport(),
 	})
 }
 

@@ -44,9 +44,12 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"os"
+	"path/filepath"
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/accountant"
 	"repro/internal/bipartite"
@@ -124,6 +127,28 @@ type Config struct {
 	// IngestLanes bounds concurrent dataset builds; each lane retains
 	// one hierarchy.Builder across ingests (default 1).
 	IngestLanes int
+	// LedgerDir enables crash-correct privacy accounting: each dataset's
+	// ledger becomes an accountant.DurableLedger backed by an
+	// append-only WAL (plus periodic snapshot) under this directory,
+	// keyed by dataset name AND data fingerprint — re-ingesting the same
+	// data reopens the same file and replays its spent budget (exhausted
+	// stays exhausted across restarts), while different data under a
+	// reused name starts a fresh ledger. Empty (the default) keeps
+	// in-memory ledgers, which forget every debit on restart.
+	LedgerDir string
+	// LedgerFsync is the WAL fsync policy when LedgerDir is set:
+	// accountant.FsyncAlways (default — every admission is durable
+	// before any noise is drawn), FsyncInterval, or FsyncOff.
+	LedgerFsync accountant.FsyncPolicy
+	// LedgerFsyncInterval bounds the unsynced window under
+	// FsyncInterval (0 selects the accountant default).
+	LedgerFsyncInterval time.Duration
+	// LedgerSnapshotEvery compacts each WAL after this many records
+	// (0 selects the accountant default; negative disables compaction).
+	LedgerSnapshotEvery int
+	// ledgerOpenWriter is the test-only fault-injection seam threaded
+	// into accountant.DurableOptions.OpenWriter.
+	ledgerOpenWriter func(path string) (accountant.WriteSyncer, error)
 	// MaxCacheEntries bounds each dataset's response cache: answered
 	// pinned-session queries are retained by their full identity (stream
 	// domain, stream id, seq, kind, level, side, k) and a replay of the
@@ -174,6 +199,13 @@ func (c Config) withDefaults() (Config, error) {
 	if c.MaxCacheEntries == 0 {
 		c.MaxCacheEntries = DefaultMaxCacheEntries
 	}
+	if c.LedgerDir != "" {
+		policy, err := accountant.ParseFsyncPolicy(string(c.LedgerFsync))
+		if err != nil {
+			return Config{}, fmt.Errorf("%w: %v", ErrBadConfig, err)
+		}
+		c.LedgerFsync = policy
+	}
 	// Fail the whole registry rather than every future session: the
 	// engine configuration must be releasable.
 	if _, err := release.NewEngine(c.Model, c.Calib, c.Mechanism); err != nil {
@@ -210,11 +242,18 @@ type Registry struct {
 	datasets map[string]*Dataset // nil value = ingest in flight (name reserved)
 }
 
-// Open validates cfg and returns an empty registry.
+// Open validates cfg and returns an empty registry. When cfg.LedgerDir
+// is set the directory is created if needed; every dataset added to the
+// registry then accounts its budget in a durable WAL there.
 func Open(cfg Config) (*Registry, error) {
 	cfg, err := cfg.withDefaults()
 	if err != nil {
 		return nil, err
+	}
+	if cfg.LedgerDir != "" {
+		if err := os.MkdirAll(cfg.LedgerDir, 0o755); err != nil {
+			return nil, fmt.Errorf("%w: ledger dir: %v", ErrBadConfig, err)
+		}
 	}
 	r := &Registry{
 		cfg:      cfg,
@@ -247,14 +286,19 @@ func (r *Registry) setCacheCap(n int) {
 // Config returns the registry's resolved configuration.
 func (r *Registry) Config() Config { return r.cfg }
 
-// Close releases the ingest lanes' worker pools, waiting for in-flight
-// ingests to return their Builders. Existing datasets stay queryable;
-// further AddDataset calls fail with ErrClosed.
-func (r *Registry) Close() {
+// Close releases the ingest lanes' worker pools (waiting for in-flight
+// ingests to return their Builders) and flushes and closes every
+// dataset's durable ledger WAL — the graceful-shutdown path that makes
+// "every admitted spend is on disk" hold even under FsyncInterval/Off.
+// Further AddDataset calls fail with ErrClosed. Datasets with in-memory
+// ledgers stay queryable; durable datasets fail closed on their next
+// spend (their WAL is gone — admitting unlogged ops would violate the
+// durability contract).
+func (r *Registry) Close() error {
 	r.mu.Lock()
 	if r.closed {
 		r.mu.Unlock()
-		return
+		return nil
 	}
 	r.closed = true
 	r.mu.Unlock()
@@ -262,6 +306,18 @@ func (r *Registry) Close() {
 	for i := 0; i < r.cfg.IngestLanes; i++ {
 		(<-r.lanes).Close()
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var errs []error
+	for name, ds := range r.datasets {
+		if ds == nil {
+			continue
+		}
+		if err := ds.closeLedger(); err != nil {
+			errs = append(errs, fmt.Errorf("serve: closing ledger of %q: %w", name, err))
+		}
+	}
+	return errors.Join(errs...)
 }
 
 // streamFor derives the serving layer's RNG streams. The chain is
@@ -312,25 +368,59 @@ func (r *Registry) AddDataset(name string, src bipartite.EdgeSource) (*Dataset, 
 	return ds, err
 }
 
+// phase1Label is the audit label of the ingest-time specialization
+// debit; durable reopens look for it to avoid double-charging.
+const phase1Label = "ingest/phase1"
+
 // buildDataset runs the ledgered ingest on a checked-out lane.
+//
+// With an in-memory ledger the phase-1 cost is debited before the build
+// draws a single cut. With a durable ledger the file is keyed by the
+// data fingerprint, which only exists after the build, so the order
+// inverts: build, open (replaying any prior incarnation's spends), then
+// debit phase 1 unless the replayed trail already charged it. A cheap
+// pre-check still refuses obviously over-budget specializations before
+// the expensive build, and nothing is ever released from a dataset
+// whose ledger refused the phase-1 debit — the ingest fails and the
+// name is never served.
 func (r *Registry) buildDataset(name string, src bipartite.EdgeSource) (*Dataset, error) {
-	ledger, err := accountant.NewLedger(r.cfg.Budget)
-	if err != nil {
-		return nil, err
-	}
+	durable := r.cfg.LedgerDir != ""
+	var phase1Cost dp.Params
 	bisector := partition.Bisector(partition.BalancedBisector{})
 	if r.cfg.Phase1Epsilon > 0 {
 		// Cuts within one (depth, side) compose in parallel, the
 		// 2·Rounds side-depths sequentially — the pipeline's accounting.
-		cost := dp.Params{Epsilon: 2 * float64(r.cfg.Rounds) * r.cfg.Phase1Epsilon}
-		if err := ledger.Spend("ingest/phase1", cost); err != nil {
-			return nil, fmt.Errorf("serve: ingest %q: %w", name, err)
-		}
+		phase1Cost = dp.Params{Epsilon: 2 * float64(r.cfg.Rounds) * r.cfg.Phase1Epsilon}
 		eb, err := partition.NewExpMechBisector(r.cfg.Phase1Epsilon, r.streamFor(name, domainPhase1, 0))
 		if err != nil {
 			return nil, fmt.Errorf("serve: ingest %q: %w", name, err)
 		}
 		bisector = eb
+	}
+
+	var ledger accountant.Ledger
+	var durableLedger *accountant.DurableLedger
+	if !durable {
+		mem, err := accountant.NewLedger(r.cfg.Budget)
+		if err != nil {
+			return nil, err
+		}
+		if phase1Cost.Epsilon > 0 {
+			if err := mem.Spend(phase1Label, phase1Cost); err != nil {
+				return nil, fmt.Errorf("serve: ingest %q: %w", name, err)
+			}
+		}
+		ledger = mem
+	} else if phase1Cost.Epsilon > 0 {
+		// Pre-check against an empty budget so a misconfigured
+		// specialization fails before the build, like the mem path.
+		probe, err := accountant.NewLedger(r.cfg.Budget)
+		if err != nil {
+			return nil, err
+		}
+		if err := probe.Spend(phase1Label, phase1Cost); err != nil {
+			return nil, fmt.Errorf("serve: ingest %q: %w", name, err)
+		}
 	}
 
 	lane := <-r.lanes
@@ -343,17 +433,74 @@ func (r *Registry) buildDataset(name string, src bipartite.EdgeSource) (*Dataset
 	if err != nil {
 		return nil, fmt.Errorf("serve: ingest %q: %w", name, err)
 	}
+	print := fingerprintTree(tree)
+
+	if durable {
+		path := filepath.Join(r.cfg.LedgerDir, ledgerFileName(name, print))
+		dl, err := accountant.OpenDurableLedger(r.cfg.Budget, path, accountant.DurableOptions{
+			Fsync:         r.cfg.LedgerFsync,
+			FsyncInterval: r.cfg.LedgerFsyncInterval,
+			SnapshotEvery: r.cfg.LedgerSnapshotEvery,
+			OpenWriter:    r.cfg.ledgerOpenWriter,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("serve: ingest %q: opening ledger: %w", name, err)
+		}
+		if phase1Cost.Epsilon > 0 && !hasOpLabeled(dl, phase1Label) {
+			if err := dl.Spend(phase1Label, phase1Cost); err != nil {
+				dl.Close()
+				return nil, fmt.Errorf("serve: ingest %q: %w", name, err)
+			}
+		}
+		ledger = dl
+		durableLedger = dl
+	}
+
 	return &Dataset{
-		reg:    r,
-		name:   name,
-		tree:   tree,
-		ledger: ledger,
-		print:  fingerprintTree(tree),
+		reg:     r,
+		name:    name,
+		tree:    tree,
+		ledger:  ledger,
+		durable: durableLedger,
+		print:   print,
 		// A fresh cache per ingest is the invalidation story: re-adding a
 		// name (same or different data) can never serve a previous
 		// incarnation's answers.
 		cache: newRespCache(func() int { return int(r.cacheCap.Load()) }),
 	}, nil
+}
+
+// hasOpLabeled reports whether the ledger's trail contains an op with
+// the given label (ingest-time only — it materializes the trail).
+func hasOpLabeled(l accountant.Ledger, label string) bool {
+	for _, op := range l.Ops() {
+		if op.Label == label {
+			return true
+		}
+	}
+	return false
+}
+
+// ledgerFileName keys a dataset's WAL by its name AND data fingerprint:
+// re-ingesting different data under a reused name must start a fresh
+// budget file, never inherit (or clobber) the old one. The name is
+// sanitized for the filesystem, so an fnv hash of the exact name keeps
+// two names that sanitize identically ("a/b" vs "a_b") from colliding
+// into one shared budget.
+func ledgerFileName(name string, print uint64) string {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	safe := make([]byte, 0, len(name))
+	for i := 0; i < len(name) && len(safe) < 40; i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '.', c == '_', c == '-':
+			safe = append(safe, c)
+		default:
+			safe = append(safe, '_')
+		}
+	}
+	return fmt.Sprintf("%s-%016x-%016x.wal", safe, h.Sum64(), print)
 }
 
 // fingerprintTree hashes the dataset as served. The finest-level cell
@@ -415,14 +562,22 @@ func (r *Registry) Names() []string {
 }
 
 // RemoveDataset drops a dataset from the registry. Its sessions keep
-// working against the detached state until released.
+// working against the detached state until released — except durable
+// datasets, whose WAL is flushed and closed here (releasing the file
+// lock so a re-ingest of the same data can reopen the same budget);
+// their detached sessions fail closed on the next spend.
 func (r *Registry) RemoveDataset(name string) error {
 	r.mu.Lock()
-	defer r.mu.Unlock()
-	if ds, ok := r.datasets[name]; !ok || ds == nil {
+	ds, ok := r.datasets[name]
+	if !ok || ds == nil {
+		r.mu.Unlock()
 		return fmt.Errorf("%w: %q", ErrUnknownDataset, name)
 	}
 	delete(r.datasets, name)
+	r.mu.Unlock()
+	if err := ds.closeLedger(); err != nil {
+		return fmt.Errorf("serve: closing ledger of %q: %w", name, err)
+	}
 	return nil
 }
 
@@ -432,10 +587,32 @@ type Dataset struct {
 	reg    *Registry
 	name   string
 	tree   *hierarchy.Tree
-	ledger *accountant.Ledger
-	print  uint64 // data fingerprint folded into every session stream
-	cache  *respCache
-	nextID atomic.Uint64
+	ledger accountant.Ledger
+	// durable is non-nil iff ledger is a WAL-backed DurableLedger
+	// (Config.LedgerDir set); it carries the durability-only surface
+	// (Status, Sync, Close) the Ledger interface deliberately omits.
+	durable *accountant.DurableLedger
+	print   uint64 // data fingerprint folded into every session stream
+	cache   *respCache
+	nextID  atomic.Uint64
+}
+
+// closeLedger flushes and closes the dataset's durable WAL (no-op for
+// in-memory ledgers). Idempotent.
+func (d *Dataset) closeLedger() error {
+	if d.durable == nil {
+		return nil
+	}
+	return d.durable.Close()
+}
+
+// Durability reports the dataset's durable-ledger status; ok is false
+// for in-memory ledgers.
+func (d *Dataset) Durability() (st accountant.DurableStatus, ok bool) {
+	if d.durable == nil {
+		return accountant.DurableStatus{}, false
+	}
+	return d.durable.Status(), true
 }
 
 // CacheStats reports the dataset's response-cache counters.

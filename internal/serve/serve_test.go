@@ -49,7 +49,7 @@ func openTestDataset(t testing.TB, cfg Config) (*Registry, *Dataset) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(reg.Close)
+	t.Cleanup(func() { reg.Close() })
 	ds, err := reg.AddDataset("tiny", testSource(t))
 	if err != nil {
 		t.Fatal(err)

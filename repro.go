@@ -322,6 +322,28 @@ type (
 	// (Dataset.CacheStats): hits replay prior answers without debiting
 	// the ledger.
 	ServeCacheStats = serve.CacheStats
+	// LedgerFsyncPolicy selects when a durable ledger's WAL is fsynced
+	// (ServeConfig.LedgerFsync): LedgerFsyncAlways, LedgerFsyncInterval
+	// or LedgerFsyncOff.
+	LedgerFsyncPolicy = accountant.FsyncPolicy
+	// LedgerDurability reports a dataset's durable-ledger state
+	// (Dataset.Durability): WAL path, fsync policy, record counts,
+	// replayed ops, and whether the ledger has failed closed.
+	LedgerDurability = accountant.DurableStatus
+)
+
+// Durable-ledger fsync policies (ServeConfig.LedgerFsync).
+const (
+	// LedgerFsyncAlways fsyncs the WAL before every spend is admitted:
+	// no noise bytes are ever released for an op that is not durably
+	// logged. The default.
+	LedgerFsyncAlways = accountant.FsyncAlways
+	// LedgerFsyncInterval bounds the unsynced window by
+	// ServeConfig.LedgerFsyncInterval — a crash may forget spends
+	// admitted within the window (budget-unsafe but faster).
+	LedgerFsyncInterval = accountant.FsyncInterval
+	// LedgerFsyncOff syncs only on snapshot, close, and explicit Sync.
+	LedgerFsyncOff = accountant.FsyncOff
 )
 
 // OpenRegistry opens an empty serving registry. Datasets are added with
