@@ -255,6 +255,34 @@ func BenchmarkReleaseCells(b *testing.B) {
 	b.SetBytes(int64(cells) * 8)
 }
 
+// BenchmarkReleaseCellsWorkers shards the same release's noise pass
+// across goroutines at noiseChunk granularity (per-chunk forked
+// streams, so the output is bit-identical to workers=1). Speedup needs
+// cores: on a 1-CPU runner the sub-benchmarks are flat and only the
+// goroutine overhead shows.
+func BenchmarkReleaseCellsWorkers(b *testing.B) {
+	tree := releaseCellsTree(b)
+	p := dp.Params{Epsilon: 0.5, Delta: 1e-5}
+	cells, err := tree.NumCells(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 4, 7} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			src := rng.New(5)
+			var rel core.CellRelease
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := core.ReleaseCellsWorkersInto(&rel, tree, 0, p, core.CalibrationClassical, src, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.SetBytes(int64(cells) * 8)
+		})
+	}
+}
+
 // BenchmarkReleaseCellsAlloc is the same release through the allocating
 // public wrapper (a fresh Counts slice per call), the path publishers
 // retaining every histogram pay.

@@ -47,6 +47,7 @@ var metrics = []metric{
 	{file: "BENCH_stream.json", field: "edges_per_sec", higher: true},
 	{file: "BENCH_serve.json", field: "queries_per_sec", higher: true},
 	{file: "BENCH_serve.json", field: "cache_speedup", higher: true},
+	{file: "BENCH_load.json", field: "achieved_qps", higher: true},
 }
 
 func main() {
@@ -73,7 +74,7 @@ func run(args []string) error {
 		return fmt.Errorf("-max-regress must be positive (got %v)", *maxReg)
 	}
 
-	compared := 0
+	compared, cpuSkipped := 0, 0
 	var regressions []string
 	for _, m := range metrics {
 		base, ok, err := readField(filepath.Join(*baseline, m.file), m.field)
@@ -92,6 +93,16 @@ func run(args []string) error {
 			fmt.Printf("skip  %-22s %-24s (not regenerated in this run)\n", m.file, m.field)
 			continue
 		}
+		// Absolute throughput/latency numbers do not transfer across CPU
+		// counts (a 1-CPU baseline undershoots an 8-CPU runner and vice
+		// versa), so records that stamp num_cpu on both sides are only
+		// compared when the counts match. Records predating the stamp
+		// keep the old always-compare semantics.
+		if mismatch, bCPU, cCPU := cpuMismatch(filepath.Join(*baseline, m.file), filepath.Join(*candidate, m.file)); mismatch {
+			cpuSkipped++
+			fmt.Printf("skip  %-22s %-24s (cpu count mismatch: baseline %d, candidate %d)\n", m.file, m.field, bCPU, cCPU)
+			continue
+		}
 		compared++
 		delta := (cand - base) / base
 		worse := delta
@@ -108,6 +119,10 @@ func run(args []string) error {
 			status, m.file, m.field, base, cand, 100*delta)
 	}
 	if compared == 0 {
+		if cpuSkipped > 0 {
+			fmt.Printf("benchdiff: WARNING: all %d present metric(s) skipped on cpu-count mismatch; nothing gated this run\n", cpuSkipped)
+			return nil
+		}
 		return errors.New("no metrics compared: check the -baseline and -candidate paths")
 	}
 	if len(regressions) > 0 {
@@ -116,6 +131,34 @@ func run(args []string) error {
 	}
 	fmt.Printf("benchdiff: %d metric(s) within %.0f%% of baseline\n", compared, *maxReg*100)
 	return nil
+}
+
+// cpuMismatch reports whether both records carry a num_cpu stamp and
+// the counts differ. Either side missing the stamp (older records, or a
+// missing file — the caller already resolved presence) means no
+// mismatch: the comparison proceeds under the pre-stamp semantics.
+func cpuMismatch(basePath, candPath string) (mismatch bool, baseCPU, candCPU int) {
+	b, bok := readCPU(basePath)
+	c, cok := readCPU(candPath)
+	if bok && cok && b != c {
+		return true, b, c
+	}
+	return false, b, c
+}
+
+// readCPU extracts a record's num_cpu stamp when present and positive.
+func readCPU(path string) (int, bool) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, false
+	}
+	var rec struct {
+		NumCPU float64 `json:"num_cpu"`
+	}
+	if json.Unmarshal(data, &rec) != nil || rec.NumCPU <= 0 {
+		return 0, false
+	}
+	return int(rec.NumCPU), true
 }
 
 // readField extracts one numeric field from a JSON record file. A

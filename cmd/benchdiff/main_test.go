@@ -55,6 +55,46 @@ func TestBenchdiffSkipsMissingCandidateFiles(t *testing.T) {
 	}
 }
 
+func TestBenchdiffSkipsOnCPUMismatch(t *testing.T) {
+	base, cand := t.TempDir(), t.TempDir()
+	// A 60% regression, but the records were produced on machines with
+	// different CPU counts: skipped, not failed.
+	writeRec(t, base, "BENCH_load.json", `{"achieved_qps": 1000, "num_cpu": 8}`)
+	writeRec(t, cand, "BENCH_load.json", `{"achieved_qps": 400, "num_cpu": 1}`)
+	// A second comparable metric keeps compared > 0.
+	writeRec(t, base, "BENCH_phase2.json", `{"release_cells_ns_per_op": 1000000}`)
+	writeRec(t, cand, "BENCH_phase2.json", `{"release_cells_ns_per_op": 1000000}`)
+	if err := run([]string{"-baseline", base, "-candidate", cand}); err != nil {
+		t.Fatalf("cpu-count mismatch should skip, got: %v", err)
+	}
+
+	// Matching CPU counts compare normally — the same drop now fails.
+	writeRec(t, cand, "BENCH_load.json", `{"achieved_qps": 400, "num_cpu": 8}`)
+	err := run([]string{"-baseline", base, "-candidate", cand})
+	if err == nil || !strings.Contains(err.Error(), "achieved_qps") {
+		t.Fatalf("matching-cpu qps regression not caught: %v", err)
+	}
+
+	// One side missing the stamp keeps the pre-stamp always-compare
+	// semantics.
+	writeRec(t, base, "BENCH_load.json", `{"achieved_qps": 1000}`)
+	err = run([]string{"-baseline", base, "-candidate", cand})
+	if err == nil || !strings.Contains(err.Error(), "achieved_qps") {
+		t.Fatalf("unstamped baseline must still compare: %v", err)
+	}
+}
+
+func TestBenchdiffAllCPUSkippedPasses(t *testing.T) {
+	base, cand := t.TempDir(), t.TempDir()
+	// Every present metric skipped on cpu mismatch: warn and exit 0
+	// (distinct from the zero-metric misconfiguration error).
+	writeRec(t, base, "BENCH_load.json", `{"achieved_qps": 1000, "num_cpu": 8}`)
+	writeRec(t, cand, "BENCH_load.json", `{"achieved_qps": 400, "num_cpu": 1}`)
+	if err := run([]string{"-baseline", base, "-candidate", cand}); err != nil {
+		t.Fatalf("all-skipped-on-cpu run must pass, got: %v", err)
+	}
+}
+
 func TestBenchdiffRefusesEmptyComparison(t *testing.T) {
 	base, cand := t.TempDir(), t.TempDir()
 	if err := run([]string{"-baseline", base, "-candidate", cand}); err == nil {

@@ -75,6 +75,8 @@ type benchRecord struct {
 	Seed       uint64  `json:"seed"`
 	Workers    int     `json:"workers"`
 	WallMS     float64 `json:"wall_ms"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	NumCPU     int     `json:"num_cpu"`
 	UnixMS     int64   `json:"unix_ms"`
 }
 
@@ -88,15 +90,20 @@ type phase2Record struct {
 	Cells int `json:"cells"`
 	// ReleaseCellsNsPerOp is the mean wall time of one batched release
 	// through the reusable-buffer engine path; CellsPerSec is the implied
-	// noise throughput.
-	ReleaseCellsNsPerOp float64 `json:"release_cells_ns_per_op"`
-	CellsPerSec         float64 `json:"release_cells_per_sec"`
+	// noise throughput. ReleaseCellsParNsPerOp is the same release with
+	// the noise pass sharded across Workers goroutines (bit-identical
+	// output; flat on a 1-CPU runner).
+	ReleaseCellsNsPerOp    float64 `json:"release_cells_ns_per_op"`
+	CellsPerSec            float64 `json:"release_cells_per_sec"`
+	ReleaseCellsParNsPerOp float64 `json:"release_cells_parallel_ns_per_op"`
 	// TrialsSerialMS and TrialsParallelMS time the same Figure-1 trial
 	// loop with one lane and with Workers lanes (bit-identical outputs).
 	Trials           int     `json:"figure1_trials"`
 	TrialsSerialMS   float64 `json:"figure1_trials_serial_ms"`
 	TrialsParallelMS float64 `json:"figure1_trials_parallel_ms"`
 	Workers          int     `json:"workers"`
+	GOMAXPROCS       int     `json:"gomaxprocs"`
+	NumCPU           int     `json:"num_cpu"`
 	Seed             uint64  `json:"seed"`
 	UnixMS           int64   `json:"unix_ms"`
 }
@@ -189,6 +196,8 @@ func run(args []string) error {
 				Seed:       *seed,
 				Workers:    *workers,
 				WallMS:     float64(elapsed.Nanoseconds()) / 1e6,
+				GOMAXPROCS: runtime.GOMAXPROCS(0),
+				NumCPU:     runtime.NumCPU(),
 				UnixMS:     start.UnixMilli(),
 			}
 			if err := writeBenchJSON(*benchDir, rec); err != nil {
@@ -233,6 +242,8 @@ type serveRecord struct {
 	CacheHitNs   float64 `json:"cache_hit_ns_per_op"`
 	CacheSpeedup float64 `json:"cache_speedup"`
 	Workers      int     `json:"workers"`
+	GOMAXPROCS   int     `json:"gomaxprocs"`
+	NumCPU       int     `json:"num_cpu"`
 	Seed         uint64  `json:"seed"`
 	UnixMS       int64   `json:"unix_ms"`
 }
@@ -344,6 +355,8 @@ func writeServeBench(dir string, seed uint64, workers int) error {
 		CacheHitNs:   hitNs,
 		CacheSpeedup: missNs / hitNs,
 		Workers:      workers,
+		GOMAXPROCS:   runtime.GOMAXPROCS(0),
+		NumCPU:       runtime.NumCPU(),
 		Seed:         seed,
 		UnixMS:       start.UnixMilli(),
 	}
@@ -363,17 +376,19 @@ func writeServeBench(dir string, seed uint64, workers int) error {
 // the whole two-pass streamed build timed end to end, with EdgesPerSec =
 // NumEdges / wall (both passes included).
 type streamRecord struct {
-	File     string  `json:"file"`
-	Format   string  `json:"format"`
-	Edges    int64   `json:"edges"`
-	NumLeft  int     `json:"num_left"`
-	NumRight int     `json:"num_right"`
-	Rounds   int     `json:"rounds"`
-	Workers  int     `json:"workers"`
-	WallMS   float64 `json:"wall_ms"`
-	EdgesSec float64 `json:"edges_per_sec"`
-	Verified bool    `json:"verified"`
-	UnixMS   int64   `json:"unix_ms"`
+	File       string  `json:"file"`
+	Format     string  `json:"format"`
+	Edges      int64   `json:"edges"`
+	NumLeft    int     `json:"num_left"`
+	NumRight   int     `json:"num_right"`
+	Rounds     int     `json:"rounds"`
+	Workers    int     `json:"workers"`
+	WallMS     float64 `json:"wall_ms"`
+	EdgesSec   float64 `json:"edges_per_sec"`
+	Verified   bool    `json:"verified"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	NumCPU     int     `json:"num_cpu"`
+	UnixMS     int64   `json:"unix_ms"`
 }
 
 // runEdges is the -edges mode: stream the file through the chunked build,
@@ -435,17 +450,19 @@ func runEdges(path string, rounds, workers int, seed uint64, verify bool, benchD
 
 	if benchDir != "" {
 		rec := streamRecord{
-			File:     path,
-			Format:   format,
-			Edges:    stats.NumEdges,
-			NumLeft:  stats.NumLeft,
-			NumRight: stats.NumRight,
-			Rounds:   rounds,
-			Workers:  workers,
-			WallMS:   float64(wall.Nanoseconds()) / 1e6,
-			EdgesSec: edgesSec,
-			Verified: verified,
-			UnixMS:   start.UnixMilli(),
+			File:       path,
+			Format:     format,
+			Edges:      stats.NumEdges,
+			NumLeft:    stats.NumLeft,
+			NumRight:   stats.NumRight,
+			Rounds:     rounds,
+			Workers:    workers,
+			WallMS:     float64(wall.Nanoseconds()) / 1e6,
+			EdgesSec:   edgesSec,
+			Verified:   verified,
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			NumCPU:     runtime.NumCPU(),
+			UnixMS:     start.UnixMilli(),
 		}
 		if err := os.MkdirAll(benchDir, 0o755); err != nil {
 			return err
@@ -565,6 +582,14 @@ func writePhase2Bench(dir string, seed uint64, workers int) error {
 	}
 	nsPerOp := float64(time.Since(start).Nanoseconds()) / releaseIters
 
+	parStart := time.Now()
+	for i := 0; i < releaseIters; i++ {
+		if err := core.ReleaseCellsWorkersInto(&rel, tree, 0, p, core.CalibrationClassical, src, workers); err != nil {
+			return err
+		}
+	}
+	parNsPerOp := float64(time.Since(parStart).Nanoseconds()) / releaseIters
+
 	cfg, err := experiments.DefaultFigure1Config(experiments.Options{Quick: true, Seed: seed, Workers: 1})
 	if err != nil {
 		return err
@@ -588,15 +613,18 @@ func writePhase2Bench(dir string, seed uint64, workers int) error {
 	}
 
 	rec := phase2Record{
-		Cells:               cells,
-		ReleaseCellsNsPerOp: nsPerOp,
-		CellsPerSec:         float64(cells) / (nsPerOp / 1e9),
-		Trials:              cfg.Trials,
-		TrialsSerialMS:      serialMS,
-		TrialsParallelMS:    parallelMS,
-		Workers:             workers,
-		Seed:                seed,
-		UnixMS:              time.Now().UnixMilli(),
+		Cells:                  cells,
+		ReleaseCellsNsPerOp:    nsPerOp,
+		CellsPerSec:            float64(cells) / (nsPerOp / 1e9),
+		ReleaseCellsParNsPerOp: parNsPerOp,
+		Trials:                 cfg.Trials,
+		TrialsSerialMS:         serialMS,
+		TrialsParallelMS:       parallelMS,
+		Workers:                workers,
+		GOMAXPROCS:             runtime.GOMAXPROCS(0),
+		NumCPU:                 runtime.NumCPU(),
+		Seed:                   seed,
+		UnixMS:                 time.Now().UnixMilli(),
 	}
 	data, err := json.MarshalIndent(rec, "", "  ")
 	if err != nil {

@@ -33,6 +33,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -55,9 +56,9 @@ func main() {
 // preload is one -dataset name=path flag.
 type preload struct{ name, path string }
 
-// parseArgs resolves flags into a serving config, the listen address and
-// the datasets to preload.
-func parseArgs(args []string) (cfg repro.ServeConfig, hopts repro.ServeHandlerOptions, addr string, loads []preload, err error) {
+// parseArgs resolves flags into a serving config, the listen address,
+// the datasets to preload, and the optional pprof side address.
+func parseArgs(args []string) (cfg repro.ServeConfig, hopts repro.ServeHandlerOptions, addr string, loads []preload, pprof string, err error) {
 	fs := flag.NewFlagSet("gdpserve", flag.ContinueOnError)
 	var (
 		addrFlag   = fs.String("addr", "127.0.0.1:8080", "listen address")
@@ -69,7 +70,9 @@ func parseArgs(args []string) (cfg repro.ServeConfig, hopts repro.ServeHandlerOp
 		phase1     = fs.Float64("phase1-eps", 0, "per-cut exponential-mechanism ε for private ingest (0 = public balanced grouping)")
 		seed       = fs.Uint64("seed", 1, "RNG seed; 0 draws one from OS entropy (non-replayable)")
 		workers    = fs.Int("workers", runtime.GOMAXPROCS(0), "ingest build parallelism")
+		relWorkers = fs.Int("release-workers", 1, "per-query noise-pass parallelism (responses are bit-identical for any value; >1 trades cores per query for single-query latency on large levels)")
 		lanes      = fs.Int("lanes", 2, "concurrent ingest lanes (each retains a hierarchy builder)")
+		pprofAddr  = fs.String("pprof", "", "serve net/http/pprof on this side address (e.g. 127.0.0.1:6060; empty = disabled)")
 		pathIngest = fs.Bool("allow-path-ingest", false, "allow HTTP clients to ingest server-side files via JSON {\"path\": ...} (file-read oracle on open listeners; uploads are always allowed)")
 		maxUpload  = fs.Int64("max-upload-bytes", 0, "cap on one ingest upload body spooled to temp disk (0 = 1 GiB default, negative = unlimited)")
 		maxSess    = fs.Int("max-sessions", 0, "cap on concurrently open session handles (0 = 1024 default, negative = unlimited)")
@@ -81,13 +84,13 @@ func parseArgs(args []string) (cfg repro.ServeConfig, hopts repro.ServeHandlerOp
 	)
 	fs.Var(preloadFlag{&loads}, "dataset", "preload a dataset as name=path (repeatable; TSV or binary, sniffed)")
 	if err := fs.Parse(args); err != nil {
-		return repro.ServeConfig{}, repro.ServeHandlerOptions{}, "", nil, err
+		return repro.ServeConfig{}, repro.ServeHandlerOptions{}, "", nil, "", err
 	}
 	resolvedSeed := *seed
 	if resolvedSeed == 0 {
 		s, err := repro.NewRandomSeed()
 		if err != nil {
-			return repro.ServeConfig{}, repro.ServeHandlerOptions{}, "", nil, err
+			return repro.ServeConfig{}, repro.ServeHandlerOptions{}, "", nil, "", err
 		}
 		resolvedSeed = s
 	}
@@ -100,6 +103,7 @@ func parseArgs(args []string) (cfg repro.ServeConfig, hopts repro.ServeHandlerOp
 		Phase1Epsilon:       *phase1,
 		Seed:                resolvedSeed,
 		Workers:             *workers,
+		ReleaseWorkers:      *relWorkers,
 		IngestLanes:         *lanes,
 		MaxCacheEntries:     *maxCache,
 		LedgerDir:           *ledgerDir,
@@ -112,7 +116,7 @@ func parseArgs(args []string) (cfg repro.ServeConfig, hopts repro.ServeHandlerOp
 		MaxUploadBytes:  *maxUpload,
 		MaxSessions:     *maxSess,
 	}
-	return cfg, hopts, *addrFlag, loads, nil
+	return cfg, hopts, *addrFlag, loads, *pprofAddr, nil
 }
 
 // preloadFlag accumulates repeated -dataset name=path values.
@@ -133,9 +137,16 @@ func (p preloadFlag) Set(v string) error {
 // canceled. started (if non-nil) receives the bound address once the
 // listener is up — the test hook.
 func run(ctx context.Context, args []string, started func(addr string)) error {
-	cfg, hopts, addr, loads, err := parseArgs(args)
+	cfg, hopts, addr, loads, pprofAddr, err := parseArgs(args)
 	if err != nil {
 		return err
+	}
+	if pprofAddr != "" {
+		stopProf, err := startPprof(pprofAddr)
+		if err != nil {
+			return err
+		}
+		defer stopProf()
 	}
 	reg, err := repro.OpenRegistry(cfg)
 	if err != nil {
@@ -181,6 +192,27 @@ func run(ctx context.Context, args []string, started func(addr string)) error {
 		}
 		return closeReg()
 	}
+}
+
+// startPprof serves net/http/pprof on its own listener and mux — the
+// profiling surface never shares a port (or the default mux) with the
+// query API, so exposing it stays an explicit operator decision. The
+// returned func closes the listener.
+func startPprof(addr string) (func(), error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("pprof listener: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Handler: mux}
+	go func() { _ = srv.Serve(ln) }()
+	fmt.Printf("gdpserve: pprof on http://%s/debug/pprof/\n", ln.Addr())
+	return func() { _ = srv.Close() }, nil
 }
 
 // ingestFile streams one -dataset file into the registry.

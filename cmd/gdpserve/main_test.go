@@ -15,13 +15,20 @@ import (
 )
 
 func TestParseArgs(t *testing.T) {
-	cfg, hopts, addr, loads, err := parseArgs([]string{
+	cfg, hopts, addr, loads, pprofAddr, err := parseArgs([]string{
 		"-addr", "127.0.0.1:9999", "-eps", "3", "-delta", "1e-6",
 		"-rounds", "5", "-seed", "42", "-allow-path-ingest",
+		"-release-workers", "4", "-pprof", "127.0.0.1:6060",
 		"-dataset", "a=/tmp/a.tsv", "-dataset", "b=/tmp/b.bpg",
 	})
 	if err != nil {
 		t.Fatal(err)
+	}
+	if cfg.ReleaseWorkers != 4 {
+		t.Fatalf("ReleaseWorkers = %d, want 4", cfg.ReleaseWorkers)
+	}
+	if pprofAddr != "127.0.0.1:6060" {
+		t.Fatalf("pprof addr = %q", pprofAddr)
 	}
 	if addr != "127.0.0.1:9999" || cfg.Budget.Epsilon != 3 || cfg.Budget.Delta != 1e-6 ||
 		cfg.Rounds != 5 || cfg.Seed != 42 {
@@ -34,15 +41,17 @@ func TestParseArgs(t *testing.T) {
 		t.Fatal("-allow-path-ingest not threaded through")
 	}
 
-	if _, hopts, _, _, err := parseArgs(nil); err != nil || hopts.AllowPathIngest {
+	if defCfg, hopts, _, _, pprofDef, err := parseArgs(nil); err != nil || hopts.AllowPathIngest {
 		t.Fatalf("path ingest must default off (hopts=%+v err=%v)", hopts, err)
+	} else if defCfg.ReleaseWorkers != 1 || pprofDef != "" {
+		t.Fatalf("defaults: release-workers=%d pprof=%q", defCfg.ReleaseWorkers, pprofDef)
 	}
-	if _, _, _, _, err := parseArgs([]string{"-dataset", "missing-equals"}); err == nil {
+	if _, _, _, _, _, err := parseArgs([]string{"-dataset", "missing-equals"}); err == nil {
 		t.Fatal("malformed -dataset accepted")
 	}
 
 	// seed 0 draws entropy.
-	cfg, _, _, _, err = parseArgs([]string{"-seed", "0"})
+	cfg, _, _, _, _, err = parseArgs([]string{"-seed", "0"})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -22,6 +22,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/dp"
 	"repro/internal/hierarchy"
@@ -345,10 +347,22 @@ func ReleaseCells(t *hierarchy.Tree, level int, p dp.Params, calib Calibration, 
 // capacity — the release engine's hot path: a caller looping releases
 // (experiment trials, repeated queries at one level) passes the same dst
 // every iteration and the per-release allocations drop to zero. The
-// whole level's noise comes from one batched ziggurat fill
-// (rng.Source.NormalsSigma) instead of one scalar Normal call per cell;
-// the output distribution is the same N(count, σ²) per coordinate.
+// level's noise comes from chunked batched ziggurat fills
+// (rng.Source.NormalsSigma) on per-chunk forked streams instead of one
+// scalar Normal call per cell; the output distribution is the same
+// N(count, σ²) per coordinate.
 func ReleaseCellsInto(dst *CellRelease, t *hierarchy.Tree, level int, p dp.Params, calib Calibration, src *rng.Source) error {
+	return ReleaseCellsWorkersInto(dst, t, level, p, calib, src, 1)
+}
+
+// ReleaseCellsWorkersInto is ReleaseCellsInto with the noise pass
+// sharded across workers goroutines at noiseChunk granularity. Each
+// chunk draws from its own stream derived by index from one fork point
+// (rng.Source.Fork), so the released histogram is bit-identical for
+// EVERY workers value — parallelism is purely a wall-clock knob, never
+// a replay change. workers < 2 (or a release smaller than two chunks)
+// runs on the calling goroutine.
+func ReleaseCellsWorkersInto(dst *CellRelease, t *hierarchy.Tree, level int, p dp.Params, calib Calibration, src *rng.Source, workers int) error {
 	if t == nil {
 		return ErrNilTree
 	}
@@ -366,14 +380,15 @@ func ReleaseCellsInto(dst *CellRelease, t *hierarchy.Tree, level int, p dp.Param
 	if err != nil {
 		return err
 	}
-	return releaseCellsResolved(dst, t, level, sens, sigma, calib, calib.String(), p, src)
+	return releaseCellsResolved(dst, t, level, sens, sigma, calib, calib.String(), p, src, workers)
 }
 
 // releaseCellsResolved assembles a cell release once the sensitivity and
 // noise scale are settled — the tail shared by the calibrated
-// (ReleaseCellsInto) and externally scaled (ReleaseCellsSigmaInto)
-// paths, so the release shape is defined in exactly one place.
-func releaseCellsResolved(dst *CellRelease, t *hierarchy.Tree, level int, sens int64, sigma float64, calib Calibration, calibName string, p dp.Params, src *rng.Source) error {
+// (ReleaseCellsWorkersInto) and externally scaled
+// (ReleaseCellsSigmaWorkersInto) paths, so the release shape is defined
+// in exactly one place.
+func releaseCellsResolved(dst *CellRelease, t *hierarchy.Tree, level int, sens int64, sigma float64, calib Calibration, calibName string, p dp.Params, src *rng.Source, workers int) error {
 	counts, err := t.LevelCellCountsView(level)
 	if err != nil {
 		return err
@@ -382,58 +397,131 @@ func releaseCellsResolved(dst *CellRelease, t *hierarchy.Tree, level int, sens i
 	if err != nil {
 		return err
 	}
+	counts32, _ := t.LevelCellCounts32View(level)
 	*dst = CellRelease{
 		Level: level, Model: ModelCells, Calibration: calib,
 		ModelName: ModelCells.String(), CalibName: calibName,
 		Params: p, Epsilon: p.Epsilon, Delta: p.Delta,
 		Sensitivity: sens, Sigma: sigma,
-		Counts: noisyCells(dst.Counts, counts, sigma, src), SideGroups: k,
+		Counts: noisyCells(dst.Counts, counts, counts32, sigma, src, workers), SideGroups: k,
 	}
 	return nil
 }
 
-// noiseChunk is the granularity at which noisyCells interleaves the
-// batched ziggurat fill with the counts add: a multiple of rng.ZigBlock
-// (so the uniform stream is consumed exactly as one whole-slice
-// NormalsSigma call would consume it — the chunking is invisible to
-// replay) that keeps the noise window and its counts L1/L2-resident
-// while the add runs. Without chunking, a 4^9-cell release streams the
-// 2 MB histogram out of cache during the fill and drags it (plus the
-// 2 MB count matrix) back through memory for the add.
+// noiseChunk is the chunk grid of the noise pass: a multiple of
+// rng.ZigBlock sized so one chunk's noise window and its counts stay
+// L1/L2-resident while the add runs (without chunking, a 4^9-cell
+// release streams the 2 MB histogram out of cache during the fill and
+// drags it — plus the count matrix — back through memory for the add).
+// Each chunk draws from its own fork-derived stream, which is also the
+// unit the parallel release shards across cores: the grid is a pure
+// function of the histogram length, so the released values cannot
+// depend on the worker count.
 const noiseChunk = 16 * rng.ZigBlock
 
+// noiseChunkCount returns the number of chunks the grid assigns to an
+// n-cell noise pass. A final fragment shorter than one ziggurat block
+// is absorbed into the last chunk (a sub-block fill would run the
+// scalar sampler path; absorbing keeps every chunk on the blocked
+// path), so the last chunk's length is in [noiseChunk,
+// noiseChunk+rng.ZigBlock) — or all of n when only one chunk fits.
+func noiseChunkCount(n int) int {
+	full, rem := n/noiseChunk, n%noiseChunk
+	switch {
+	case full == 0:
+		return 1
+	case rem >= rng.ZigBlock:
+		return full + 1
+	default:
+		return full
+	}
+}
+
 // noisyCells fills buf (grown if its capacity is short) with
-// counts + N(0, σ²) noise from chunked batched fills. σ = 0 (empty
-// dataset) copies the counts unchanged.
-func noisyCells(buf []float64, counts []int64, sigma float64, src *rng.Source) []float64 {
+// counts + N(0, σ²) noise: the histogram is cut into noiseChunk-sized
+// windows, each drawing its noise from the chunk-indexed child of one
+// fork point on src (rng.Fork) with the counts add fused into the fill
+// window while it is cache-resident. When counts32 is non-nil (the
+// level's counts all fit int32 — hierarchy.Tree.LevelCellCounts32View)
+// the add pass reads 4-byte counts, halving its memory traffic.
+// workers > 1 shards the chunks across goroutines; because every
+// chunk's stream depends only on (fork point, chunk index), the result
+// is bit-identical for every worker count. σ = 0 (empty dataset)
+// copies the counts unchanged and draws nothing.
+func noisyCells(buf []float64, counts []int64, counts32 []int32, sigma float64, src *rng.Source, workers int) []float64 {
 	if cap(buf) < len(counts) {
 		buf = make([]float64, len(counts))
 	} else {
 		buf = buf[:len(counts)]
 	}
-	if sigma > 0 {
-		for off := 0; off < len(buf); {
-			end := off + noiseChunk
-			// A final fragment shorter than one ziggurat block would be
-			// consumed through a different sampler path than a whole-slice
-			// fill would use; absorb it into the last chunk so every chunk
-			// boundary the fill sees is one the un-chunked fill also sees.
-			if len(buf)-end < rng.ZigBlock {
-				end = len(buf)
-			}
-			window := buf[off:end]
-			src.NormalsSigma(window, sigma)
-			for i, c := range counts[off:end] {
-				window[i] += float64(c)
-			}
-			off = end
-		}
-	} else {
+	if sigma <= 0 {
 		for i, c := range counts {
 			buf[i] = float64(c)
 		}
+		return buf
 	}
+	fork := src.Fork()
+	chunks := noiseChunkCount(len(buf))
+	if workers > chunks {
+		workers = chunks
+	}
+	if workers < 2 {
+		var cs rng.Source
+		for c := 0; c < chunks; c++ {
+			fork.StreamTo(&cs, uint64(c))
+			noisyChunk(buf, counts, counts32, sigma, &cs, c, chunks)
+		}
+		return buf
+	}
+	noisyCellsParallel(buf, counts, counts32, sigma, fork, chunks, workers)
 	return buf
+}
+
+// noisyCellsParallel is noisyCells' multi-worker tail, kept out of
+// noisyCells so the goroutine closure does not force the single-worker
+// path's locals to the heap (the serving layer's steady-state queries
+// are allocation-free through workers == 1).
+func noisyCellsParallel(buf []float64, counts []int64, counts32 []int32, sigma float64, fork rng.Fork, chunks, workers int) {
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var cs rng.Source
+			for {
+				c := int(next.Add(1)) - 1
+				if c >= chunks {
+					return
+				}
+				fork.StreamTo(&cs, uint64(c))
+				noisyChunk(buf, counts, counts32, sigma, &cs, c, chunks)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// noisyChunk fills chunk c of the grid: one batched ziggurat fill on the
+// chunk's own stream, then the counts add over the still-resident
+// window through the narrow (int32) counts when available.
+func noisyChunk(buf []float64, counts []int64, counts32 []int32, sigma float64, cs *rng.Source, c, chunks int) {
+	off := c * noiseChunk
+	end := off + noiseChunk
+	if c == chunks-1 {
+		end = len(buf)
+	}
+	window := buf[off:end]
+	cs.NormalsSigma(window, sigma)
+	if counts32 != nil {
+		for i, v := range counts32[off:end] {
+			window[i] += float64(v)
+		}
+	} else {
+		for i, v := range counts[off:end] {
+			window[i] += float64(v)
+		}
+	}
 }
 
 // SumCells returns the total association count implied by a cell release

@@ -55,8 +55,16 @@ func ReleaseCellsSigma(t *hierarchy.Tree, level int, sigma float64, advertised d
 
 // ReleaseCellsSigmaInto is ReleaseCellsSigma writing into dst, reusing
 // dst.Counts' capacity; see ReleaseCellsInto for the reuse contract. The
-// level's noise comes from one batched ziggurat fill.
+// level's noise comes from chunked batched ziggurat fills on per-chunk
+// forked streams.
 func ReleaseCellsSigmaInto(dst *CellRelease, t *hierarchy.Tree, level int, sigma float64, advertised dp.Params, src *rng.Source) error {
+	return ReleaseCellsSigmaWorkersInto(dst, t, level, sigma, advertised, src, 1)
+}
+
+// ReleaseCellsSigmaWorkersInto is ReleaseCellsSigmaInto with the noise
+// pass sharded across workers goroutines; like ReleaseCellsWorkersInto,
+// the release is bit-identical for every workers value.
+func ReleaseCellsSigmaWorkersInto(dst *CellRelease, t *hierarchy.Tree, level int, sigma float64, advertised dp.Params, src *rng.Source, workers int) error {
 	if t == nil {
 		return ErrNilTree
 	}
@@ -70,5 +78,5 @@ func ReleaseCellsSigmaInto(dst *CellRelease, t *hierarchy.Tree, level int, sigma
 	if err != nil {
 		return err
 	}
-	return releaseCellsResolved(dst, t, level, sens, sigma, 0, "rdp", advertised, src)
+	return releaseCellsResolved(dst, t, level, sens, sigma, 0, "rdp", advertised, src, workers)
 }

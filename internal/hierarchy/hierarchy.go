@@ -69,6 +69,7 @@ package hierarchy
 import (
 	"errors"
 	"fmt"
+	"math"
 	"slices"
 	"sort"
 	"sync"
@@ -179,6 +180,14 @@ type Tree struct {
 	// sensitivity — consulted by every Phase-2 release — is O(1) instead
 	// of a 4^d scan per query.
 	maxCells []int64
+	// cells32[d] is the int32 image of cells[d], materialized at finalize
+	// for every depth whose largest cell fits int32 (nil otherwise). The
+	// Phase-2 add pass reads counts once per release; serving them as
+	// 4-byte values halves that pass's memory traffic on the dominant
+	// deepest level (2 MB → 1 MB at 4^9 cells), which is where the
+	// release spends its bandwidth budget. Coarser depths aggregate
+	// larger counts, so the fit is decided per depth, not per tree.
+	cells32 [][]int32
 
 	privateCuts int
 }
@@ -594,6 +603,7 @@ func (t *Tree) setCells(deepest []int64) {
 		t.cells[d-1] = aggregateCells(t.cells[d], 1<<d)
 	}
 	t.maxCells = make([]int64, depths)
+	t.cells32 = make([][]int32, depths)
 	for d, cells := range t.cells {
 		var max int64
 		for _, c := range cells {
@@ -602,6 +612,13 @@ func (t *Tree) setCells(deepest []int64) {
 			}
 		}
 		t.maxCells[d] = max
+		if max <= math.MaxInt32 {
+			narrow := make([]int32, len(cells))
+			for i, c := range cells {
+				narrow[i] = int32(c)
+			}
+			t.cells32[d] = narrow
+		}
 	}
 }
 
@@ -785,6 +802,23 @@ func (t *Tree) LevelCellCountsView(level int) ([]int64, error) {
 		return nil, err
 	}
 	return t.cells[d], nil
+}
+
+// LevelCellCounts32View returns the level's row-major cell count matrix
+// as int32 values, without copying, when every count at the level fits
+// — the narrow image finalize materializes so the Phase-2 add pass can
+// read 4-byte counts and halve its memory traffic. It returns (nil,
+// false) when the level's largest cell exceeds int32 (the release falls
+// back to the int64 view); like LevelCellCountsView, the slice is
+// internal storage and must be treated as read-only. The level must be
+// valid: callers resolve it through LevelCellCountsView (or another
+// level-checked accessor) first.
+func (t *Tree) LevelCellCounts32View(level int) ([]int32, bool) {
+	d, err := t.DepthOfLevel(level)
+	if err != nil || t.cells32[d] == nil {
+		return nil, false
+	}
+	return t.cells32[d], true
 }
 
 // CellOfEdge returns the cell coordinates containing association (l, r) at
@@ -1124,6 +1158,25 @@ func (t *Tree) Validate() error {
 		}
 		if t.maxCells[d] != max {
 			return fmt.Errorf("%w: depth %d cached max %d, cells say %d", ErrInvalid, d, t.maxCells[d], max)
+		}
+	}
+	if len(t.cells32) != len(t.cells) {
+		return fmt.Errorf("%w: %d narrow matrices for %d depths", ErrInvalid, len(t.cells32), len(t.cells))
+	}
+	for d, narrow := range t.cells32 {
+		if narrow == nil {
+			if t.maxCells[d] <= math.MaxInt32 {
+				return fmt.Errorf("%w: depth %d max %d fits int32 but narrow matrix is missing", ErrInvalid, d, t.maxCells[d])
+			}
+			continue
+		}
+		if len(narrow) != len(t.cells[d]) {
+			return fmt.Errorf("%w: depth %d narrow matrix has %d cells, wide has %d", ErrInvalid, d, len(narrow), len(t.cells[d]))
+		}
+		for i, c := range narrow {
+			if int64(c) != t.cells[d][i] {
+				return fmt.Errorf("%w: depth %d cell %d narrow %d, wide %d", ErrInvalid, d, i, c, t.cells[d][i])
+			}
 		}
 	}
 	return nil

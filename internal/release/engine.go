@@ -25,6 +25,12 @@ type Engine struct {
 	calib core.Calibration
 	mech  core.NoiseMechanism
 
+	// workers shards each cell release's noise pass across goroutines
+	// (core.ReleaseCellsWorkersInto); releases are bit-identical for
+	// every value, so it is purely a latency knob. 0 and 1 both mean
+	// single-threaded.
+	workers int
+
 	// cells is the reusable histogram buffer. Cells and CellsSigma
 	// overwrite it and return a pointer into it; the previous result is
 	// invalid after the next call.
@@ -48,6 +54,25 @@ func NewEngine(model core.GroupModel, calib core.Calibration, mech core.NoiseMec
 // Model returns the configured group-adjacency model.
 func (e *Engine) Model() core.GroupModel { return e.model }
 
+// SetWorkers sets the per-release noise-pass parallelism. Every cell
+// release draws per-chunk forked streams regardless, so the released
+// values are bit-identical across worker counts — n only changes how
+// many cores one release occupies. Values below 1 select 1.
+func (e *Engine) SetWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	e.workers = n
+}
+
+// Workers returns the per-release noise-pass parallelism (at least 1).
+func (e *Engine) Workers() int {
+	if e.workers < 1 {
+		return 1
+	}
+	return e.workers
+}
+
 // Count answers the association-count query at one level, consuming the
 // given budget.
 func (e *Engine) Count(t *hierarchy.Tree, level int, budget dp.Params, src *rng.Source) (core.LevelRelease, error) {
@@ -66,7 +91,7 @@ func (e *Engine) CountSigma(t *hierarchy.Tree, level int, sigma float64, adverti
 // next Cells or CellsSigma call; callers that retain it across calls must
 // clone (CloneCellRelease).
 func (e *Engine) Cells(t *hierarchy.Tree, level int, budget dp.Params, src *rng.Source) (*core.CellRelease, error) {
-	if err := core.ReleaseCellsInto(&e.cells, t, level, budget, e.calib, src); err != nil {
+	if err := core.ReleaseCellsWorkersInto(&e.cells, t, level, budget, e.calib, src, e.Workers()); err != nil {
 		return nil, err
 	}
 	return &e.cells, nil
@@ -74,7 +99,7 @@ func (e *Engine) Cells(t *hierarchy.Tree, level int, budget dp.Params, src *rng.
 
 // CellsSigma is Cells with an externally calibrated Gaussian scale.
 func (e *Engine) CellsSigma(t *hierarchy.Tree, level int, sigma float64, advertised dp.Params, src *rng.Source) (*core.CellRelease, error) {
-	if err := core.ReleaseCellsSigmaInto(&e.cells, t, level, sigma, advertised, src); err != nil {
+	if err := core.ReleaseCellsSigmaWorkersInto(&e.cells, t, level, sigma, advertised, src, e.Workers()); err != nil {
 		return nil, err
 	}
 	return &e.cells, nil

@@ -546,6 +546,9 @@ func (p *Pipeline) finish(tree *hierarchy.Tree, phase2Src *rng.Source) (*Release
 	if err != nil {
 		return nil, err
 	}
+	// The pipeline's Workers option shards each histogram's noise pass
+	// too; releases are bit-identical for any value.
+	eng.SetWorkers(cfg.workers)
 	qi := 0
 	for _, lvl := range cfg.levels {
 		budget := perQuery[qi]

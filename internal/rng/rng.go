@@ -146,6 +146,45 @@ func (r *Source) SplitTo(dst *Source, label uint64) {
 	dst.spare, dst.hasSpare = 0, false
 }
 
+// Fork captures an indexed stream-derivation point: one parent draw
+// (the parent advances by exactly one Uint64) from which Stream and
+// StreamTo derive the child stream of any index as a pure function of
+// (fork point, index). Unlike a chain of Split calls, deriving child i
+// does not disturb the derivation of child j, so parallel workers can
+// claim indexed work items in any order — or any worker count — and
+// still draw bit-identical noise per item. The index-i child is
+// identical to the child Split(i) would have produced at the fork
+// point, keeping forked streams in the same derivation family as the
+// serving layer's session chains. A Fork value is immutable and safe
+// for concurrent use.
+type Fork struct{ base uint64 }
+
+// Fork captures the current stream position as an indexed derivation
+// point, advancing the parent by one Uint64.
+func (r *Source) Fork() Fork { return Fork{base: r.Uint64()} }
+
+// Stream returns the fork's index-th child stream.
+func (f Fork) Stream(index uint64) *Source {
+	child := new(Source)
+	f.StreamTo(child, index)
+	return child
+}
+
+// StreamTo writes the fork's index-th child stream into dst without
+// allocating — the per-chunk scratch path of the parallel Phase-2
+// release. The derived state is identical to Stream's (and to Split's
+// at the fork point) for the same index.
+func (f Fork) StreamTo(dst *Source, index uint64) {
+	sm := f.base ^ (index * 0x9e3779b97f4a7c15)
+	for i := range dst.s {
+		dst.s[i] = splitmix64(&sm)
+	}
+	if dst.s[0]|dst.s[1]|dst.s[2]|dst.s[3] == 0 {
+		dst.s[0] = 1
+	}
+	dst.spare, dst.hasSpare = 0, false
+}
+
 // Float64 returns a uniform float64 in [0, 1).
 func (r *Source) Float64() float64 {
 	return float64(r.Uint64()>>11) / (1 << 53)

@@ -478,3 +478,59 @@ func TestSplitToMatchesSplit(t *testing.T) {
 		t.Fatal("SplitTo leaked a stale polar spare into the child stream")
 	}
 }
+
+// TestForkMatchesSplit pins the Fork derivation to Split: child index i
+// of a fork taken at some parent state must equal Split(i) taken at the
+// same state, so per-chunk fork streams stay in the one derivation
+// family the repo's determinism story is built on.
+func TestForkMatchesSplit(t *testing.T) {
+	t.Parallel()
+	for _, label := range []uint64{0, 1, 13, 1 << 40} {
+		a, b := New(7), New(7)
+		f := a.Fork()
+		want := b.Split(label)
+		got := f.Stream(label)
+		for i := 0; i < 16; i++ {
+			if w, g := want.Uint64(), got.Uint64(); w != g {
+				t.Fatalf("label %d draw %d: Split %d != Fork.Stream %d", label, i, w, g)
+			}
+		}
+	}
+	// Fork and Split consume the parent identically (one Uint64).
+	a, b := New(9), New(9)
+	a.Fork()
+	b.Split(0)
+	if a.Uint64() != b.Uint64() {
+		t.Fatal("Fork and Split advanced their parents differently")
+	}
+}
+
+// TestForkOrderIndependence is the property the parallel noise pass
+// rests on: a Fork is an immutable value, so any interleaving of child
+// derivations — including concurrent StreamTo into per-worker scratch
+// sources — yields the same streams.
+func TestForkOrderIndependence(t *testing.T) {
+	t.Parallel()
+	f := New(21).Fork()
+	const children = 8
+	want := make([]uint64, children)
+	for i := range want {
+		want[i] = f.Stream(uint64(i)).Uint64()
+	}
+	// Reverse order, shared scratch.
+	var scratch Source
+	for i := children - 1; i >= 0; i-- {
+		f.StreamTo(&scratch, uint64(i))
+		if got := scratch.Uint64(); got != want[i] {
+			t.Fatalf("child %d differs when derived in reverse order", i)
+		}
+	}
+	// StreamTo must clear a dirty polar spare like SplitTo does.
+	dirty := New(3)
+	dirty.Normal()
+	f.StreamTo(dirty, 4)
+	fresh := f.Stream(4)
+	if dirty.Normal() != fresh.Normal() {
+		t.Fatal("Fork.StreamTo leaked a stale polar spare into the child stream")
+	}
+}

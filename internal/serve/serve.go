@@ -124,6 +124,14 @@ type Config struct {
 	// pass and the cell scan shard across it). Trees are identical for
 	// any value.
 	Workers int
+	// ReleaseWorkers shards every session's Phase-2 noise pass across
+	// this many goroutines at cache-sized chunk granularity
+	// (release.Engine.SetWorkers). Each chunk draws from its own
+	// fork-derived stream, so released bytes are bit-identical for every
+	// value — the knob trades cores per query for single-query latency
+	// on large levels; under high query concurrency 1 (the default)
+	// usually wins because concurrent sessions already fill the machine.
+	ReleaseWorkers int
 	// IngestLanes bounds concurrent dataset builds; each lane retains
 	// one hierarchy.Builder across ingests (default 1).
 	IngestLanes int
@@ -195,6 +203,12 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.IngestLanes < 0 {
 		return Config{}, fmt.Errorf("%w: negative ingest lanes %d", ErrBadConfig, c.IngestLanes)
+	}
+	if c.ReleaseWorkers < 0 {
+		return Config{}, fmt.Errorf("%w: negative release workers %d", ErrBadConfig, c.ReleaseWorkers)
+	}
+	if c.ReleaseWorkers == 0 {
+		c.ReleaseWorkers = 1
 	}
 	if c.MaxCacheEntries == 0 {
 		c.MaxCacheEntries = DefaultMaxCacheEntries
@@ -680,6 +694,7 @@ func (d *Dataset) session(stream, domain uint64, pinned bool) *Session {
 		// withDefaults pre-validated the engine configuration.
 		panic(fmt.Sprintf("serve: engine config became invalid: %v", err))
 	}
+	eng.SetWorkers(d.reg.cfg.ReleaseWorkers)
 	// The data fingerprint joins the chain so a re-ingested name never
 	// replays a previous ingest's noise against different data.
 	return &Session{
