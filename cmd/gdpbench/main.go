@@ -101,11 +101,17 @@ type phase2Record struct {
 	Trials           int     `json:"figure1_trials"`
 	TrialsSerialMS   float64 `json:"figure1_trials_serial_ms"`
 	TrialsParallelMS float64 `json:"figure1_trials_parallel_ms"`
-	Workers          int     `json:"workers"`
-	GOMAXPROCS       int     `json:"gomaxprocs"`
-	NumCPU           int     `json:"num_cpu"`
-	Seed             uint64  `json:"seed"`
-	UnixMS           int64   `json:"unix_ms"`
+	// StrategyReleaseMS times one full pipeline run (hierarchy + count
+	// + cell releases) per registered release strategy, keyed by
+	// strategy name — the record that keeps alternative partitioner ×
+	// noise compositions on the perf trajectory. benchdiff ignores
+	// unknown fields, so older baselines diff cleanly.
+	StrategyReleaseMS map[string]float64 `json:"strategy_release_ms,omitempty"`
+	Workers           int                `json:"workers"`
+	GOMAXPROCS        int                `json:"gomaxprocs"`
+	NumCPU            int                `json:"num_cpu"`
+	Seed              uint64             `json:"seed"`
+	UnixMS            int64              `json:"unix_ms"`
 }
 
 func main() {
@@ -126,6 +132,7 @@ func run(args []string) error {
 		csvDir   = fs.String("csv", "", "also write each table as CSV into this directory")
 		workers  = fs.Int("workers", runtime.GOMAXPROCS(0), "experiment parallelism: trial fan-out and phase-1 builds (results identical for any value)")
 		benchDir = fs.String("benchjson", "", "write a machine-readable BENCH_<experiment>.json per experiment into this directory")
+		strategy = fs.String("strategy", "all", "release strategy for the per-strategy sweep in BENCH_phase2.json: a registered name, or 'all' "+fmt.Sprint(release.Strategies.Names()))
 
 		edgesFile    = fs.String("edges", "", "stream an edge file (TSV or binary graph) through the chunked build instead of running experiments")
 		rounds       = fs.Int("rounds", 9, "specialization rounds for -edges")
@@ -209,7 +216,7 @@ func run(args []string) error {
 	// full perf-trajectory sweep only, so single-experiment bench runs
 	// stay proportional to what was asked.
 	if *benchDir != "" && *exp == "all" {
-		if err := writePhase2Bench(*benchDir, *seed, *workers); err != nil {
+		if err := writePhase2Bench(*benchDir, *seed, *workers, *strategy); err != nil {
 			return err
 		}
 		if err := writeServeBench(*benchDir, *seed, *workers); err != nil {
@@ -557,7 +564,7 @@ func verifyStreamedRelease(f *os.File, format string, streamedTree *hierarchy.Tr
 // writePhase2Bench measures the Phase-2 release engine in-process and
 // writes BENCH_phase2.json: the batched deepest-level histogram release
 // and the parallel trial fan-out.
-func writePhase2Bench(dir string, seed uint64, workers int) error {
+func writePhase2Bench(dir string, seed uint64, workers int, strategy string) error {
 	g, err := datagen.Generate(datagen.DBLPTiny(seed))
 	if err != nil {
 		return err
@@ -612,6 +619,39 @@ func writePhase2Bench(dir string, seed uint64, workers int) error {
 		return err
 	}
 
+	// Per-strategy sweep: one full pipeline run per registered strategy
+	// (or just -strategy), timed over a few iterations on the same tiny
+	// graph, so composition overheads (community label propagation, pure
+	// Laplace cells) stay visible across commits.
+	names := release.Strategies.Names()
+	if strategy != "all" {
+		if _, err := release.Strategies.Resolve(strategy); err != nil {
+			return err
+		}
+		names = []string{strategy}
+	}
+	stratMS := make(map[string]float64, len(names))
+	const stratIters = 5
+	for _, name := range names {
+		p, err := release.New(dp.Params{Epsilon: 0.5, Delta: 1e-5},
+			release.WithStrategy(name),
+			release.WithRounds(6),
+			release.WithSeed(seed),
+			release.WithCellHistograms(true),
+			release.WithWorkers(workers),
+		)
+		if err != nil {
+			return fmt.Errorf("strategy %s: %w", name, err)
+		}
+		t0 := time.Now()
+		for i := 0; i < stratIters; i++ {
+			if _, err := p.Run(g); err != nil {
+				return fmt.Errorf("strategy %s: %w", name, err)
+			}
+		}
+		stratMS[name] = float64(time.Since(t0).Nanoseconds()) / 1e6 / stratIters
+	}
+
 	rec := phase2Record{
 		Cells:                  cells,
 		ReleaseCellsNsPerOp:    nsPerOp,
@@ -620,6 +660,7 @@ func writePhase2Bench(dir string, seed uint64, workers int) error {
 		Trials:                 cfg.Trials,
 		TrialsSerialMS:         serialMS,
 		TrialsParallelMS:       parallelMS,
+		StrategyReleaseMS:      stratMS,
 		Workers:                workers,
 		GOMAXPROCS:             runtime.GOMAXPROCS(0),
 		NumCPU:                 runtime.NumCPU(),

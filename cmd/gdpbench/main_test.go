@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/bipartite"
 	"repro/internal/datagen"
+	"repro/internal/release"
 )
 
 func TestRunSingleExperimentQuick(t *testing.T) {
@@ -65,7 +66,7 @@ func TestRunWithBenchJSON(t *testing.T) {
 
 func TestPhase2BenchRecord(t *testing.T) {
 	dir := t.TempDir()
-	if err := writePhase2Bench(dir, 1, 2); err != nil {
+	if err := writePhase2Bench(dir, 1, 2, "all"); err != nil {
 		t.Fatal(err)
 	}
 	blob, err := os.ReadFile(filepath.Join(dir, "BENCH_phase2.json"))
@@ -84,6 +85,11 @@ func TestPhase2BenchRecord(t *testing.T) {
 	}
 	if p2.TrialsSerialMS <= 0 || p2.TrialsParallelMS <= 0 || p2.Workers != 2 {
 		t.Errorf("trial timings not measured: %+v", p2)
+	}
+	for _, name := range release.Strategies.Names() {
+		if ms := p2.StrategyReleaseMS[name]; ms <= 0 {
+			t.Errorf("strategy %s release not timed: %v", name, ms)
+		}
 	}
 }
 

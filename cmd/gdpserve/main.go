@@ -10,6 +10,7 @@
 //	gdpserve -addr 127.0.0.1:8080 -eps 2 -delta 1e-5
 //	gdpserve -dataset dblp=/data/dblp.tsv -dataset rx=/data/pharmacy.bpg
 //	gdpserve -seed 0                # OS-entropy seed (production: non-replayable)
+//	gdpserve -strategy quadtree-laplace  # pure-ε releases (δ=0 budgets admitted)
 //
 // Endpoints (see internal/serve):
 //
@@ -69,6 +70,7 @@ func parseArgs(args []string) (cfg repro.ServeConfig, hopts repro.ServeHandlerOp
 		rounds     = fs.Int("rounds", 9, "specialization rounds per ingested hierarchy")
 		phase1     = fs.Float64("phase1-eps", 0, "per-cut exponential-mechanism ε for private ingest (0 = public balanced grouping)")
 		seed       = fs.Uint64("seed", 1, "RNG seed; 0 draws one from OS entropy (non-replayable)")
+		strategy   = fs.String("strategy", "", "release strategy for ingested datasets (empty = "+repro.DefaultReleaseStrategy+"; per-dataset override via ingest ?strategy=); one of: "+strings.Join(repro.ReleaseStrategyNames(), ", "))
 		workers    = fs.Int("workers", runtime.GOMAXPROCS(0), "ingest build parallelism")
 		relWorkers = fs.Int("release-workers", 1, "per-query noise-pass parallelism (responses are bit-identical for any value; >1 trades cores per query for single-query latency on large levels)")
 		lanes      = fs.Int("lanes", 2, "concurrent ingest lanes (each retains a hierarchy builder)")
@@ -101,6 +103,7 @@ func parseArgs(args []string) (cfg repro.ServeConfig, hopts repro.ServeHandlerOp
 		PerQuery:            repro.Params{Epsilon: *queryEps, Delta: *queryDelta},
 		Rounds:              *rounds,
 		Phase1Epsilon:       *phase1,
+		Strategy:            *strategy,
 		Seed:                resolvedSeed,
 		Workers:             *workers,
 		ReleaseWorkers:      *relWorkers,

@@ -327,6 +327,10 @@ type CellRelease struct {
 	Counts []float64 `json:"counts"`
 	// SideGroups is k, the number of node groups per side.
 	SideGroups int `json:"side_groups"`
+	// MechName names the noise mechanism when it is not the default
+	// Gaussian ("laplace", "geometric"); empty means Gaussian, keeping
+	// Gaussian artifacts byte-stable across mechanism additions.
+	MechName string `json:"mechanism,omitempty"`
 }
 
 // ReleaseCells releases the noisy per-cell histogram of a level.

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dp"
+	"repro/internal/hierarchy"
+	"repro/internal/rng"
+)
+
+// ReleaseCellsPureInto releases a level's cell histogram under a pure-ε
+// mechanism (Laplace or geometric), the δ = 0 counterpart of
+// ReleaseCellsWorkersInto. Under cell adjacency removing one group Gi
+// changes only coordinate i of the histogram, by |Gi| records, so the
+// histogram's L1 sensitivity equals the count query's Δℓ = max cell
+// size and per-coordinate noise at scale Δℓ/ε gives εg-group DP for the
+// whole histogram with δ = 0.
+//
+// The noise pass is one serial draw per cell in index order — there is
+// no worker knob because the result is already independent of
+// parallelism by construction, and pure-ε strategies trade Phase-2
+// throughput for the stronger guarantee. Sigma reports the mechanism's
+// standard deviation (b√2 for Laplace(b), the geometric Scale
+// otherwise) so downstream variance weighting keeps working.
+func ReleaseCellsPureInto(dst *CellRelease, t *hierarchy.Tree, level int, p dp.Params, mech NoiseMechanism, src *rng.Source) error {
+	if mech != MechLaplace && mech != MechGeometric {
+		return fmt.Errorf("%w: %d (want laplace or geometric)", ErrBadMechanism, int(mech))
+	}
+	if t == nil {
+		return ErrNilTree
+	}
+	if src == nil {
+		return dp.ErrNilSource
+	}
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	sens, err := Sensitivity(t, level, ModelCells)
+	if err != nil {
+		return err
+	}
+	counts, err := t.LevelCellCountsView(level)
+	if err != nil {
+		return err
+	}
+	k, err := t.NumSideGroups(level)
+	if err != nil {
+		return err
+	}
+	buf := dst.Counts
+	if cap(buf) < len(counts) {
+		buf = make([]float64, len(counts))
+	} else {
+		buf = buf[:len(counts)]
+	}
+	var sigma float64
+	if sens == 0 {
+		for i, c := range counts {
+			buf[i] = float64(c)
+		}
+	} else {
+		switch mech {
+		case MechLaplace:
+			m, err := dp.NewLaplace(p.Epsilon, float64(sens), src)
+			if err != nil {
+				return err
+			}
+			sigma = m.Scale() * math.Sqrt2 // stddev of Laplace(b)
+			for i, c := range counts {
+				buf[i] = m.Perturb(float64(c))
+			}
+		case MechGeometric:
+			m, err := dp.NewGeometric(p.Epsilon, float64(sens), src)
+			if err != nil {
+				return err
+			}
+			sigma = m.Scale()
+			for i, c := range counts {
+				buf[i] = float64(m.PerturbInt(c))
+			}
+		}
+	}
+	*dst = CellRelease{
+		Level: level, Model: ModelCells,
+		ModelName: ModelCells.String(), CalibName: "pure",
+		Params: p, Epsilon: p.Epsilon, Delta: 0,
+		Sensitivity: sens, Sigma: sigma,
+		Counts: buf, SideGroups: k,
+		MechName: mech.String(),
+	}
+	return nil
+}

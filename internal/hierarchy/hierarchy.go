@@ -107,6 +107,18 @@ const (
 // Valid reports whether o is a known ordering.
 func (o Order) Valid() bool { return o == OrderWeightDesc || o == OrderNatural }
 
+// OrderKeys is an explicit static ordering over both node sides: node n
+// of a side sorts by its key ascending (node id breaks ties), replacing
+// the Order-based arrangement for every range of every round. Keys let
+// partitioners impose externally computed structure — a community
+// assignment, say — on the contiguous ranges the bisector cuts. The
+// slices must be indexed by node id and match the side sizes; they are
+// read during the build and must not be mutated concurrently.
+type OrderKeys struct {
+	Left  []uint64
+	Right []uint64
+}
+
 // Options configures Build.
 type Options struct {
 	// Rounds is the number of specialization rounds; the resulting tree
@@ -118,6 +130,9 @@ type Options struct {
 	// Order arranges range nodes before cutting; defaults to
 	// OrderWeightDesc.
 	Order Order
+	// Keys, when non-nil, overrides Order with an explicit per-node
+	// static ordering (see OrderKeys).
+	Keys *OrderKeys
 	// Workers parallelizes the per-range weight computation and ordering,
 	// and shards the deepest-level cell scan, across goroutines. Cut
 	// decisions remain serial in range order, so the built tree is
@@ -131,6 +146,7 @@ var (
 	ErrNilBisector = errors.New("hierarchy: nil bisector")
 	ErrBadRounds   = errors.New("hierarchy: rounds must be in [1, 12]")
 	ErrBadLevel    = errors.New("hierarchy: level out of range")
+	ErrBadKeys     = errors.New("hierarchy: ordering keys do not match side sizes")
 	ErrInvalid     = errors.New("hierarchy: invalid tree")
 )
 
@@ -150,11 +166,16 @@ type sideTree struct {
 	// permutation write so range weights never need a fresh lookup pass.
 	weightByPos []int64
 	// inOrder records that every current range already sits in bisector
-	// order. Ordering is a static total order (degree desc, node asc), so
-	// once one specialization round has sorted the side, every deeper
-	// range is a contiguous span of a sorted span and stays sorted; from
-	// then on splitting skips preparation entirely.
+	// order. Ordering is a static total order (degree desc, node asc — or
+	// key asc when orderKeys is set), so once one specialization round
+	// has sorted the side, every deeper range is a contiguous span of a
+	// sorted span and stays sorted; from then on splitting skips
+	// preparation entirely.
 	inOrder bool
+	// orderKeys, when non-nil, is the per-node key array of an explicit
+	// static ordering (Options.Keys); ranges sort by key ascending
+	// instead of by weight.
+	orderKeys []uint64
 	// degPrefix[p] is the summed degree of perm[0:p] under the final
 	// permutation, so any depth's group-incident-edge sums are boundary
 	// differences. Filled by finalize.
@@ -281,6 +302,9 @@ func (b *Builder) Build(g *bipartite.Graph, opts Options) (*Tree, error) {
 	t.right.deg = g.Degrees(bipartite.Right)
 	t.left.initWeights(opts.Order)
 	t.right.initWeights(opts.Order)
+	if err := t.applyOrderKeys(opts.Keys); err != nil {
+		return nil, err
+	}
 	if err := b.runSplits(t, opts); err != nil {
 		return nil, err
 	}
@@ -359,6 +383,33 @@ func (st *sideTree) initWeights(order Order) {
 		st.weightByPos[p] = st.deg[node]
 	}
 	st.inOrder = order == OrderNatural
+}
+
+// setOrderKeys installs an explicit static ordering for the side: the
+// first split round sorts every range by key ascending, after which the
+// usual sorted-span invariant holds.
+func (st *sideTree) setOrderKeys(keys []uint64) error {
+	if len(keys) != len(st.perm) {
+		return fmt.Errorf("%w: got %d keys for a %d-node side", ErrBadKeys, len(keys), len(st.perm))
+	}
+	st.orderKeys = keys
+	st.inOrder = false
+	return nil
+}
+
+// applyOrderKeys wires Options.Keys into both sides; shared by the graph
+// and streamed builds.
+func (t *Tree) applyOrderKeys(keys *OrderKeys) error {
+	if keys == nil {
+		return nil
+	}
+	if err := t.left.setOrderKeys(keys.Left); err != nil {
+		return fmt.Errorf("left side: %w", err)
+	}
+	if err := t.right.setOrderKeys(keys.Right); err != nil {
+		return fmt.Errorf("right side: %w", err)
+	}
+	return nil
 }
 
 // rangeItem pairs a node with its weight during range preparation.
@@ -486,7 +537,23 @@ func (t *Tree) prepareRange(st *sideTree, lo, hi int32, bs *Builder) {
 			maxWeight = w
 		}
 	}
-	if len(items) >= radixMinLen && maxWeight < 1<<31 {
+	if keys := st.orderKeys; keys != nil {
+		// An explicit static ordering: key ascending, node id tie-break
+		// (the same shape of total order, so the sorted-span invariant
+		// holds for deeper rounds). Arbitrary 64-bit keys skip the radix
+		// path, which packs weights into 32 bits.
+		slices.SortFunc(items, func(a, b rangeItem) int {
+			ka, kb := keys[a.node], keys[b.node]
+			switch {
+			case ka < kb:
+				return -1
+			case ka > kb:
+				return 1
+			default:
+				return int(a.node) - int(b.node)
+			}
+		})
+	} else if len(items) >= radixMinLen && maxWeight < 1<<31 {
 		radixSortItems(items, bs.keys[lo:hi], bs.tmpKeys[lo:hi], maxWeight)
 	} else {
 		slices.SortFunc(items, compareItems)

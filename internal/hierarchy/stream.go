@@ -75,6 +75,9 @@ func (b *Builder) BuildFromEdges(src bipartite.EdgeSource, opts Options) (*Tree,
 	t.right.deg = rightDeg
 	t.left.initWeights(opts.Order)
 	t.right.initWeights(opts.Order)
+	if err := t.applyOrderKeys(opts.Keys); err != nil {
+		return nil, err
+	}
 	if err := b.runSplits(t, opts); err != nil {
 		return nil, err
 	}

@@ -25,6 +25,12 @@ type Engine struct {
 	calib core.Calibration
 	mech  core.NoiseMechanism
 
+	// cellMech is the cell-histogram noise mechanism. The default
+	// Gaussian runs the chunked parallel fill; Laplace/geometric run the
+	// serial pure-ε path (core.ReleaseCellsPureInto), which ignores the
+	// worker knob. Zero means Gaussian.
+	cellMech core.NoiseMechanism
+
 	// workers shards each cell release's noise pass across goroutines
 	// (core.ReleaseCellsWorkersInto); releases are bit-identical for
 	// every value, so it is purely a latency knob. 0 and 1 both mean
@@ -53,6 +59,26 @@ func NewEngine(model core.GroupModel, calib core.Calibration, mech core.NoiseMec
 
 // Model returns the configured group-adjacency model.
 func (e *Engine) Model() core.GroupModel { return e.model }
+
+// SetCellMechanism selects the cell-histogram noise mechanism. Gaussian
+// (the default) keeps the chunked worker-sharded fill; Laplace and
+// geometric switch Cells to the serial pure-ε path with δ = 0.
+func (e *Engine) SetCellMechanism(m core.NoiseMechanism) error {
+	if !m.Valid() {
+		return fmt.Errorf("%w: cell mechanism %d", ErrBadOption, int(m))
+	}
+	e.cellMech = m
+	return nil
+}
+
+// CellMechanism returns the cell-histogram noise mechanism (Gaussian
+// when unset).
+func (e *Engine) CellMechanism() core.NoiseMechanism {
+	if e.cellMech == 0 {
+		return core.MechGaussian
+	}
+	return e.cellMech
+}
 
 // SetWorkers sets the per-release noise-pass parallelism. Every cell
 // release draws per-chunk forked streams regardless, so the released
@@ -91,14 +117,24 @@ func (e *Engine) CountSigma(t *hierarchy.Tree, level int, sigma float64, adverti
 // next Cells or CellsSigma call; callers that retain it across calls must
 // clone (CloneCellRelease).
 func (e *Engine) Cells(t *hierarchy.Tree, level int, budget dp.Params, src *rng.Source) (*core.CellRelease, error) {
+	if m := e.CellMechanism(); m != core.MechGaussian {
+		if err := core.ReleaseCellsPureInto(&e.cells, t, level, budget, m, src); err != nil {
+			return nil, err
+		}
+		return &e.cells, nil
+	}
 	if err := core.ReleaseCellsWorkersInto(&e.cells, t, level, budget, e.calib, src, e.Workers()); err != nil {
 		return nil, err
 	}
 	return &e.cells, nil
 }
 
-// CellsSigma is Cells with an externally calibrated Gaussian scale.
+// CellsSigma is Cells with an externally calibrated Gaussian scale. It
+// is Gaussian-only: pure-ε mechanisms have no external σ accounting.
 func (e *Engine) CellsSigma(t *hierarchy.Tree, level int, sigma float64, advertised dp.Params, src *rng.Source) (*core.CellRelease, error) {
+	if m := e.CellMechanism(); m != core.MechGaussian {
+		return nil, fmt.Errorf("%w: sigma-calibrated cells need the Gaussian mechanism, engine has %s", ErrBadOption, m)
+	}
 	if err := core.ReleaseCellsSigmaWorkersInto(&e.cells, t, level, sigma, advertised, src, e.Workers()); err != nil {
 		return nil, err
 	}

@@ -22,7 +22,6 @@ import (
 
 	"repro/internal/accountant"
 	"repro/internal/bipartite"
-	"repro/internal/consistency"
 	"repro/internal/core"
 	"repro/internal/dp"
 	"repro/internal/hierarchy"
@@ -100,6 +99,8 @@ type config struct {
 	model          core.GroupModel
 	calib          core.Calibration
 	mechanism      core.NoiseMechanism
+	mechSet        bool
+	strategy       *Strategy
 	phase1Epsilon  float64
 	bisector       partition.Bisector
 	builder        *hierarchy.Builder
@@ -172,16 +173,33 @@ func WithCalibration(cal core.Calibration) Option {
 	}
 }
 
-// WithMechanism sets the Phase-2 noise mechanism. Default
-// core.MechGaussian (the paper's); core.MechLaplace and
-// core.MechGeometric give pure εg-group DP for the count releases (cell
-// histograms always use the Gaussian path).
+// WithMechanism overrides the strategy's count-release noise mechanism
+// (ablation A2). Default: whatever the active strategy composes —
+// core.MechGaussian for the paper's pipeline. The cell-histogram
+// mechanism always follows the strategy's noise stage.
 func WithMechanism(m core.NoiseMechanism) Option {
 	return func(c *config) error {
 		if !m.Valid() {
 			return fmt.Errorf("%w: mechanism %d", ErrBadOption, int(m))
 		}
 		c.mechanism = m
+		c.mechSet = true
+		return nil
+	}
+}
+
+// WithStrategy selects a registered release strategy by name — the
+// composed partitioner × noise × consistency plan the pipeline runs.
+// The empty name selects the default (the paper's quadtree + Gaussian
+// pipeline); unknown names fail here with ErrUnknownStrategy, never as
+// a late failure inside a run.
+func WithStrategy(name string) Option {
+	return func(c *config) error {
+		s, err := Strategies.Resolve(name)
+		if err != nil {
+			return err
+		}
+		c.strategy = s
 		return nil
 	}
 }
@@ -319,6 +337,13 @@ func New(budget dp.Params, opts ...Option) (*Pipeline, error) {
 			return nil, err
 		}
 	}
+	if cfg.strategy == nil {
+		s, err := Strategies.Resolve("")
+		if err != nil {
+			return nil, err
+		}
+		cfg.strategy = s
+	}
 	if cfg.levels == nil {
 		hi := cfg.rounds - 2
 		if hi < 0 {
@@ -357,7 +382,11 @@ type Release struct {
 	ModelName string `json:"model"`
 	CalibName string `json:"calibration"`
 	MechName  string `json:"mechanism"`
-	Rounds    int    `json:"rounds"`
+	// Strategy names the release strategy when it is not the default,
+	// keeping default artifacts byte-identical to the pre-strategy
+	// engine.
+	Strategy string `json:"strategy,omitempty"`
+	Rounds   int    `json:"rounds"`
 	// Budget is the configured global (εg, δ).
 	BudgetEpsilon float64 `json:"budget_epsilon"`
 	BudgetDelta   float64 `json:"budget_delta"`
@@ -396,7 +425,7 @@ func (p *Pipeline) Run(g *bipartite.Graph) (*Release, error) {
 		return nil, ErrNilGraph
 	}
 	phase1Src, phase2Src := p.splitSources()
-	bisector, err := p.phase1Bisector(phase1Src)
+	plan, err := p.cfg.strategy.Partitioner.PlanGraph(g, p.partitionConfig(), phase1Src)
 	if err != nil {
 		return nil, err
 	}
@@ -404,7 +433,7 @@ func (p *Pipeline) Run(g *bipartite.Graph) (*Release, error) {
 	if p.cfg.builder != nil {
 		build = p.cfg.builder.Build
 	}
-	tree, err := build(g, p.hierarchyOptions(bisector))
+	tree, err := build(g, p.hierarchyOptions(plan))
 	if err != nil {
 		return nil, fmt.Errorf("release: phase 1: %w", err)
 	}
@@ -423,7 +452,7 @@ func (p *Pipeline) RunFromEdges(src bipartite.EdgeSource) (*Release, error) {
 		return nil, ErrNilSource
 	}
 	phase1Src, phase2Src := p.splitSources()
-	bisector, err := p.phase1Bisector(phase1Src)
+	plan, err := p.cfg.strategy.Partitioner.PlanSource(src, p.partitionConfig(), phase1Src)
 	if err != nil {
 		return nil, err
 	}
@@ -431,41 +460,54 @@ func (p *Pipeline) RunFromEdges(src bipartite.EdgeSource) (*Release, error) {
 	if p.cfg.builder != nil {
 		build = p.cfg.builder.BuildFromEdges
 	}
-	tree, err := build(src, p.hierarchyOptions(bisector))
+	tree, err := build(src, p.hierarchyOptions(plan))
 	if err != nil {
 		return nil, fmt.Errorf("release: phase 1: %w", err)
 	}
 	return p.finish(tree, phase2Src)
 }
 
-// splitSources derives the two phase RNG streams from the seed.
+// splitSources derives the two phase RNG streams from the seed. The
+// strategy salt (zero for the default strategy, so its streams are
+// untouched) is folded in first, so two strategies over the same data
+// and seed never share a noise draw.
 func (p *Pipeline) splitSources() (phase1, phase2 *rng.Source) {
 	src := rng.New(p.cfg.seed)
+	if salt := StrategySalt(p.cfg.strategy.Name()); salt != 0 {
+		src = src.Split(salt)
+	}
 	return src.Split(1), src.Split(2)
 }
 
-// phase1Bisector resolves the configured bisector.
-func (p *Pipeline) phase1Bisector(phase1Src *rng.Source) (partition.Bisector, error) {
-	cfg := p.cfg
-	if cfg.bisector != nil {
-		return cfg.bisector, nil
+// partitionConfig is the slice of the configuration the strategy's
+// Phase-1 stage consumes.
+func (p *Pipeline) partitionConfig() PartitionConfig {
+	return PartitionConfig{
+		Rounds:   p.cfg.rounds,
+		Epsilon:  p.cfg.phase1Epsilon,
+		Override: p.cfg.bisector,
+		Workers:  p.cfg.workers,
 	}
-	if cfg.phase1Epsilon > 0 {
-		b, err := partition.NewExpMechBisector(cfg.phase1Epsilon, phase1Src)
-		if err != nil {
-			return nil, fmt.Errorf("release: phase 1 bisector: %w", err)
-		}
-		return b, nil
-	}
-	return partition.BalancedBisector{}, nil
 }
 
-// hierarchyOptions assembles the Phase-1 build options.
-func (p *Pipeline) hierarchyOptions(bisector partition.Bisector) hierarchy.Options {
+// countMechanism resolves the effective count-release mechanism: the
+// explicit WithMechanism override when set, the strategy's noise stage
+// otherwise.
+func (p *Pipeline) countMechanism() core.NoiseMechanism {
+	if p.cfg.mechSet {
+		return p.cfg.mechanism
+	}
+	return p.cfg.strategy.Noise.Count
+}
+
+// hierarchyOptions assembles the Phase-1 build options from the
+// partitioner's plan.
+func (p *Pipeline) hierarchyOptions(plan PartitionPlan) hierarchy.Options {
 	return hierarchy.Options{
 		Rounds:   p.cfg.rounds,
-		Bisector: bisector,
+		Bisector: plan.Bisector,
 		Order:    p.cfg.order,
+		Keys:     plan.Keys,
 		Workers:  p.cfg.workers,
 	}
 }
@@ -475,14 +517,21 @@ func (p *Pipeline) hierarchyOptions(bisector partition.Bisector) hierarchy.Optio
 // one Engine, the same component a serving session reuses per query.
 func (p *Pipeline) finish(tree *hierarchy.Tree, phase2Src *rng.Source) (*Release, error) {
 	cfg := p.cfg
+	strat := cfg.strategy
 	var err error
-	var phase1Eps float64
-	if tree.NumPrivateCuts() > 0 {
-		// Cuts within one (depth, side) operate on disjoint node ranges
-		// and compose in parallel; the 2·rounds side-depths compose
-		// sequentially.
-		phase1Eps = 2 * float64(cfg.rounds) * cfg.phase1Epsilon
+
+	// The partitioner declares its Phase-1 charges; they apply when the
+	// grouping actually consumed budget — always for partitioners that
+	// spend outside the bisector (ChargeAlways), otherwise only when the
+	// build recorded private cuts.
+	phase1Ops := strat.Partitioner.Ops(p.partitionConfig())
+	charge := len(phase1Ops) > 0 &&
+		(strat.Partitioner.ChargeAlways() || tree.NumPrivateCuts() > 0)
+	var phase1Cost dp.Params
+	if charge {
+		phase1Cost = PhaseCost(phase1Ops)
 	}
+	phase1Eps := phase1Cost.Epsilon
 
 	var perQuery []dp.Params
 	var sigmas []float64
@@ -499,8 +548,8 @@ func (p *Pipeline) finish(tree *hierarchy.Tree, phase2Src *rng.Source) (*Release
 	// deliberately overshoots a single εg, which the artifact reports as
 	// ParallelCost vs SequentialCost.
 	var ledgerBudget dp.Params
-	ledgerBudget.Epsilon = phase1Eps
-	ledgerBudget.Delta = 0
+	ledgerBudget.Epsilon = phase1Cost.Epsilon
+	ledgerBudget.Delta = phase1Cost.Delta
 	for _, q := range perQuery {
 		ledgerBudget.Epsilon += q.Epsilon
 		ledgerBudget.Delta += q.Delta
@@ -509,24 +558,27 @@ func (p *Pipeline) finish(tree *hierarchy.Tree, phase2Src *rng.Source) (*Release
 	if err != nil {
 		return nil, fmt.Errorf("release: ledger: %w", err)
 	}
-	if phase1Eps > 0 {
-		for d := 0; d < cfg.rounds; d++ {
-			for _, side := range []string{"left", "right"} {
-				if err := ledger.Spend(fmt.Sprintf("phase1/depth%d/%s", d, side),
-					dp.Params{Epsilon: cfg.phase1Epsilon}); err != nil {
-					return nil, fmt.Errorf("release: accounting phase 1: %w", err)
-				}
+	if charge {
+		for _, op := range phase1Ops {
+			if err := ledger.Spend(op.Label, op.Cost); err != nil {
+				return nil, fmt.Errorf("release: accounting phase 1: %w", err)
 			}
 		}
 	}
 
+	countMech := p.countMechanism()
+	strategyName := ""
+	if strat.Name() != DefaultStrategyName {
+		strategyName = strat.Name()
+	}
 	rel := &Release{
 		Dataset:       tree.DatasetStats(),
 		Seed:          cfg.seed,
 		ModeName:      cfg.mode.String(),
 		ModelName:     cfg.model.String(),
 		CalibName:     cfg.calib.String(),
-		MechName:      cfg.mechanism.String(),
+		MechName:      countMech.String(),
+		Strategy:      strategyName,
 		Rounds:        cfg.rounds,
 		BudgetEpsilon: cfg.budget.Epsilon,
 		BudgetDelta:   cfg.budget.Delta,
@@ -542,8 +594,11 @@ func (p *Pipeline) finish(tree *hierarchy.Tree, phase2Src *rng.Source) (*Release
 		rel.Profiles = append(rel.Profiles, prof)
 	}
 
-	eng, err := NewEngine(cfg.model, cfg.calib, cfg.mechanism)
+	eng, err := NewEngine(cfg.model, cfg.calib, countMech)
 	if err != nil {
+		return nil, err
+	}
+	if err := eng.SetCellMechanism(strat.Noise.Cells); err != nil {
 		return nil, err
 	}
 	// The pipeline's Workers option shards each histogram's noise pass
@@ -590,7 +645,7 @@ func (p *Pipeline) finish(tree *hierarchy.Tree, phase2Src *rng.Source) (*Release
 		if !cfg.cellHistograms {
 			return nil, fmt.Errorf("%w: consistency requires cell histograms", ErrBadOption)
 		}
-		fixed, err := consistency.Enforce(rel.Cells)
+		fixed, err := strat.Consistency.Apply(rel.Cells)
 		if err != nil {
 			return nil, fmt.Errorf("release: enforcing consistency: %w", err)
 		}
@@ -641,8 +696,11 @@ func (p *Pipeline) rdpPlan(tree *hierarchy.Tree) ([]dp.Params, []float64, error)
 	if cfg.budget.Delta <= 0 {
 		return nil, nil, fmt.Errorf("%w: composed-rdp requires delta > 0", ErrBadOption)
 	}
-	if cfg.mechanism != core.MechGaussian {
+	if p.countMechanism() != core.MechGaussian {
 		return nil, nil, fmt.Errorf("%w: composed-rdp requires the gaussian mechanism", ErrBadOption)
+	}
+	if cfg.cellHistograms && cfg.strategy.Noise.Cells != core.MechGaussian {
+		return nil, nil, fmt.Errorf("%w: composed-rdp requires gaussian cell histograms", ErrBadOption)
 	}
 	queries := len(cfg.levels)
 	if cfg.cellHistograms {

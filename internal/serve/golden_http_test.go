@@ -1,0 +1,168 @@
+// Golden transcript tests live in the external test package because
+// they exercise the public repro facade (SaveTSV) against the HTTP
+// handler — the facade imports internal/serve, so an internal test
+// would cycle.
+package serve_test
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro"
+	"repro/internal/bipartite"
+	"repro/internal/datagen"
+	"repro/internal/dp"
+	"repro/internal/release"
+	"repro/internal/serve"
+)
+
+// goldenServeTranscript pins the full HTTP conversation — ingest,
+// session, level, marginal, top-k, budget — for the default strategy.
+// It was captured before the strategy refactor; the strategy seam must
+// never change a default-strategy byte on the wire.
+const goldenServeTranscript = "f682c5e4e00b98674ab48c167099d9ca7c3a356b316b440b5c8655556f164422"
+
+func goldenGraph(t *testing.T) *bipartite.Graph {
+	t.Helper()
+	g, err := datagen.Generate(datagen.Config{
+		Name: "test", NumLeft: 300, NumRight: 500, NumEdges: 3000,
+		LeftZipf: 1.9, RightZipf: 2.8, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestServeTranscriptGoldenPinned(t *testing.T) {
+	t.Parallel()
+	g := goldenGraph(t)
+
+	reg, err := serve.Open(serve.Config{
+		Budget:   dp.Params{Epsilon: 2, Delta: 1e-5},
+		PerQuery: dp.Params{Epsilon: 0.05, Delta: 1e-7},
+		Rounds:   6,
+		Seed:     7,
+		Workers:  2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { reg.Close() })
+	h := serve.NewHandler(reg)
+
+	var tsv bytes.Buffer
+	if err := repro.SaveTSV(&tsv, g); err != nil {
+		t.Fatal(err)
+	}
+
+	var transcript bytes.Buffer
+	do := func(method, path, body string) string {
+		t.Helper()
+		req := httptest.NewRequest(method, path, strings.NewReader(body))
+		if strings.HasPrefix(body, "{") {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		rr := httptest.NewRecorder()
+		h.ServeHTTP(rr, req)
+		if rr.Code != 200 && rr.Code != 201 {
+			t.Fatalf("%s %s: status %d: %s", method, path, rr.Code, rr.Body.String())
+		}
+		fmt.Fprintf(&transcript, "%s %s\n%s\n", method, path, rr.Body.String())
+		return rr.Body.String()
+	}
+
+	do("POST", "/v1/datasets/golden", tsv.String())
+	sidBody := do("POST", "/v1/datasets/golden/sessions", `{"stream": 7}`)
+	var sess struct {
+		Session json.Number `json:"session"`
+	}
+	if err := json.Unmarshal([]byte(sidBody), &sess); err != nil {
+		t.Fatal(err)
+	}
+	sid := sess.Session.String()
+	do("POST", "/v1/sessions/"+sid+"/level", `{"level": 2}`)
+	do("POST", "/v1/sessions/"+sid+"/marginal", `{"level": 2, "side": "left"}`)
+	do("POST", "/v1/sessions/"+sid+"/topk", `{"level": 2, "side": "right", "k": 5}`)
+	do("GET", "/v1/datasets/golden/budget", "")
+
+	got := fmt.Sprintf("%x", sha256.Sum256(transcript.Bytes()))
+	if got != goldenServeTranscript {
+		t.Errorf("serve transcript hash = %s, want %s\ntranscript:\n%s",
+			got, goldenServeTranscript, transcript.String())
+	}
+}
+
+// TestHTTPIngestStrategy drives the ?strategy= ingest path for every
+// registered strategy and checks the wire contract: the dataset
+// response and /budget name non-default strategies and omit the key
+// for the default; unknown names are refused with 400 bad-config.
+func TestHTTPIngestStrategy(t *testing.T) {
+	t.Parallel()
+	g := goldenGraph(t)
+	var tsv bytes.Buffer
+	if err := repro.SaveTSV(&tsv, g); err != nil {
+		t.Fatal(err)
+	}
+
+	reg, err := serve.Open(serve.Config{
+		Budget:   dp.Params{Epsilon: 4, Delta: 1e-5},
+		PerQuery: dp.Params{Epsilon: 0.05, Delta: 1e-7},
+		Rounds:   5,
+		Seed:     11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { reg.Close() })
+	h := serve.NewHandler(reg)
+
+	do := func(method, path, body string) (int, map[string]any) {
+		t.Helper()
+		req := httptest.NewRequest(method, path, strings.NewReader(body))
+		if strings.HasPrefix(body, "{") {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		rr := httptest.NewRecorder()
+		h.ServeHTTP(rr, req)
+		var m map[string]any
+		if err := json.Unmarshal(rr.Body.Bytes(), &m); err != nil {
+			t.Fatalf("%s %s: non-JSON response %q", method, path, rr.Body.String())
+		}
+		return rr.Code, m
+	}
+
+	for _, name := range release.Strategies.Names() {
+		code, resp := do("POST", "/v1/datasets/ds-"+name+"?strategy="+name, tsv.String())
+		if code != 200 && code != 201 {
+			t.Fatalf("%s: ingest status %d: %v", name, code, resp)
+		}
+		wantLabel := name
+		if name == release.DefaultStrategyName {
+			wantLabel = "" // absence IS the default on the wire
+		}
+		if got, _ := resp["strategy"].(string); got != wantLabel {
+			t.Errorf("%s: ingest response strategy = %q, want %q", name, got, wantLabel)
+		}
+		code, budget := do("GET", "/v1/datasets/ds-"+name+"/budget", "")
+		if code != 200 {
+			t.Fatalf("%s: budget status %d: %v", name, code, budget)
+		}
+		if got, _ := budget["strategy"].(string); got != wantLabel {
+			t.Errorf("%s: budget strategy = %q, want %q", name, got, wantLabel)
+		}
+	}
+
+	code, resp := do("POST", "/v1/datasets/bad?strategy=no-such-strategy", tsv.String())
+	if code != 400 {
+		t.Errorf("unknown strategy ingest: status %d, want 400 (%v)", code, resp)
+	}
+	if got, _ := resp["code"].(string); got != "bad-config" {
+		t.Errorf("unknown strategy ingest: error code %q, want bad-config", got)
+	}
+}

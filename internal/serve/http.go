@@ -16,6 +16,7 @@ import (
 	"repro/internal/accountant"
 	"repro/internal/bipartite"
 	"repro/internal/dp"
+	"repro/internal/release"
 )
 
 // HTTP/JSON front end over a Registry.
@@ -211,6 +212,8 @@ func writeErr(w http.ResponseWriter, err error) {
 		status, code = http.StatusNotFound, "unknown-session"
 	case errors.Is(err, ErrDatasetExists):
 		status, code = http.StatusConflict, "dataset-exists"
+	case errors.Is(err, ErrBadConfig):
+		status, code = http.StatusBadRequest, "bad-config"
 	case errors.Is(err, ErrClosed):
 		status, code = http.StatusServiceUnavailable, "registry-closed"
 	}
@@ -257,12 +260,26 @@ func toBudgetJSON(p dp.Params) budgetJSON { return budgetJSON{Epsilon: p.Epsilon
 
 // datasetJSON is the dataset summary shape shared by list/info/ingest.
 type datasetJSON struct {
-	Name      string          `json:"name"`
-	Stats     bipartite.Stats `json:"stats"`
-	MaxLevel  int             `json:"max_level"`
-	Budget    budgetJSON      `json:"budget"`
-	Spent     budgetJSON      `json:"spent"`
-	Remaining budgetJSON      `json:"remaining"`
+	Name     string          `json:"name"`
+	Stats    bipartite.Stats `json:"stats"`
+	MaxLevel int             `json:"max_level"`
+	// Strategy names the dataset's release strategy when it is not the
+	// default — absence IS the default, the same convention the release
+	// artifact uses, which keeps default-strategy response bytes
+	// identical to the pre-strategy serving layer.
+	Strategy  string     `json:"strategy,omitempty"`
+	Budget    budgetJSON `json:"budget"`
+	Spent     budgetJSON `json:"spent"`
+	Remaining budgetJSON `json:"remaining"`
+}
+
+// strategyLabel is a dataset's strategy name for response bodies: empty
+// for the default strategy (field omitted), the registry name otherwise.
+func strategyLabel(d *Dataset) string {
+	if s := d.Strategy(); s != release.DefaultStrategyName {
+		return s
+	}
+	return ""
 }
 
 func describeDataset(d *Dataset) datasetJSON {
@@ -270,6 +287,7 @@ func describeDataset(d *Dataset) datasetJSON {
 		Name:      d.Name(),
 		Stats:     d.Stats(),
 		MaxLevel:  d.MaxLevel(),
+		Strategy:  strategyLabel(d),
 		Budget:    toBudgetJSON(d.Budget()),
 		Spent:     toBudgetJSON(d.Spent()),
 		Remaining: toBudgetJSON(d.Remaining()),
@@ -294,8 +312,14 @@ func (s *httpServer) listDatasets(w http.ResponseWriter, r *http.Request) {
 // and streamed from there, so the edges are never resident in memory
 // regardless of upload size. The format is sniffed from the first
 // bytes: "BPG1" selects the binary codec, anything else is TSV.
+//
+// The release strategy is selected per dataset with the ?strategy=
+// query parameter (raw uploads, whose body is edge data) or the
+// "strategy" JSON field (path ingest; it wins when both are given).
+// Unknown names fail with 400 "bad-config" before any build work.
 func (s *httpServer) ingest(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
+	opts := DatasetOptions{Strategy: r.URL.Query().Get("strategy")}
 	var f *os.File
 	if mediaType, _, err := mime.ParseMediaType(r.Header.Get("Content-Type")); err == nil && mediaType == "application/json" {
 		if !s.opts.AllowPathIngest {
@@ -306,7 +330,8 @@ func (s *httpServer) ingest(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		var req struct {
-			Path string `json:"path"`
+			Path     string `json:"path"`
+			Strategy string `json:"strategy"`
 		}
 		if err := decodeBody(w, r, &req); err != nil {
 			writeErr(w, err)
@@ -315,6 +340,9 @@ func (s *httpServer) ingest(w http.ResponseWriter, r *http.Request) {
 		if req.Path == "" {
 			writeErr(w, errors.New("serve: ingest JSON body requires \"path\""))
 			return
+		}
+		if req.Strategy != "" {
+			opts.Strategy = req.Strategy
 		}
 		file, err := os.Open(req.Path)
 		if err != nil {
@@ -342,7 +370,7 @@ func (s *httpServer) ingest(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
-	ds, err := s.reg.AddDataset(name, src)
+	ds, err := s.reg.AddDatasetWith(name, src, opts)
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -444,7 +472,7 @@ func (s *httpServer) budget(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	body := map[string]any{
 		"dataset":    ds.Name(),
 		"budget":     toBudgetJSON(ds.Budget()),
 		"spent":      toBudgetJSON(ds.Spent()),
@@ -453,7 +481,13 @@ func (s *httpServer) budget(w http.ResponseWriter, r *http.Request) {
 		"cache":      ds.CacheStats(),
 		"durability": describeDurability(ds),
 		"audit":      ds.AuditReport(),
-	})
+	}
+	// Same convention as the dataset summary: the field appears only for
+	// non-default strategies, keeping default transcripts byte-stable.
+	if label := strategyLabel(ds); label != "" {
+		body["strategy"] = label
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 func (s *httpServer) openSession(w http.ResponseWriter, r *http.Request) {

@@ -56,7 +56,6 @@ import (
 	"repro/internal/core"
 	"repro/internal/dp"
 	"repro/internal/hierarchy"
-	"repro/internal/partition"
 	"repro/internal/query"
 	"repro/internal/release"
 	"repro/internal/rng"
@@ -113,10 +112,20 @@ type Config struct {
 	// from the dataset's ledger at ingest.
 	Phase1Epsilon float64
 	// Model, Calib and Mechanism configure the Phase-2 releases
-	// (defaults: cells, classical, gaussian).
+	// (defaults: cells, classical, and the strategy's count mechanism —
+	// gaussian for the default strategy). A non-zero Mechanism overrides
+	// the strategy's count mechanism for every dataset.
 	Model     core.GroupModel
 	Calib     core.Calibration
 	Mechanism core.NoiseMechanism
+	// Strategy names the registry-wide default release strategy
+	// (release.Strategies): the composed partitioner × noise ×
+	// consistency plan ingests build under and sessions answer with.
+	// Empty selects release.DefaultStrategyName, the paper's quadtree +
+	// Gaussian pipeline. Individual datasets may override it at
+	// AddDatasetWith / the HTTP ingest request. Unknown names fail Open
+	// with ErrBadConfig.
+	Strategy string
 	// Seed roots every RNG stream. Use rng.NewRandomSeed in production;
 	// a pinned seed makes every session's releases replayable.
 	Seed uint64
@@ -167,6 +176,12 @@ type Config struct {
 	// negative disables caching. Mind the memory: a cached level view
 	// retains its whole cell histogram.
 	MaxCacheEntries int
+
+	// strategy is the resolved registry-wide default; mechExplicit
+	// records whether Mechanism was set by the caller (and so overrides
+	// every dataset strategy's count mechanism) or defaulted.
+	strategy     *release.Strategy
+	mechExplicit bool
 }
 
 // withDefaults validates cfg and fills the serving defaults.
@@ -189,14 +204,20 @@ func (c Config) withDefaults() (Config, error) {
 	if c.Phase1Epsilon < 0 {
 		return Config{}, fmt.Errorf("%w: negative phase-1 epsilon %v", ErrBadConfig, c.Phase1Epsilon)
 	}
+	strat, err := release.Strategies.Resolve(c.Strategy)
+	if err != nil {
+		return Config{}, fmt.Errorf("%w: %v", ErrBadConfig, err)
+	}
+	c.strategy = strat
 	if c.Model == 0 {
 		c.Model = core.ModelCells
 	}
 	if c.Calib == 0 {
 		c.Calib = core.CalibrationClassical
 	}
+	c.mechExplicit = c.Mechanism != 0
 	if c.Mechanism == 0 {
-		c.Mechanism = core.MechGaussian
+		c.Mechanism = strat.Noise.Count
 	}
 	if c.IngestLanes == 0 {
 		c.IngestLanes = 1
@@ -225,12 +246,17 @@ func (c Config) withDefaults() (Config, error) {
 	if _, err := release.NewEngine(c.Model, c.Calib, c.Mechanism); err != nil {
 		return Config{}, fmt.Errorf("%w: %v", ErrBadConfig, err)
 	}
-	// Every served query releases a Gaussian-calibrated cell histogram,
-	// so probe the calibration with the per-query budget NOW: a config
-	// the engine can never answer (e.g. δ=0) must fail Open instead of
-	// draining ledgers through post-spend engine errors.
-	if _, err := core.Sigma(c.PerQuery, 1, c.Calib); err != nil {
-		return Config{}, fmt.Errorf("%w: per-query budget: %v", ErrBadConfig, err)
+	// Every served query under a Gaussian cell stage releases a
+	// Gaussian-calibrated histogram, so probe the calibration with the
+	// per-query budget NOW: a config the engine can never answer (e.g.
+	// δ=0) must fail Open instead of draining ledgers through post-spend
+	// engine errors. Pure-ε strategies skip the probe — they are the
+	// configuration where δ=0 budgets are legitimate. Datasets that
+	// override the strategy re-probe at AddDataset.
+	if strat.Noise.Cells == core.MechGaussian {
+		if _, err := core.Sigma(c.PerQuery, 1, c.Calib); err != nil {
+			return Config{}, fmt.Errorf("%w: per-query budget: %v", ErrBadConfig, err)
+		}
 	}
 	return c, nil
 }
@@ -344,18 +370,38 @@ func (r *Registry) streamFor(dataset string, domain, label uint64) *rng.Source {
 	return rng.New(r.cfg.Seed).Split(h.Sum64()).Split(domain).Split(label)
 }
 
-// AddDataset cold-starts a named dataset from an edge stream: the
-// two-pass streamed build runs on one ingest lane's retained Builder,
-// and the dataset's ledger is opened with the configured budget (minus
-// the phase-1 specialization cost when Phase1Epsilon > 0, debited
-// before the build draws a single cut). The source's edges are never
-// materialized — peak ingest memory is O(chunk + sides + 4^Rounds).
+// DatasetOptions carries per-dataset overrides of the registry
+// configuration.
+type DatasetOptions struct {
+	// Strategy selects the release strategy this dataset is built under
+	// and served with (release.Strategies). Empty inherits the
+	// registry's configured strategy. Unknown names fail AddDatasetWith
+	// with ErrBadConfig before any build work.
+	Strategy string
+}
+
+// AddDataset cold-starts a named dataset from an edge stream under the
+// registry's configured strategy: the two-pass streamed build runs on
+// one ingest lane's retained Builder, and the dataset's ledger is
+// opened with the configured budget (minus the phase-1 specialization
+// cost when Phase1Epsilon > 0, debited before the build draws a single
+// cut). The source's edges are never materialized — peak ingest memory
+// is O(chunk + sides + 4^Rounds).
 func (r *Registry) AddDataset(name string, src bipartite.EdgeSource) (*Dataset, error) {
+	return r.AddDatasetWith(name, src, DatasetOptions{})
+}
+
+// AddDatasetWith is AddDataset with per-dataset overrides.
+func (r *Registry) AddDatasetWith(name string, src bipartite.EdgeSource, opts DatasetOptions) (*Dataset, error) {
 	if name == "" {
 		return nil, fmt.Errorf("%w: empty dataset name", ErrBadConfig)
 	}
 	if src == nil {
 		return nil, hierarchy.ErrNilSource
+	}
+	strat, err := r.datasetStrategy(opts)
+	if err != nil {
+		return nil, err
 	}
 	r.mu.Lock()
 	if r.closed {
@@ -371,7 +417,7 @@ func (r *Registry) AddDataset(name string, src bipartite.EdgeSource) (*Dataset, 
 	r.mu.Unlock()
 	defer r.ingests.Done()
 
-	ds, err := r.buildDataset(name, src)
+	ds, err := r.buildDataset(name, src, strat)
 	r.mu.Lock()
 	if err != nil {
 		delete(r.datasets, name)
@@ -384,7 +430,45 @@ func (r *Registry) AddDataset(name string, src bipartite.EdgeSource) (*Dataset, 
 
 // phase1Label is the audit label of the ingest-time specialization
 // debit; durable reopens look for it to avoid double-charging.
+// Non-default strategies prefix it (like every other op label) with
+// "strategy=<name>/" — absence of the prefix IS the default strategy,
+// keeping default audit trails byte-identical to the pre-strategy
+// serving layer.
 const phase1Label = "ingest/phase1"
+
+// datasetStrategy resolves a dataset's effective strategy and validates
+// that this registry can actually serve it — unknown names and
+// σ-incompatible per-query budgets fail here with ErrBadConfig, before
+// any name is reserved or any build work starts.
+func (r *Registry) datasetStrategy(opts DatasetOptions) (*release.Strategy, error) {
+	strat := r.cfg.strategy
+	if opts.Strategy != "" {
+		s, err := release.Strategies.Resolve(opts.Strategy)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadConfig, err)
+		}
+		strat = s
+	}
+	// A Gaussian cell stage needs a σ-calibratable per-query budget;
+	// re-probe here because a pure-ε registry default skips the probe
+	// at Open (δ=0 budgets are legitimate there).
+	if strat.Noise.Cells == core.MechGaussian {
+		if _, err := core.Sigma(r.cfg.PerQuery, 1, r.cfg.Calib); err != nil {
+			return nil, fmt.Errorf("%w: per-query budget: %v", ErrBadConfig, err)
+		}
+	}
+	return strat, nil
+}
+
+// datasetCountMech resolves a dataset's count-release mechanism: an
+// explicit Config.Mechanism overrides the strategy's count stage; the
+// cell stage always follows the strategy.
+func (r *Registry) datasetCountMech(strat *release.Strategy) core.NoiseMechanism {
+	if r.cfg.mechExplicit {
+		return r.cfg.Mechanism
+	}
+	return strat.Noise.Count
+}
 
 // buildDataset runs the ledgered ingest on a checked-out lane.
 //
@@ -397,19 +481,31 @@ const phase1Label = "ingest/phase1"
 // the expensive build, and nothing is ever released from a dataset
 // whose ledger refused the phase-1 debit — the ingest fails and the
 // name is never served.
-func (r *Registry) buildDataset(name string, src bipartite.EdgeSource) (*Dataset, error) {
+func (r *Registry) buildDataset(name string, src bipartite.EdgeSource, strat *release.Strategy) (*Dataset, error) {
 	durable := r.cfg.LedgerDir != ""
-	var phase1Cost dp.Params
-	bisector := partition.Bisector(partition.BalancedBisector{})
-	if r.cfg.Phase1Epsilon > 0 {
-		// Cuts within one (depth, side) compose in parallel, the
-		// 2·Rounds side-depths sequentially — the pipeline's accounting.
-		phase1Cost = dp.Params{Epsilon: 2 * float64(r.cfg.Rounds) * r.cfg.Phase1Epsilon}
-		eb, err := partition.NewExpMechBisector(r.cfg.Phase1Epsilon, r.streamFor(name, domainPhase1, 0))
-		if err != nil {
-			return nil, fmt.Errorf("serve: ingest %q: %w", name, err)
-		}
-		bisector = eb
+	salt := release.StrategySalt(strat.Name())
+	labelPrefix := ""
+	if strat.Name() != release.DefaultStrategyName {
+		labelPrefix = "strategy=" + strat.Name() + "/"
+	}
+	ingestLabel := labelPrefix + phase1Label
+
+	// The strategy's partitioner declares the ingest cost (the
+	// quadtree's 2·Rounds side-depths, the community partitioner's one
+	// randomized response per side) and resolves the build plan. Its
+	// phase-1 stream is salted per strategy, so two strategies over the
+	// same data never share a cut or assignment draw.
+	pcfg := release.PartitionConfig{
+		Rounds:  r.cfg.Rounds,
+		Epsilon: r.cfg.Phase1Epsilon,
+		Workers: r.cfg.Workers,
+	}
+	phase1Ops := strat.Partitioner.Ops(pcfg)
+	phase1Cost := release.PhaseCost(phase1Ops)
+	charge := len(phase1Ops) > 0
+	plan, err := strat.Partitioner.PlanSource(src, pcfg, r.streamFor(name, domainPhase1, salt))
+	if err != nil {
+		return nil, fmt.Errorf("serve: ingest %q: %w", name, err)
 	}
 
 	var ledger accountant.Ledger
@@ -419,20 +515,20 @@ func (r *Registry) buildDataset(name string, src bipartite.EdgeSource) (*Dataset
 		if err != nil {
 			return nil, err
 		}
-		if phase1Cost.Epsilon > 0 {
-			if err := mem.Spend(phase1Label, phase1Cost); err != nil {
+		if charge {
+			if err := mem.Spend(ingestLabel, phase1Cost); err != nil {
 				return nil, fmt.Errorf("serve: ingest %q: %w", name, err)
 			}
 		}
 		ledger = mem
-	} else if phase1Cost.Epsilon > 0 {
+	} else if charge {
 		// Pre-check against an empty budget so a misconfigured
 		// specialization fails before the build, like the mem path.
 		probe, err := accountant.NewLedger(r.cfg.Budget)
 		if err != nil {
 			return nil, err
 		}
-		if err := probe.Spend(phase1Label, phase1Cost); err != nil {
+		if err := probe.Spend(ingestLabel, phase1Cost); err != nil {
 			return nil, fmt.Errorf("serve: ingest %q: %w", name, err)
 		}
 	}
@@ -440,14 +536,20 @@ func (r *Registry) buildDataset(name string, src bipartite.EdgeSource) (*Dataset
 	lane := <-r.lanes
 	tree, err := lane.BuildFromEdges(src, hierarchy.Options{
 		Rounds:   r.cfg.Rounds,
-		Bisector: bisector,
+		Bisector: plan.Bisector,
+		Keys:     plan.Keys,
 		Workers:  r.cfg.Workers,
 	})
 	r.lanes <- lane
 	if err != nil {
 		return nil, fmt.Errorf("serve: ingest %q: %w", name, err)
 	}
-	print := fingerprintTree(tree)
+	// The strategy salt joins the fingerprint so distinct strategies
+	// over identical data never share session streams or a ledger WAL;
+	// the default strategy's salt is 0, keeping its fingerprints — and
+	// with them WAL filenames and every session stream — exactly as
+	// before the strategy seam.
+	print := fingerprintTree(tree) ^ salt
 
 	if durable {
 		path := filepath.Join(r.cfg.LedgerDir, ledgerFileName(name, print))
@@ -460,8 +562,8 @@ func (r *Registry) buildDataset(name string, src bipartite.EdgeSource) (*Dataset
 		if err != nil {
 			return nil, fmt.Errorf("serve: ingest %q: opening ledger: %w", name, err)
 		}
-		if phase1Cost.Epsilon > 0 && !hasOpLabeled(dl, phase1Label) {
-			if err := dl.Spend(phase1Label, phase1Cost); err != nil {
+		if charge && !hasOpLabeled(dl, ingestLabel) {
+			if err := dl.Spend(ingestLabel, phase1Cost); err != nil {
 				dl.Close()
 				return nil, fmt.Errorf("serve: ingest %q: %w", name, err)
 			}
@@ -471,12 +573,15 @@ func (r *Registry) buildDataset(name string, src bipartite.EdgeSource) (*Dataset
 	}
 
 	return &Dataset{
-		reg:     r,
-		name:    name,
-		tree:    tree,
-		ledger:  ledger,
-		durable: durableLedger,
-		print:   print,
+		reg:         r,
+		name:        name,
+		tree:        tree,
+		ledger:      ledger,
+		durable:     durableLedger,
+		print:       print,
+		strat:       strat,
+		countMech:   r.datasetCountMech(strat),
+		labelPrefix: labelPrefix,
 		// A fresh cache per ingest is the invalidation story: re-adding a
 		// name (same or different data) can never serve a previous
 		// incarnation's answers.
@@ -606,9 +711,16 @@ type Dataset struct {
 	// (Config.LedgerDir set); it carries the durability-only surface
 	// (Status, Sync, Close) the Ledger interface deliberately omits.
 	durable *accountant.DurableLedger
-	print   uint64 // data fingerprint folded into every session stream
-	cache   *respCache
-	nextID  atomic.Uint64
+	print   uint64 // data fingerprint (strategy-salted) folded into every session stream
+	// strat is the strategy the dataset was built under; countMech its
+	// resolved count-release mechanism; labelPrefix the "strategy=…/"
+	// audit prefix (empty for the default strategy, whose trail must
+	// stay byte-identical to the pre-strategy serving layer).
+	strat       *release.Strategy
+	countMech   core.NoiseMechanism
+	labelPrefix string
+	cache       *respCache
+	nextID      atomic.Uint64
 }
 
 // closeLedger flushes and closes the dataset's durable WAL (no-op for
@@ -634,6 +746,10 @@ func (d *Dataset) CacheStats() CacheStats { return d.cache.stats() }
 
 // Name returns the registry key.
 func (d *Dataset) Name() string { return d.name }
+
+// Strategy returns the name of the release strategy the dataset was
+// built under and is served with.
+func (d *Dataset) Strategy() string { return d.strat.Name() }
 
 // Stats summarizes the ingested dataset (computed from the streamed
 // degrees — no graph was ever resident).
@@ -689,9 +805,13 @@ func (d *Dataset) SessionAt(stream uint64) *Session {
 
 // session constructs a handle on one (domain, stream id) noise stream.
 func (d *Dataset) session(stream, domain uint64, pinned bool) *Session {
-	eng, err := release.NewEngine(d.reg.cfg.Model, d.reg.cfg.Calib, d.reg.cfg.Mechanism)
+	eng, err := release.NewEngine(d.reg.cfg.Model, d.reg.cfg.Calib, d.countMech)
+	if err == nil {
+		err = eng.SetCellMechanism(d.strat.Noise.Cells)
+	}
 	if err != nil {
-		// withDefaults pre-validated the engine configuration.
+		// withDefaults and datasetStrategy pre-validated the engine
+		// configuration.
 		panic(fmt.Sprintf("serve: engine config became invalid: %v", err))
 	}
 	eng.SetWorkers(d.reg.cfg.ReleaseWorkers)
@@ -853,12 +973,16 @@ func (s *Session) spend(what string, level int, cost dp.Params) error {
 	// Pinned ("s") and auto ("a") sessions number streams in disjoint
 	// domains; the prefix keeps their audit labels unambiguous. The
 	// label is assembled in the session's scratch and copied into the
-	// ledger's arena — no per-query string allocation.
+	// ledger's arena — no per-query string allocation. Non-default
+	// strategies lead with "strategy=<name>/" so the trail records what
+	// plan answered; the default's labels stay byte-identical to the
+	// pre-strategy serving layer.
 	prefix := byte('s')
 	if !s.pinned {
 		prefix = 'a'
 	}
-	b := append(s.label[:0], prefix)
+	b := append(s.label[:0], s.ds.labelPrefix...)
+	b = append(b, prefix)
 	b = strconv.AppendUint(b, s.stream, 10)
 	b = append(b, "/q"...)
 	b = strconv.AppendUint(b, s.seq, 10)

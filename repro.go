@@ -227,8 +227,20 @@ var (
 	WithConsistency    = release.WithConsistency
 	WithGrouping       = release.WithGrouping
 	WithSeed           = release.WithSeed
+	WithStrategy       = release.WithStrategy
 	WithWorkers        = release.WithWorkers
 )
+
+// ReleaseStrategyNames lists the registered release strategies
+// (partitioner × noise × consistency compositions) selectable with
+// WithStrategy, ServeConfig.Strategy, DatasetOptions.Strategy, or the
+// HTTP ingest ?strategy= parameter.
+func ReleaseStrategyNames() []string { return release.Strategies.Names() }
+
+// DefaultReleaseStrategy is the strategy used when none is named; its
+// artifacts are byte-identical to releases produced before strategies
+// existed.
+const DefaultReleaseStrategy = release.DefaultStrategyName
 
 // Grouping is the published node → group assignment per level.
 type Grouping = release.Grouping
@@ -311,6 +323,9 @@ type (
 	Registry = serve.Registry
 	// Dataset is one served hierarchy plus its privacy ledger.
 	Dataset = serve.Dataset
+	// DatasetOptions carries per-dataset ingest options — notably a
+	// release-strategy override — for Registry.AddDatasetWith.
+	DatasetOptions = serve.DatasetOptions
 	// Session is one tenant's query handle: reusable release buffers
 	// and a private pre-split RNG stream. Not safe for concurrent use;
 	// open one per goroutine.
