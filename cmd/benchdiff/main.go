@@ -74,7 +74,7 @@ func run(args []string) error {
 		return fmt.Errorf("-max-regress must be positive (got %v)", *maxReg)
 	}
 
-	compared, cpuSkipped := 0, 0
+	compared, envSkipped := 0, 0
 	var regressions []string
 	for _, m := range metrics {
 		base, ok, err := readField(filepath.Join(*baseline, m.file), m.field)
@@ -99,8 +99,19 @@ func run(args []string) error {
 		// compared when the counts match. Records predating the stamp
 		// keep the old always-compare semantics.
 		if mismatch, bCPU, cCPU := cpuMismatch(filepath.Join(*baseline, m.file), filepath.Join(*candidate, m.file)); mismatch {
-			cpuSkipped++
+			envSkipped++
 			fmt.Printf("skip  %-22s %-24s (cpu count mismatch: baseline %d, candidate %d)\n", m.file, m.field, bCPU, cCPU)
+			continue
+		}
+		// A ledger debit sits on the serving query path, so throughput
+		// against an in-memory ledger, a local WAL, and a remote
+		// sequencer are three different workloads. Records that stamp
+		// ledger_backend on both sides are only compared when the
+		// backends match; records predating the stamp keep the old
+		// always-compare semantics.
+		if mismatch, bBack, cBack := backendMismatch(filepath.Join(*baseline, m.file), filepath.Join(*candidate, m.file)); mismatch {
+			envSkipped++
+			fmt.Printf("skip  %-22s %-24s (ledger backend mismatch: baseline %q, candidate %q)\n", m.file, m.field, bBack, cBack)
 			continue
 		}
 		compared++
@@ -119,8 +130,8 @@ func run(args []string) error {
 			status, m.file, m.field, base, cand, 100*delta)
 	}
 	if compared == 0 {
-		if cpuSkipped > 0 {
-			fmt.Printf("benchdiff: WARNING: all %d present metric(s) skipped on cpu-count mismatch; nothing gated this run\n", cpuSkipped)
+		if envSkipped > 0 {
+			fmt.Printf("benchdiff: WARNING: all %d present metric(s) skipped on environment mismatch; nothing gated this run\n", envSkipped)
 			return nil
 		}
 		return errors.New("no metrics compared: check the -baseline and -candidate paths")
@@ -159,6 +170,34 @@ func readCPU(path string) (int, bool) {
 		return 0, false
 	}
 	return int(rec.NumCPU), true
+}
+
+// backendMismatch reports whether both records stamp a ledger_backend
+// and the stamps differ. Either side missing the stamp (older records)
+// means no mismatch, matching cpuMismatch's pre-stamp semantics.
+func backendMismatch(basePath, candPath string) (mismatch bool, baseBack, candBack string) {
+	b, bok := readBackend(basePath)
+	c, cok := readBackend(candPath)
+	if bok && cok && b != c {
+		return true, b, c
+	}
+	return false, b, c
+}
+
+// readBackend extracts a record's ledger_backend stamp when present and
+// non-empty.
+func readBackend(path string) (string, bool) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return "", false
+	}
+	var rec struct {
+		LedgerBackend string `json:"ledger_backend"`
+	}
+	if json.Unmarshal(data, &rec) != nil || rec.LedgerBackend == "" {
+		return "", false
+	}
+	return rec.LedgerBackend, true
 }
 
 // readField extracts one numeric field from a JSON record file. A

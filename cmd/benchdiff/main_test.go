@@ -95,6 +95,36 @@ func TestBenchdiffAllCPUSkippedPasses(t *testing.T) {
 	}
 }
 
+func TestBenchdiffSkipsOnLedgerBackendMismatch(t *testing.T) {
+	base, cand := t.TempDir(), t.TempDir()
+	// A 60% throughput drop, but the baseline ran against an in-memory
+	// ledger and the candidate against a remote sequencer: different
+	// workloads, skipped rather than failed.
+	writeRec(t, base, "BENCH_serve.json", `{"queries_per_sec": 100000, "ledger_backend": "mem"}`)
+	writeRec(t, cand, "BENCH_serve.json", `{"queries_per_sec": 40000, "ledger_backend": "remote"}`)
+	// A second comparable metric keeps compared > 0.
+	writeRec(t, base, "BENCH_phase2.json", `{"release_cells_ns_per_op": 1000000}`)
+	writeRec(t, cand, "BENCH_phase2.json", `{"release_cells_ns_per_op": 1000000}`)
+	if err := run([]string{"-baseline", base, "-candidate", cand}); err != nil {
+		t.Fatalf("ledger-backend mismatch should skip, got: %v", err)
+	}
+
+	// Matching backends compare normally — the same drop now fails.
+	writeRec(t, cand, "BENCH_serve.json", `{"queries_per_sec": 40000, "ledger_backend": "mem"}`)
+	err := run([]string{"-baseline", base, "-candidate", cand})
+	if err == nil || !strings.Contains(err.Error(), "queries_per_sec") {
+		t.Fatalf("matching-backend regression not caught: %v", err)
+	}
+
+	// One side missing the stamp keeps the pre-stamp always-compare
+	// semantics.
+	writeRec(t, base, "BENCH_serve.json", `{"queries_per_sec": 100000}`)
+	err = run([]string{"-baseline", base, "-candidate", cand})
+	if err == nil || !strings.Contains(err.Error(), "queries_per_sec") {
+		t.Fatalf("unstamped baseline must still compare: %v", err)
+	}
+}
+
 func TestBenchdiffRefusesEmptyComparison(t *testing.T) {
 	base, cand := t.TempDir(), t.TempDir()
 	if err := run([]string{"-baseline", base, "-candidate", cand}); err == nil {

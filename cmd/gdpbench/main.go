@@ -248,11 +248,16 @@ type serveRecord struct {
 	CacheMissNs  float64 `json:"cache_miss_ns_per_op"`
 	CacheHitNs   float64 `json:"cache_hit_ns_per_op"`
 	CacheSpeedup float64 `json:"cache_speedup"`
-	Workers      int     `json:"workers"`
-	GOMAXPROCS   int     `json:"gomaxprocs"`
-	NumCPU       int     `json:"num_cpu"`
-	Seed         uint64  `json:"seed"`
-	UnixMS       int64   `json:"unix_ms"`
+	// LedgerBackend stamps which privacy-ledger implementation admitted
+	// the workload ("mem", "wal", or "remote"): a ledger debit sits on
+	// the query path, so throughput across backends is not comparable
+	// and benchdiff refuses to gate across a backend change.
+	LedgerBackend string `json:"ledger_backend"`
+	Workers       int    `json:"workers"`
+	GOMAXPROCS    int    `json:"gomaxprocs"`
+	NumCPU        int    `json:"num_cpu"`
+	Seed          uint64 `json:"seed"`
+	UnixMS        int64  `json:"unix_ms"`
 }
 
 // writeServeBench measures the serving layer end to end in-process and
@@ -350,22 +355,23 @@ func writeServeBench(dir string, seed uint64, workers int) error {
 	hitNs := float64(time.Since(hitStart).Nanoseconds()) / cacheProbe
 
 	rec := serveRecord{
-		Edges:        ds.Stats().NumEdges,
-		Sessions:     sessions,
-		Queries:      len(all),
-		Level:        level,
-		IngestMS:     ingestMS,
-		WallMS:       float64(wall.Nanoseconds()) / 1e6,
-		QueriesSec:   float64(len(all)) / wall.Seconds(),
-		P50QueryMS:   float64(p50.Nanoseconds()) / 1e6,
-		CacheMissNs:  missNs,
-		CacheHitNs:   hitNs,
-		CacheSpeedup: missNs / hitNs,
-		Workers:      workers,
-		GOMAXPROCS:   runtime.GOMAXPROCS(0),
-		NumCPU:       runtime.NumCPU(),
-		Seed:         seed,
-		UnixMS:       start.UnixMilli(),
+		Edges:         ds.Stats().NumEdges,
+		Sessions:      sessions,
+		Queries:       len(all),
+		Level:         level,
+		IngestMS:      ingestMS,
+		WallMS:        float64(wall.Nanoseconds()) / 1e6,
+		QueriesSec:    float64(len(all)) / wall.Seconds(),
+		P50QueryMS:    float64(p50.Nanoseconds()) / 1e6,
+		CacheMissNs:   missNs,
+		CacheHitNs:    hitNs,
+		CacheSpeedup:  missNs / hitNs,
+		LedgerBackend: ds.LedgerBackend(),
+		Workers:       workers,
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		NumCPU:        runtime.NumCPU(),
+		Seed:          seed,
+		UnixMS:        start.UnixMilli(),
 	}
 	data, err := json.MarshalIndent(rec, "", "  ")
 	if err != nil {

@@ -1,0 +1,159 @@
+// Command gdpledgerd is the shared privacy-ledger sequencer: a
+// single-writer service that owns one durable (WAL + snapshot) budget
+// per (dataset, data-fingerprint) key and admits spends over an
+// idempotent HTTP/JSON protocol. Point N gdpserve replicas at it with
+// -ledger-addr and they spend ONE (ε, δ) budget per dataset — the
+// deployment shape where accounting stays centralized even when
+// answering is not, closing the classic "two replicas silently double
+// the budget" failure of distributed DP systems.
+//
+// Usage:
+//
+//	gdpledgerd -addr 127.0.0.1:8850 -ledger-dir /var/lib/gdpledgerd
+//	gdpserve   -addr 127.0.0.1:8080 -ledger-addr 127.0.0.1:8850 ...
+//	gdpserve   -addr 127.0.0.1:8081 -ledger-addr 127.0.0.1:8850 ...
+//
+// Protocol (see internal/ledgerd):
+//
+//	POST /v1/ledgers/{key}/attach   open/replay a budget, returns the epoch token
+//	POST /v1/ledgers/{key}/spend    idempotent admission (op_id dedups retries)
+//	GET  /v1/ledgers/{key}          status + durability panel
+//	GET  /v1/ledgers/{key}/ops      audit trail
+//	GET  /healthz
+//
+// Every admitted spend is fsynced into the key's WAL before the ack, so
+// an admission can never be forgotten; a restart replays the WALs and
+// issues a fresh epoch token, fencing writers that attached to the
+// previous incarnation (they fail closed and must re-attach). Budgets
+// here are permanent: an exhausted key stays exhausted across restarts.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/accountant"
+	"repro/internal/ledgerd"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], nil); err != nil {
+		fmt.Fprintln(os.Stderr, "gdpledgerd:", err)
+		os.Exit(1)
+	}
+}
+
+// parseArgs resolves flags into the sequencer options, the listen
+// address, and the optional pprof side address.
+func parseArgs(args []string) (opts ledgerd.Options, addr, pprofAddr string, err error) {
+	fs := flag.NewFlagSet("gdpledgerd", flag.ContinueOnError)
+	var (
+		addrFlag   = fs.String("addr", "127.0.0.1:8850", "listen address")
+		ledgerDir  = fs.String("ledger-dir", "", "directory holding the durable budget WALs (required)")
+		fsync      = fs.String("fsync", "", "WAL fsync policy: always (the default; every admission is durable before its ack), interval, or off")
+		fsyncEvery = fs.Duration("fsync-interval", 0, "max unsynced window under -fsync interval (0 = 100ms default)")
+		snapEvery  = fs.Int("snapshot-every", 0, "compact each WAL into a snapshot after this many records (0 = 1024 default, negative = never compact)")
+		pprofFlag  = fs.String("pprof", "", "serve net/http/pprof on this side address (e.g. 127.0.0.1:6061; empty = disabled)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return ledgerd.Options{}, "", "", err
+	}
+	if *ledgerDir == "" {
+		return ledgerd.Options{}, "", "", errors.New("-ledger-dir is required (the sequencer exists to make budgets durable)")
+	}
+	policy, err := accountant.ParseFsyncPolicy(*fsync)
+	if err != nil {
+		return ledgerd.Options{}, "", "", err
+	}
+	opts = ledgerd.Options{
+		Dir:           *ledgerDir,
+		Fsync:         policy,
+		FsyncInterval: *fsyncEvery,
+		SnapshotEvery: *snapEvery,
+	}
+	return opts, *addrFlag, *pprofFlag, nil
+}
+
+// run starts the sequencer and serves until ctx is canceled. started
+// (if non-nil) receives the bound address once the listener is up — the
+// test hook.
+func run(ctx context.Context, args []string, started func(addr string)) error {
+	opts, addr, pprofAddr, err := parseArgs(args)
+	if err != nil {
+		return err
+	}
+	if pprofAddr != "" {
+		stopProf, err := startPprof(pprofAddr)
+		if err != nil {
+			return err
+		}
+		defer stopProf()
+	}
+	svc, err := ledgerd.New(opts)
+	if err != nil {
+		return err
+	}
+	// Close flushes and syncs every budget WAL — the graceful path that
+	// makes interval/off fsync policies safe across clean shutdowns.
+	closeSvc := func() error { return svc.Close() }
+	defer func() { _ = closeSvc() }()
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("gdpledgerd: listening on %s (ledger dir %s, epoch %s)\n",
+		ln.Addr(), opts.Dir, svc.Epoch())
+	if started != nil {
+		started(ln.Addr().String())
+	}
+
+	srv := &http.Server{Handler: ledgerd.NewHandler(svc)}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			return err
+		}
+		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		return closeSvc()
+	}
+}
+
+// startPprof serves net/http/pprof on its own listener and mux, like
+// gdpserve: the profiling surface never shares a port with the spend
+// API. The returned func closes the listener.
+func startPprof(addr string) (func(), error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("pprof listener: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Handler: mux}
+	go func() { _ = srv.Serve(ln) }()
+	fmt.Printf("gdpledgerd: pprof on http://%s/debug/pprof/\n", ln.Addr())
+	return func() { _ = srv.Close() }, nil
+}

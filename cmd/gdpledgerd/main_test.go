@@ -1,0 +1,129 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/accountant"
+)
+
+func TestParseArgs(t *testing.T) {
+	dir := t.TempDir()
+	opts, addr, pprofAddr, err := parseArgs([]string{
+		"-addr", "127.0.0.1:9999", "-ledger-dir", dir,
+		"-fsync", "interval", "-fsync-interval", "50ms",
+		"-snapshot-every", "128", "-pprof", "127.0.0.1:6061",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if addr != "127.0.0.1:9999" || pprofAddr != "127.0.0.1:6061" {
+		t.Fatalf("addr %q pprof %q", addr, pprofAddr)
+	}
+	if opts.Dir != dir || opts.Fsync != accountant.FsyncInterval ||
+		opts.FsyncInterval != 50*time.Millisecond || opts.SnapshotEvery != 128 {
+		t.Fatalf("opts = %+v", opts)
+	}
+
+	if _, _, _, err := parseArgs(nil); err == nil {
+		t.Fatal("missing -ledger-dir accepted")
+	}
+	if _, _, _, err := parseArgs([]string{"-ledger-dir", dir, "-fsync", "sometimes"}); err == nil {
+		t.Fatal("bogus -fsync policy accepted")
+	}
+}
+
+// TestLedgerdEndToEnd boots the real binary path: attach, spend,
+// restart, verify the fence and the replayed budget, shut down cleanly.
+func TestLedgerdEndToEnd(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "ledgers")
+
+	start := func() (base string, cancel context.CancelFunc, done chan error) {
+		ctx, cancelCtx := context.WithCancel(context.Background())
+		addrc := make(chan string, 1)
+		done = make(chan error, 1)
+		go func() {
+			done <- run(ctx, []string{"-addr", "127.0.0.1:0", "-ledger-dir", dir},
+				func(addr string) { addrc <- addr })
+		}()
+		select {
+		case addr := <-addrc:
+			return "http://" + addr, cancelCtx, done
+		case err := <-done:
+			t.Fatalf("sequencer exited early: %v", err)
+		case <-time.After(30 * time.Second):
+			t.Fatal("sequencer never started")
+		}
+		panic("unreachable")
+	}
+	stop := func(cancel context.CancelFunc, done chan error) {
+		cancel()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("shutdown: %v", err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("sequencer never shut down")
+		}
+	}
+
+	base, cancel, done := start()
+	var att struct {
+		Epoch string `json:"epoch"`
+	}
+	postJSON(t, base+"/v1/ledgers/k/attach", `{"budget":{"epsilon":0.2,"delta":2e-6}}`, http.StatusOK, &att)
+	var sp struct {
+		Admitted bool `json:"admitted"`
+		Ops      int  `json:"ops"`
+	}
+	postJSON(t, base+"/v1/ledgers/k/spend",
+		`{"epoch":"`+att.Epoch+`","op_id":"c-1","label":"q0","cost":{"epsilon":0.1,"delta":1e-6}}`,
+		http.StatusOK, &sp)
+	if !sp.Admitted || sp.Ops != 1 {
+		t.Fatalf("spend = %+v", sp)
+	}
+	stop(cancel, done)
+
+	// Restart on the same directory: the old epoch is fenced, the spend
+	// replayed, the budget still half gone.
+	base, cancel, done = start()
+	defer stop(cancel, done)
+	var fenced struct {
+		Code string `json:"code"`
+	}
+	postJSON(t, base+"/v1/ledgers/k/spend",
+		`{"epoch":"`+att.Epoch+`","op_id":"c-2","label":"q1","cost":{"epsilon":0.1,"delta":1e-6}}`,
+		http.StatusConflict, &fenced)
+	if fenced.Code != "epoch-fenced" {
+		t.Fatalf("stale-epoch code = %q, want epoch-fenced", fenced.Code)
+	}
+	var att2 struct {
+		Epoch string `json:"epoch"`
+		Ops   int    `json:"ops"`
+	}
+	postJSON(t, base+"/v1/ledgers/k/attach", `{"budget":{"epsilon":0.2,"delta":2e-6}}`, http.StatusOK, &att2)
+	if att2.Epoch == att.Epoch || att2.Ops != 1 {
+		t.Fatalf("re-attach = %+v (old epoch %q)", att2, att.Epoch)
+	}
+}
+
+func postJSON(t *testing.T, url, body string, wantStatus int, out any) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("POST %s: HTTP %d, want %d", url, resp.StatusCode, wantStatus)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatalf("POST %s: decoding: %v", url, err)
+	}
+}

@@ -11,6 +11,7 @@
 //	gdpserve -dataset dblp=/data/dblp.tsv -dataset rx=/data/pharmacy.bpg
 //	gdpserve -seed 0                # OS-entropy seed (production: non-replayable)
 //	gdpserve -strategy quadtree-laplace  # pure-ε releases (δ=0 budgets admitted)
+//	gdpserve -ledger-addr 127.0.0.1:8850 # N replicas spend ONE budget via gdpledgerd
 //
 // Endpoints (see internal/serve):
 //
@@ -80,7 +81,8 @@ func parseArgs(args []string) (cfg repro.ServeConfig, hopts repro.ServeHandlerOp
 		maxSess    = fs.Int("max-sessions", 0, "cap on concurrently open session handles (0 = 1024 default, negative = unlimited)")
 		maxCache   = fs.Int("max-cache-entries", 0, "per-dataset response-cache capacity; replayed (stream, seq, query) keys serve their prior answer without re-debiting the ledger (0 = 1024 default, negative = disable caching)")
 		ledgerDir  = fs.String("ledger-dir", "", "directory for durable per-dataset privacy ledgers (WAL + snapshot); restarts replay spent budget so exhausted datasets stay exhausted (empty = in-memory ledgers, forgotten on exit)")
-		fsync      = fs.String("fsync", "always", "durable-ledger fsync policy: always (sync before every admitted spend), interval, or off")
+		ledgerAddr = fs.String("ledger-addr", "", "address of a shared gdpledgerd privacy-ledger sequencer (host:port); all replicas pointed at it spend ONE budget per dataset; mutually exclusive with -ledger-dir and the -fsync*/-snapshot-every knobs")
+		fsync      = fs.String("fsync", "", "durable-ledger fsync policy: always (the default; sync before every admitted spend), interval, or off")
 		fsyncEvery = fs.Duration("fsync-interval", 0, "max unsynced window under -fsync interval (0 = 100ms default)")
 		snapEvery  = fs.Int("snapshot-every", 0, "compact each ledger WAL into a snapshot after this many records (0 = 1024 default, negative = never compact)")
 	)
@@ -110,6 +112,7 @@ func parseArgs(args []string) (cfg repro.ServeConfig, hopts repro.ServeHandlerOp
 		IngestLanes:         *lanes,
 		MaxCacheEntries:     *maxCache,
 		LedgerDir:           *ledgerDir,
+		LedgerAddr:          *ledgerAddr,
 		LedgerFsync:         repro.LedgerFsyncPolicy(*fsync),
 		LedgerFsyncInterval: *fsyncEvery,
 		LedgerSnapshotEvery: *snapEvery,

@@ -1,0 +1,90 @@
+package accountant_test
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/accountant"
+	"repro/internal/accountant/ledgertest"
+	"repro/internal/dp"
+)
+
+// The local backends run the shared Ledger conformance suite here; the
+// sequencer-backed RemoteLedger runs the same suite from
+// internal/ledgerd (whose tests own a live sequencer), so all three
+// implementations answer to one contract.
+
+func TestMemLedgerConformance(t *testing.T) {
+	ledgertest.Run(t, ledgertest.Factory{
+		New: func(t *testing.T, budget dp.Params) accountant.Ledger {
+			l, err := accountant.NewLedger(budget)
+			if err != nil {
+				t.Fatalf("NewLedger: %v", err)
+			}
+			return l
+		},
+		// MemLedger has no backend to fail: no latching leg.
+	})
+}
+
+// switchSyncer is a WriteSyncer whose writes and syncs start failing
+// when armed — the conformance suite's Fail hook for DurableLedger.
+type switchSyncer struct {
+	f      *os.File
+	broken *atomic.Bool
+}
+
+func (s *switchSyncer) Write(p []byte) (int, error) {
+	if s.broken.Load() {
+		return 0, errors.New("injected write failure")
+	}
+	return s.f.Write(p)
+}
+
+func (s *switchSyncer) Sync() error {
+	if s.broken.Load() {
+		return errors.New("injected sync failure")
+	}
+	return s.f.Sync()
+}
+
+func (s *switchSyncer) Close() error { return s.f.Close() }
+
+func TestDurableLedgerConformance(t *testing.T) {
+	dir := t.TempDir()
+	var (
+		n      int
+		broken *atomic.Bool // the most recently opened ledger's switch
+	)
+	ledgertest.Run(t, ledgertest.Factory{
+		New: func(t *testing.T, budget dp.Params) accountant.Ledger {
+			n++
+			flag := &atomic.Bool{}
+			broken = flag
+			l, err := accountant.OpenDurableLedger(budget,
+				filepath.Join(dir, fmt.Sprintf("conf-%d.wal", n)),
+				accountant.DurableOptions{
+					OpenWriter: func(path string) (accountant.WriteSyncer, error) {
+						f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND|os.O_CREATE, 0o644)
+						if err != nil {
+							return nil, err
+						}
+						return &switchSyncer{f: f, broken: flag}, nil
+					},
+				})
+			if err != nil {
+				t.Fatalf("OpenDurableLedger: %v", err)
+			}
+			t.Cleanup(func() { l.Close() })
+			return l
+		},
+		Fail: func(t *testing.T, _ accountant.Ledger) { broken.Store(true) },
+	})
+	if n == 0 {
+		t.Fatal("suite opened no ledgers")
+	}
+}

@@ -1,0 +1,473 @@
+// RemoteLedger: the client side of the shared privacy-ledger sequencer
+// (internal/ledgerd, cmd/gdpledgerd).
+//
+// N serving replicas pointing their registries at one sequencer spend
+// ONE budget: every Spend becomes an idempotent HTTP admission request
+// carrying a client-unique op ID, and the sequencer fsyncs the op into
+// its WAL before acking — the same durable-before-admitted contract
+// DurableLedger gives one process, extended across processes.
+//
+// Failure semantics are strictly fail-closed, in the only safe
+// direction: budget may be charged without bytes released, never the
+// reverse.
+//
+//   - A definitive budget rejection (HTTP 429 "budget-exceeded") is a
+//     clean ErrBudgetExceeded — the ledger state only grows, so the
+//     rejection is permanent and nothing was spent.
+//   - Transient failures (timeouts, connection errors, 5xx) are retried
+//     with bounded exponential backoff and jitter under the SAME op ID,
+//     so an admission whose ack was lost is re-acked, not re-debited.
+//   - Anything else — retries exhausted, an epoch fence (the sequencer
+//     restarted), a budget or protocol mismatch — latches the ledger:
+//     every subsequent spend returns ErrLedgerFailed until a new
+//     RemoteLedger is opened (which re-attaches and re-pins the
+//     authoritative state). A latched spend admitted nothing the caller
+//     may release.
+package accountant
+
+import (
+	"bytes"
+	"context"
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	mrand "math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/dp"
+)
+
+// ErrRemoteProtocol marks responses the client cannot interpret — a
+// wrong server, a wire-format drift. It latches like any other
+// non-transient failure.
+var ErrRemoteProtocol = errors.New("accountant: unexpected remote-ledger response")
+
+// RemoteOptions configures OpenRemoteLedger. The zero value selects the
+// production defaults.
+type RemoteOptions struct {
+	// Timeout bounds each HTTP attempt (default 2s).
+	Timeout time.Duration
+	// Attempts bounds the tries per operation, first included
+	// (default 5).
+	Attempts int
+	// BackoffBase and BackoffMax shape the exponential backoff between
+	// attempts (defaults 50ms and 2s); each pause is jittered uniformly
+	// in [base/2, base) at its current exponent so retrying replicas
+	// never thundering-herd a recovering sequencer.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// Client overrides the HTTP client (tests); Timeout still bounds
+	// each attempt through the request context.
+	Client *http.Client
+}
+
+func (o RemoteOptions) withDefaults() RemoteOptions {
+	if o.Timeout <= 0 {
+		o.Timeout = 2 * time.Second
+	}
+	if o.Attempts <= 0 {
+		o.Attempts = 5
+	}
+	if o.BackoffBase <= 0 {
+		o.BackoffBase = 50 * time.Millisecond
+	}
+	if o.BackoffMax <= 0 {
+		o.BackoffMax = 2 * time.Second
+	}
+	if o.Client == nil {
+		o.Client = http.DefaultClient
+	}
+	return o
+}
+
+// RemoteLedger implements Ledger against a gdpledgerd sequencer. Reads
+// (Spent, Remaining, OpCount) report the sequencer's authoritative
+// state when reachable and fall back to the last state an admission
+// response carried; Ops and AuditReport require the sequencer. Safe
+// for concurrent use.
+type RemoteLedger struct {
+	base   string // http://host:port, no trailing slash
+	key    string
+	budget dp.Params
+	opts   RemoteOptions
+
+	// clientID is drawn from OS entropy per open; opSeq numbers this
+	// client's spends. Together they make op IDs unique across every
+	// replica and restart without coordination.
+	clientID string
+	opSeq    atomic.Uint64
+
+	mu      sync.Mutex
+	epoch   string
+	spent   dp.Params // last authoritative spent observed
+	opCount int
+	failed  error
+	rng     *mrand.Rand // backoff jitter; never touches released bytes
+}
+
+var _ Ledger = (*RemoteLedger)(nil)
+
+// OpenRemoteLedger attaches to the sequencer at base (e.g.
+// "http://127.0.0.1:8850"), opening — or replaying — the durable ledger
+// for key under the given budget, and pins the sequencer's epoch token.
+// Attaching an existing key under a different budget fails with
+// ErrBudgetMismatch. The attach itself is retried like a spend; an
+// unreachable sequencer fails the open (nothing to latch yet).
+func OpenRemoteLedger(base, key string, budget dp.Params, opts RemoteOptions) (*RemoteLedger, error) {
+	if err := budget.Validate(); err != nil {
+		return nil, err
+	}
+	if key == "" {
+		return nil, errors.New("accountant: remote ledger key is required")
+	}
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	var idBytes [8]byte
+	if _, err := rand.Read(idBytes[:]); err != nil {
+		return nil, fmt.Errorf("accountant: drawing remote-ledger client id: %w", err)
+	}
+	seed := binary.LittleEndian.Uint64(idBytes[:])
+	r := &RemoteLedger{
+		base:     strings.TrimSuffix(base, "/"),
+		key:      key,
+		budget:   budget,
+		opts:     opts.withDefaults(),
+		clientID: fmt.Sprintf("%016x", seed),
+		rng:      mrand.New(mrand.NewSource(int64(seed))),
+	}
+	var res wireState
+	err := r.call(http.MethodPost, "/attach",
+		map[string]any{"budget": wireBudget{budget.Epsilon, budget.Delta}}, &res)
+	if err != nil {
+		return nil, fmt.Errorf("accountant: attaching remote ledger %q at %s: %w", key, r.base, err)
+	}
+	got := dp.Params{Epsilon: res.Budget.Epsilon, Delta: res.Budget.Delta}
+	if got != budget {
+		return nil, fmt.Errorf("%w: sequencer has %s, configured %s", ErrBudgetMismatch, got, budget)
+	}
+	if res.Epoch == "" {
+		return nil, fmt.Errorf("%w: attach response carries no epoch", ErrRemoteProtocol)
+	}
+	r.epoch = res.Epoch
+	r.spent = dp.Params{Epsilon: res.Spent.Epsilon, Delta: res.Spent.Delta}
+	r.opCount = res.Ops
+	return r, nil
+}
+
+// Addr returns the sequencer base URL.
+func (r *RemoteLedger) Addr() string { return r.base }
+
+// Key returns the budget key this ledger spends under.
+func (r *RemoteLedger) Key() string { return r.key }
+
+// RemoteStatus is the remote ledger's durability panel (the serving
+// layer's /budget endpoint embeds it).
+type RemoteStatus struct {
+	Addr  string `json:"addr"`
+	Key   string `json:"key"`
+	Epoch string `json:"epoch"`
+	// Err is the latched failure, "" while healthy.
+	Err string `json:"error,omitempty"`
+}
+
+// Status reports the client's view of its sequencer binding.
+func (r *RemoteLedger) Status() RemoteStatus {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := RemoteStatus{Addr: r.base, Key: r.key, Epoch: r.epoch}
+	if r.failed != nil && !errors.Is(r.failed, ErrLedgerClosed) {
+		st.Err = r.failed.Error()
+	}
+	return st
+}
+
+// Close latches the client closed: subsequent spends fail with
+// ErrLedgerClosed. The sequencer keeps the durable state — a new
+// RemoteLedger (any replica) reattaches to the same budget.
+func (r *RemoteLedger) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.failed == nil {
+		r.failed = ErrLedgerClosed
+	}
+	return nil
+}
+
+// wireBudget and the response shapes mirror internal/ledgerd's wire
+// protocol (kept in sync by the conformance tests, which run this
+// client against the real service).
+type wireBudget struct {
+	Epsilon float64 `json:"epsilon"`
+	Delta   float64 `json:"delta"`
+}
+
+type wireState struct {
+	Epoch     string     `json:"epoch"`
+	Admitted  bool       `json:"admitted"`
+	Replayed  bool       `json:"replayed"`
+	Seq       int        `json:"seq"`
+	Budget    wireBudget `json:"budget"`
+	Spent     wireBudget `json:"spent"`
+	Remaining wireBudget `json:"remaining"`
+	Ops       int        `json:"ops"`
+}
+
+type wireError struct {
+	Error string `json:"error"`
+	Code  string `json:"code"`
+}
+
+// Budget implements Ledger.
+func (r *RemoteLedger) Budget() dp.Params { return r.budget }
+
+// Spend implements Ledger.
+func (r *RemoteLedger) Spend(label string, cost dp.Params) error {
+	return r.SpendBytes([]byte(label), cost)
+}
+
+// SpendBytes implements Ledger: one idempotent admission round trip.
+// The op ID is fixed before the first attempt, so however many retries
+// a flaky network forces, the sequencer debits at most once; nil is
+// returned only after the sequencer durably acked the admission.
+func (r *RemoteLedger) SpendBytes(label []byte, cost dp.Params) error {
+	if err := cost.Validate(); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	failed := r.failed
+	epoch := r.epoch
+	r.mu.Unlock()
+	if failed != nil {
+		return fmt.Errorf("%w (label %q)", failed, label)
+	}
+	opID := fmt.Sprintf("%s-%d", r.clientID, r.opSeq.Add(1))
+	var res wireState
+	err := r.call(http.MethodPost, "/spend", map[string]any{
+		"epoch": epoch,
+		"op_id": opID,
+		"label": string(label),
+		"cost":  wireBudget{cost.Epsilon, cost.Delta},
+	}, &res)
+	if err != nil {
+		if errors.Is(err, ErrBudgetExceeded) {
+			// Definitive rejection: nothing spent, nothing latched, and
+			// (spend being monotone) retrying could never succeed.
+			return fmt.Errorf("%w (label %q)", err, label)
+		}
+		latched := fmt.Errorf("%w: %v", ErrLedgerFailed, err)
+		r.mu.Lock()
+		if r.failed == nil {
+			r.failed = latched
+		}
+		failed = r.failed
+		r.mu.Unlock()
+		return fmt.Errorf("%w (label %q)", failed, label)
+	}
+	if !res.Admitted {
+		// A 200 that does not admit is protocol drift; treat as latching.
+		latched := fmt.Errorf("%w: %v", ErrLedgerFailed, ErrRemoteProtocol)
+		r.mu.Lock()
+		if r.failed == nil {
+			r.failed = latched
+		}
+		failed = r.failed
+		r.mu.Unlock()
+		return fmt.Errorf("%w (label %q)", failed, label)
+	}
+	r.observe(res)
+	return nil
+}
+
+// observe folds an authoritative response into the cached read state.
+// Spent is monotone, so the freshest view is the componentwise max —
+// out-of-order responses from concurrent spends cannot roll it back.
+func (r *RemoteLedger) observe(res wireState) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.spent.Epsilon = math.Max(r.spent.Epsilon, res.Spent.Epsilon)
+	r.spent.Delta = math.Max(r.spent.Delta, res.Spent.Delta)
+	if res.Ops > r.opCount {
+		r.opCount = res.Ops
+	}
+}
+
+// refresh pulls the sequencer's authoritative state; best effort — a
+// failure leaves the cache (reads must not latch the ledger, and must
+// keep answering during partitions, from the last known state).
+func (r *RemoteLedger) refresh() {
+	var res wireState
+	if err := r.call(http.MethodGet, "", nil, &res); err == nil {
+		r.observe(res)
+	}
+}
+
+// Spent implements Ledger: the sequencer's authoritative total when
+// reachable, else the last observed state (never ahead of the truth —
+// both sources only report durably admitted ops).
+func (r *RemoteLedger) Spent() dp.Params {
+	r.refresh()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.spent
+}
+
+// Remaining implements Ledger.
+func (r *RemoteLedger) Remaining() dp.Params {
+	spent := r.Spent()
+	return dp.Params{
+		Epsilon: math.Max(0, r.budget.Epsilon-spent.Epsilon),
+		Delta:   math.Max(0, r.budget.Delta-spent.Delta),
+	}
+}
+
+// OpCount implements Ledger.
+func (r *RemoteLedger) OpCount() int {
+	r.refresh()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.opCount
+}
+
+// Ops implements Ledger: the sequencer's audit trail (labels exactly as
+// spent; the sequencer strips its op-ID envelope). Returns nil when the
+// sequencer is unreachable — the trail lives with the WAL, not here.
+func (r *RemoteLedger) Ops() []Op {
+	var res struct {
+		Ops []struct {
+			Seq     int     `json:"seq"`
+			Label   string  `json:"label"`
+			Epsilon float64 `json:"epsilon"`
+			Delta   float64 `json:"delta"`
+		} `json:"ops"`
+	}
+	if err := r.call(http.MethodGet, "/ops", nil, &res); err != nil {
+		return nil
+	}
+	out := make([]Op, len(res.Ops))
+	for i, op := range res.Ops {
+		out[i] = Op{Seq: op.Seq, Label: op.Label, Cost: dp.Params{Epsilon: op.Epsilon, Delta: op.Delta}}
+	}
+	return out
+}
+
+// AuditReport implements Ledger.
+func (r *RemoteLedger) AuditReport() string {
+	ops := r.Ops()
+	spent := r.Spent()
+	var b strings.Builder
+	fmt.Fprintf(&b, "privacy ledger (remote %s, key %s): budget %s, spent %s, %d ops\n",
+		r.base, r.key, r.budget, spent, len(ops))
+	for _, op := range ops {
+		fmt.Fprintf(&b, "  %3d. %-24s %s\n", op.Seq, op.Label, op.Cost)
+	}
+	return b.String()
+}
+
+// call runs one request against /v1/ledgers/{key}{path} with the retry
+// policy: transient failures (network errors, timeouts, 5xx) back off
+// exponentially with jitter and retry under the same body; definitive
+// answers (2xx, 4xx) return immediately.
+func (r *RemoteLedger) call(method, path string, body any, out any) error {
+	url := r.base + "/v1/ledgers/" + r.key + path
+	var payload []byte
+	if body != nil {
+		var err error
+		if payload, err = json.Marshal(body); err != nil {
+			return err
+		}
+	}
+	var lastErr error
+	for attempt := 0; attempt < r.opts.Attempts; attempt++ {
+		if attempt > 0 {
+			r.sleepBackoff(attempt)
+		}
+		res, retry, err := r.attempt(method, url, payload, out)
+		if err == nil {
+			_ = res
+			return nil
+		}
+		lastErr = err
+		if !retry {
+			return err
+		}
+	}
+	return fmt.Errorf("accountant: remote ledger %s unreachable after %d attempts: %w",
+		r.base, r.opts.Attempts, lastErr)
+}
+
+// attempt is one HTTP round trip. retry reports whether the failure is
+// transient.
+func (r *RemoteLedger) attempt(method, url string, payload []byte, out any) (status int, retry bool, err error) {
+	ctx, cancel := context.WithTimeout(context.Background(), r.opts.Timeout)
+	defer cancel()
+	var bodyReader io.Reader
+	if payload != nil {
+		bodyReader = bytes.NewReader(payload)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, url, bodyReader)
+	if err != nil {
+		return 0, false, err
+	}
+	if payload != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := r.opts.Client.Do(req)
+	if err != nil {
+		return 0, true, err // network/timeout: transient
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<22))
+	if err != nil {
+		return resp.StatusCode, true, err
+	}
+	if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+		if out != nil {
+			if err := json.Unmarshal(data, out); err != nil {
+				return resp.StatusCode, false, fmt.Errorf("%w: %v", ErrRemoteProtocol, err)
+			}
+		}
+		return resp.StatusCode, false, nil
+	}
+	var we wireError
+	_ = json.Unmarshal(data, &we)
+	msg := we.Error
+	if msg == "" {
+		msg = strings.TrimSpace(string(data))
+	}
+	switch {
+	case we.Code == "budget-exceeded":
+		return resp.StatusCode, false, fmt.Errorf("%w: %s", ErrBudgetExceeded, msg)
+	case we.Code == "budget-mismatch":
+		return resp.StatusCode, false, fmt.Errorf("%w: %s", ErrBudgetMismatch, msg)
+	case we.Code == "epoch-fenced", we.Code == "not-attached":
+		return resp.StatusCode, false, fmt.Errorf("accountant: sequencer fenced this writer (%s): %s", we.Code, msg)
+	case resp.StatusCode >= 500 || resp.StatusCode == http.StatusServiceUnavailable:
+		// Sequencer-side trouble: retrying under the same op ID is safe
+		// and may land once it recovers (or re-ack an admitted op).
+		return resp.StatusCode, true, fmt.Errorf("accountant: sequencer error (HTTP %d, %s): %s", resp.StatusCode, we.Code, msg)
+	default:
+		return resp.StatusCode, false, fmt.Errorf("%w: HTTP %d (%s): %s", ErrRemoteProtocol, resp.StatusCode, we.Code, msg)
+	}
+}
+
+// sleepBackoff pauses before retry #attempt: exponential in the attempt
+// number, capped at BackoffMax, jittered uniformly in [d/2, d).
+func (r *RemoteLedger) sleepBackoff(attempt int) {
+	d := r.opts.BackoffBase << (attempt - 1)
+	if d > r.opts.BackoffMax || d <= 0 {
+		d = r.opts.BackoffMax
+	}
+	r.mu.Lock()
+	jittered := d/2 + time.Duration(r.rng.Int63n(int64(d/2)+1))
+	r.mu.Unlock()
+	time.Sleep(jittered)
+}

@@ -1,0 +1,262 @@
+package ledgerd
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"repro/internal/accountant"
+	"repro/internal/dp"
+)
+
+// HTTP/JSON wire protocol of the sequencer. accountant.RemoteLedger is
+// the client; the codes below are the contract it keys its fail-closed
+// behavior on.
+//
+//	GET  /healthz                      {"ok":true,"epoch":...,"ledgers":n}
+//	POST /v1/ledgers/{key}/attach      {"budget":{"epsilon":e,"delta":d}}
+//	POST /v1/ledgers/{key}/spend       {"epoch":...,"op_id":...,"label":...,
+//	                                    "cost":{"epsilon":e,"delta":d}}
+//	GET  /v1/ledgers/{key}             status + durability panel
+//	GET  /v1/ledgers/{key}/ops         audit trail (client labels)
+//
+// Status mapping: 200 admitted/replayed, 429 "budget-exceeded"
+// (definitive rejection — spent is unchanged and retrying cannot
+// succeed), 409 "epoch-fenced" / "not-attached" / "budget-mismatch"
+// (the writer's view is stale or wrong; it must latch fail-closed),
+// 400 malformed requests, 500 "ledger-failed" (the durable log could
+// not admit the op; the underlying ledger is latched), 503
+// "service-closed".
+
+// maxBody bounds request bodies: spends carry short labels.
+const maxBody = 1 << 16
+
+// Wire error codes.
+const (
+	CodeBudgetExceeded = "budget-exceeded"
+	CodeBudgetMismatch = "budget-mismatch"
+	CodeEpochFenced    = "epoch-fenced"
+	CodeNotAttached    = "not-attached"
+	CodeBadRequest     = "bad-request"
+	CodeLedgerFailed   = "ledger-failed"
+	CodeServiceClosed  = "service-closed"
+)
+
+// budgetWire is the (ε, δ) wire shape.
+type budgetWire struct {
+	Epsilon float64 `json:"epsilon"`
+	Delta   float64 `json:"delta"`
+}
+
+func toWire(p dp.Params) budgetWire    { return budgetWire{Epsilon: p.Epsilon, Delta: p.Delta} }
+func (b budgetWire) params() dp.Params { return dp.Params{Epsilon: b.Epsilon, Delta: b.Delta} }
+
+// errorWire is the uniform error body.
+type errorWire struct {
+	Error string `json:"error"`
+	Code  string `json:"code"`
+}
+
+// NewHandler returns the sequencer's HTTP front end.
+func NewHandler(s *Service) http.Handler {
+	h := &handler{svc: s}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", h.healthz)
+	mux.HandleFunc("POST /v1/ledgers/{key}/attach", h.attach)
+	mux.HandleFunc("POST /v1/ledgers/{key}/spend", h.spend)
+	mux.HandleFunc("GET /v1/ledgers/{key}", h.status)
+	mux.HandleFunc("GET /v1/ledgers/{key}/ops", h.ops)
+	return mux
+}
+
+type handler struct {
+	svc *Service
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeErr maps service errors onto the wire contract.
+func writeErr(w http.ResponseWriter, err error) {
+	status, code := http.StatusBadRequest, CodeBadRequest
+	switch {
+	case errors.Is(err, accountant.ErrBudgetExceeded):
+		status, code = http.StatusTooManyRequests, CodeBudgetExceeded
+	case errors.Is(err, accountant.ErrBudgetMismatch):
+		status, code = http.StatusConflict, CodeBudgetMismatch
+	case errors.Is(err, ErrEpochFenced):
+		status, code = http.StatusConflict, CodeEpochFenced
+	case errors.Is(err, ErrNotAttached):
+		status, code = http.StatusConflict, CodeNotAttached
+	case errors.Is(err, ErrClosed):
+		status, code = http.StatusServiceUnavailable, CodeServiceClosed
+	case errors.Is(err, ErrBadKey), errors.Is(err, ErrBadOpID), errors.Is(err, errBadBody):
+		status, code = http.StatusBadRequest, CodeBadRequest
+	case errors.Is(err, accountant.ErrLedgerFailed),
+		errors.Is(err, accountant.ErrLedgerClosed),
+		errors.Is(err, accountant.ErrLedgerCorrupt),
+		errors.Is(err, accountant.ErrLedgerLocked):
+		status, code = http.StatusInternalServerError, CodeLedgerFailed
+	case errors.Is(err, dp.ErrEpsilon), errors.Is(err, dp.ErrDelta):
+		status, code = http.StatusBadRequest, CodeBadRequest
+	default:
+		// Unclassified failures are server-side: the client must latch,
+		// not blame its request.
+		status, code = http.StatusInternalServerError, CodeLedgerFailed
+	}
+	writeJSON(w, status, errorWire{Error: err.Error(), Code: code})
+}
+
+// errBadBody marks malformed request bodies: the client's fault, 400.
+var errBadBody = errors.New("ledgerd: bad request body")
+
+// decode parses a bounded JSON body, rejecting unknown fields and
+// trailing data — a malformed spend must fail up front, never run as
+// whatever its prefix happens to parse as.
+func decode(w http.ResponseWriter, r *http.Request, v any) error {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBody))
+	if err != nil {
+		return fmt.Errorf("%w: reading: %v", errBadBody, err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("%w: parsing: %v", errBadBody, err)
+	}
+	if _, err := dec.Token(); err != io.EOF {
+		return fmt.Errorf("%w: trailing data after JSON value", errBadBody)
+	}
+	return nil
+}
+
+func (h *handler) healthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ok":      true,
+		"epoch":   h.svc.Epoch(),
+		"ledgers": len(h.svc.Keys()),
+	})
+}
+
+// attachWire is the attach request/response pair.
+type attachRequest struct {
+	Budget budgetWire `json:"budget"`
+}
+
+type attachResponse struct {
+	Epoch     string     `json:"epoch"`
+	Budget    budgetWire `json:"budget"`
+	Spent     budgetWire `json:"spent"`
+	Remaining budgetWire `json:"remaining"`
+	Ops       int        `json:"ops"`
+}
+
+func (h *handler) attach(w http.ResponseWriter, r *http.Request) {
+	var req attachRequest
+	if err := decode(w, r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	res, err := h.svc.Attach(r.PathValue("key"), req.Budget.params())
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, attachResponse{
+		Epoch:     res.Epoch,
+		Budget:    toWire(res.Budget),
+		Spent:     toWire(res.Spent),
+		Remaining: toWire(res.Remaining),
+		Ops:       res.OpCount,
+	})
+}
+
+type spendRequest struct {
+	Epoch string     `json:"epoch"`
+	OpID  string     `json:"op_id"`
+	Label string     `json:"label"`
+	Cost  budgetWire `json:"cost"`
+}
+
+type spendResponse struct {
+	Admitted  bool       `json:"admitted"`
+	Replayed  bool       `json:"replayed,omitempty"`
+	Seq       int        `json:"seq"`
+	Spent     budgetWire `json:"spent"`
+	Remaining budgetWire `json:"remaining"`
+	Ops       int        `json:"ops"`
+}
+
+func (h *handler) spend(w http.ResponseWriter, r *http.Request) {
+	var req spendRequest
+	if err := decode(w, r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	res, err := h.svc.Spend(r.PathValue("key"), req.Epoch, req.OpID, req.Label, req.Cost.params())
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, spendResponse{
+		Admitted:  true,
+		Replayed:  res.Replayed,
+		Seq:       res.Seq,
+		Spent:     toWire(res.Spent),
+		Remaining: toWire(res.Remaining),
+		Ops:       res.OpCount,
+	})
+}
+
+type statusResponse struct {
+	Key        string                   `json:"key"`
+	Epoch      string                   `json:"epoch"`
+	Budget     budgetWire               `json:"budget"`
+	Spent      budgetWire               `json:"spent"`
+	Remaining  budgetWire               `json:"remaining"`
+	Ops        int                      `json:"ops"`
+	Durability accountant.DurableStatus `json:"durability"`
+}
+
+func (h *handler) status(w http.ResponseWriter, r *http.Request) {
+	st, err := h.svc.Status(r.PathValue("key"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, statusResponse{
+		Key:        st.Key,
+		Epoch:      st.Epoch,
+		Budget:     toWire(st.Budget),
+		Spent:      toWire(st.Spent),
+		Remaining:  toWire(st.Remaining),
+		Ops:        st.OpCount,
+		Durability: st.Durable,
+	})
+}
+
+// opWire is one audit-trail entry on the wire.
+type opWire struct {
+	Seq     int     `json:"seq"`
+	Label   string  `json:"label"`
+	Epsilon float64 `json:"epsilon"`
+	Delta   float64 `json:"delta"`
+}
+
+func (h *handler) ops(w http.ResponseWriter, r *http.Request) {
+	ops, err := h.svc.Ops(r.PathValue("key"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	out := make([]opWire, len(ops))
+	for i, op := range ops {
+		out[i] = opWire{Seq: op.Seq, Label: op.Label, Epsilon: op.Cost.Epsilon, Delta: op.Cost.Delta}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"key": r.PathValue("key"), "ops": out})
+}

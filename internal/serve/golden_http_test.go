@@ -24,8 +24,10 @@ import (
 // goldenServeTranscript pins the full HTTP conversation — ingest,
 // session, level, marginal, top-k, budget — for the default strategy.
 // It was captured before the strategy refactor; the strategy seam must
-// never change a default-strategy byte on the wire.
-const goldenServeTranscript = "f682c5e4e00b98674ab48c167099d9ca7c3a356b316b440b5c8655556f164422"
+// never change a default-strategy byte on the wire. Re-pinned when the
+// /budget durability panel grew the "backend" stamp ("mem" here): the
+// noise and audit bytes were unchanged, only the durability JSON.
+const goldenServeTranscript = "87d53447e76ddd006946c83089d458fceee257ff885f0ed1a45c6c7f3c20f9d7"
 
 func goldenGraph(t *testing.T) *bipartite.Graph {
 	t.Helper()

@@ -450,20 +450,32 @@ func (s *httpServer) datasetInfo(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, describeDataset(ds))
 }
 
-// durabilityJSON is the /budget "durability" field: durable datasets
-// embed the full accountant.DurableStatus, in-memory ones report only
-// {"durable": false}.
+// durabilityJSON is the /budget "durability" field: every dataset
+// stamps its accounting backend ("mem", "wal" or "remote" — consumers
+// like benchdiff must never compare numbers across backends); durable
+// datasets embed the full accountant.DurableStatus, remote datasets
+// their sequencer binding, in-memory ones report only the stamp.
 type durabilityJSON struct {
-	Durable bool `json:"durable"`
+	Backend string `json:"backend"`
+	Durable bool   `json:"durable"`
 	*accountant.DurableStatus
+	Remote *accountant.RemoteStatus `json:"remote,omitempty"`
 }
 
 func describeDurability(ds *Dataset) durabilityJSON {
-	st, ok := ds.Durability()
-	if !ok {
-		return durabilityJSON{}
+	out := durabilityJSON{Backend: ds.LedgerBackend()}
+	if st, ok := ds.Durability(); ok {
+		out.Durable = true
+		out.DurableStatus = &st
 	}
-	return durabilityJSON{Durable: true, DurableStatus: &st}
+	if st, ok := ds.RemoteStatus(); ok {
+		// The sequencer fsyncs every admission into its WAL before the
+		// ack this client requires, so a remote dataset's accounting is
+		// durable too — just not locally.
+		out.Durable = true
+		out.Remote = &st
+	}
+	return out
 }
 
 func (s *httpServer) budget(w http.ResponseWriter, r *http.Request) {
@@ -480,7 +492,23 @@ func (s *httpServer) budget(w http.ResponseWriter, r *http.Request) {
 		"ops":        ds.OpCount(),
 		"cache":      ds.CacheStats(),
 		"durability": describeDurability(ds),
-		"audit":      ds.AuditReport(),
+	}
+	// The audit trail grows with every admitted op, so after a load run
+	// the full report is megabytes. ?ops=N keeps only the N most recent
+	// entries (the header still reports the true totals), ?ops=0 omits
+	// the report entirely; no parameter preserves the full trail for
+	// existing consumers.
+	switch capStr := r.URL.Query().Get("ops"); capStr {
+	case "":
+		body["audit"] = ds.AuditReport()
+	case "0":
+	default:
+		n, err := strconv.Atoi(capStr)
+		if err != nil || n < 0 {
+			writeErr(w, fmt.Errorf("serve: ops must be a non-negative integer (got %q)", capStr))
+			return
+		}
+		body["audit"] = auditReportTail(ds, n)
 	}
 	// Same convention as the dataset summary: the field appears only for
 	// non-default strategies, keeping default transcripts byte-stable.
@@ -488,6 +516,24 @@ func (s *httpServer) budget(w http.ResponseWriter, r *http.Request) {
 		body["strategy"] = label
 	}
 	writeJSON(w, http.StatusOK, body)
+}
+
+// auditReportTail renders the ledger report with only the n most recent
+// ops (the most relevant under a capped view: the spends that exhausted
+// the budget are at the end of the trail).
+func auditReportTail(ds *Dataset, n int) string {
+	ops := ds.Ops()
+	total := len(ops)
+	if n >= total {
+		return ds.AuditReport()
+	}
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "privacy ledger: budget %s, spent %s, %d ops (showing last %d)\n",
+		ds.Budget(), ds.Spent(), total, n)
+	for _, op := range ops[total-n:] {
+		fmt.Fprintf(&b, "  %3d. %-24s %s\n", op.Seq, op.Label, op.Cost)
+	}
+	return b.String()
 }
 
 func (s *httpServer) openSession(w http.ResponseWriter, r *http.Request) {

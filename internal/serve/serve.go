@@ -44,9 +44,11 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -153,6 +155,15 @@ type Config struct {
 	// reused name starts a fresh ledger. Empty (the default) keeps
 	// in-memory ledgers, which forget every debit on restart.
 	LedgerDir string
+	// LedgerAddr points privacy accounting at a shared gdpledgerd
+	// sequencer (host:port or http://host:port): each dataset's ledger
+	// becomes an accountant.RemoteLedger spending against the
+	// sequencer's durable budget for the (name, fingerprint) key — the
+	// deployment shape where N replicas share ONE budget instead of
+	// silently multiplying it. Mutually exclusive with LedgerDir and
+	// with the LedgerFsync*/LedgerSnapshotEvery knobs (durability policy
+	// lives with the sequencer); conflicts fail Open with ErrBadConfig.
+	LedgerAddr string
 	// LedgerFsync is the WAL fsync policy when LedgerDir is set:
 	// accountant.FsyncAlways (default — every admission is durable
 	// before any noise is drawn), FsyncInterval, or FsyncOff.
@@ -166,6 +177,9 @@ type Config struct {
 	// ledgerOpenWriter is the test-only fault-injection seam threaded
 	// into accountant.DurableOptions.OpenWriter.
 	ledgerOpenWriter func(path string) (accountant.WriteSyncer, error)
+	// ledgerRemoteOptions overrides the RemoteLedger client policy
+	// (test-only — fast retries against stopped sequencers).
+	ledgerRemoteOptions accountant.RemoteOptions
 	// MaxCacheEntries bounds each dataset's response cache: answered
 	// pinned-session queries are retained by their full identity (stream
 	// domain, stream id, seq, kind, level, side, k) and a replay of the
@@ -234,6 +248,23 @@ func (c Config) withDefaults() (Config, error) {
 	if c.MaxCacheEntries == 0 {
 		c.MaxCacheEntries = DefaultMaxCacheEntries
 	}
+	if c.LedgerDir != "" && c.LedgerAddr != "" {
+		return Config{}, fmt.Errorf("%w: ledger dir %q and ledger addr %q are mutually exclusive — accounting is either local-durable or delegated to a sequencer, never both", ErrBadConfig, c.LedgerDir, c.LedgerAddr)
+	}
+	if c.LedgerAddr != "" {
+		// Durability policy lives with the sequencer; a local fsync or
+		// snapshot knob alongside a remote ledger would be silently
+		// ignored, and silently ignored durability config is exactly the
+		// misconfiguration this layer exists to refuse.
+		switch {
+		case c.LedgerFsync != "":
+			return Config{}, fmt.Errorf("%w: ledger fsync policy %q has no effect with a remote ledger (set it on gdpledgerd)", ErrBadConfig, c.LedgerFsync)
+		case c.LedgerFsyncInterval != 0:
+			return Config{}, fmt.Errorf("%w: ledger fsync interval has no effect with a remote ledger (set it on gdpledgerd)", ErrBadConfig)
+		case c.LedgerSnapshotEvery != 0:
+			return Config{}, fmt.Errorf("%w: ledger snapshot cadence has no effect with a remote ledger (set it on gdpledgerd)", ErrBadConfig)
+		}
+	}
 	if c.LedgerDir != "" {
 		policy, err := accountant.ParseFsyncPolicy(string(c.LedgerFsync))
 		if err != nil {
@@ -284,7 +315,10 @@ type Registry struct {
 
 // Open validates cfg and returns an empty registry. When cfg.LedgerDir
 // is set the directory is created if needed; every dataset added to the
-// registry then accounts its budget in a durable WAL there.
+// registry then accounts its budget in a durable WAL there. When
+// cfg.LedgerAddr is set the sequencer is pinged once — a registry that
+// could never account a spend must fail at startup, not on the first
+// ingest.
 func Open(cfg Config) (*Registry, error) {
 	cfg, err := cfg.withDefaults()
 	if err != nil {
@@ -293,6 +327,11 @@ func Open(cfg Config) (*Registry, error) {
 	if cfg.LedgerDir != "" {
 		if err := os.MkdirAll(cfg.LedgerDir, 0o755); err != nil {
 			return nil, fmt.Errorf("%w: ledger dir: %v", ErrBadConfig, err)
+		}
+	}
+	if cfg.LedgerAddr != "" {
+		if err := pingSequencer(cfg.LedgerAddr); err != nil {
+			return nil, fmt.Errorf("%w: ledger addr %q: %v", ErrBadConfig, cfg.LedgerAddr, err)
 		}
 	}
 	r := &Registry{
@@ -483,6 +522,7 @@ func (r *Registry) datasetCountMech(strat *release.Strategy) core.NoiseMechanism
 // name is never served.
 func (r *Registry) buildDataset(name string, src bipartite.EdgeSource, strat *release.Strategy) (*Dataset, error) {
 	durable := r.cfg.LedgerDir != ""
+	remote := r.cfg.LedgerAddr != ""
 	salt := release.StrategySalt(strat.Name())
 	labelPrefix := ""
 	if strat.Name() != release.DefaultStrategyName {
@@ -510,7 +550,8 @@ func (r *Registry) buildDataset(name string, src bipartite.EdgeSource, strat *re
 
 	var ledger accountant.Ledger
 	var durableLedger *accountant.DurableLedger
-	if !durable {
+	var remoteLedger *accountant.RemoteLedger
+	if !durable && !remote {
 		mem, err := accountant.NewLedger(r.cfg.Budget)
 		if err != nil {
 			return nil, err
@@ -522,8 +563,10 @@ func (r *Registry) buildDataset(name string, src bipartite.EdgeSource, strat *re
 		}
 		ledger = mem
 	} else if charge {
-		// Pre-check against an empty budget so a misconfigured
-		// specialization fails before the build, like the mem path.
+		// Durable and remote ledgers are keyed by the data fingerprint,
+		// which only exists after the build; pre-check against an empty
+		// budget so a misconfigured specialization fails before the
+		// build, like the mem path.
 		probe, err := accountant.NewLedger(r.cfg.Budget)
 		if err != nil {
 			return nil, err
@@ -571,6 +614,27 @@ func (r *Registry) buildDataset(name string, src bipartite.EdgeSource, strat *re
 		ledger = dl
 		durableLedger = dl
 	}
+	if remote {
+		// Same (name, fingerprint) key as the WAL filename minus its
+		// extension: every replica that ingests the same data under the
+		// same name attaches to — and spends from — ONE sequencer budget.
+		// The phase-1 dedup below keeps reopens and replica restarts from
+		// re-charging the specialization; replicas racing the very first
+		// ingest may each charge it, which errs in the only safe
+		// direction (budget over-debited, never under-accounted).
+		rl, err := accountant.OpenRemoteLedger(r.cfg.LedgerAddr, ledgerKey(name, print), r.cfg.Budget, r.cfg.ledgerRemoteOptions)
+		if err != nil {
+			return nil, fmt.Errorf("serve: ingest %q: attaching remote ledger: %w", name, err)
+		}
+		if charge && !hasOpLabeled(rl, ingestLabel) {
+			if err := rl.Spend(ingestLabel, phase1Cost); err != nil {
+				rl.Close()
+				return nil, fmt.Errorf("serve: ingest %q: %w", name, err)
+			}
+		}
+		ledger = rl
+		remoteLedger = rl
+	}
 
 	return &Dataset{
 		reg:         r,
@@ -578,6 +642,7 @@ func (r *Registry) buildDataset(name string, src bipartite.EdgeSource, strat *re
 		tree:        tree,
 		ledger:      ledger,
 		durable:     durableLedger,
+		remote:      remoteLedger,
 		print:       print,
 		strat:       strat,
 		countMech:   r.datasetCountMech(strat),
@@ -600,13 +665,16 @@ func hasOpLabeled(l accountant.Ledger, label string) bool {
 	return false
 }
 
-// ledgerFileName keys a dataset's WAL by its name AND data fingerprint:
+// ledgerKey keys a dataset's budget by its name AND data fingerprint:
 // re-ingesting different data under a reused name must start a fresh
-// budget file, never inherit (or clobber) the old one. The name is
-// sanitized for the filesystem, so an fnv hash of the exact name keeps
-// two names that sanitize identically ("a/b" vs "a_b") from colliding
-// into one shared budget.
-func ledgerFileName(name string, print uint64) string {
+// budget, never inherit (or clobber) the old one. The name is sanitized
+// for the filesystem (and for sequencer URLs), so an fnv hash of the
+// exact name keeps two names that sanitize identically ("a/b" vs "a_b")
+// from colliding into one shared budget. Locally the key names the WAL
+// file (ledgerFileName); remotely it names the sequencer ledger — the
+// SAME key either way, so every replica that ingested the same data
+// lands on the same budget.
+func ledgerKey(name string, print uint64) string {
 	h := fnv.New64a()
 	h.Write([]byte(name))
 	safe := make([]byte, 0, len(name))
@@ -619,7 +687,31 @@ func ledgerFileName(name string, print uint64) string {
 			safe = append(safe, '_')
 		}
 	}
-	return fmt.Sprintf("%s-%016x-%016x.wal", safe, h.Sum64(), print)
+	return fmt.Sprintf("%s-%016x-%016x", safe, h.Sum64(), print)
+}
+
+// ledgerFileName is the on-disk WAL name of a dataset's local durable
+// ledger.
+func ledgerFileName(name string, print uint64) string {
+	return ledgerKey(name, print) + ".wal"
+}
+
+// pingSequencer checks that a gdpledgerd sequencer answers /healthz at
+// addr (host:port or http://host:port).
+func pingSequencer(addr string) error {
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	client := &http.Client{Timeout: 2 * time.Second}
+	resp, err := client.Get(strings.TrimSuffix(addr, "/") + "/healthz")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("sequencer healthz answered HTTP %d", resp.StatusCode)
+	}
+	return nil
 }
 
 // fingerprintTree hashes the dataset as served. The finest-level cell
@@ -711,7 +803,10 @@ type Dataset struct {
 	// (Config.LedgerDir set); it carries the durability-only surface
 	// (Status, Sync, Close) the Ledger interface deliberately omits.
 	durable *accountant.DurableLedger
-	print   uint64 // data fingerprint (strategy-salted) folded into every session stream
+	// remote is non-nil iff ledger spends against a gdpledgerd sequencer
+	// (Config.LedgerAddr set).
+	remote *accountant.RemoteLedger
+	print  uint64 // data fingerprint (strategy-salted) folded into every session stream
 	// strat is the strategy the dataset was built under; countMech its
 	// resolved count-release mechanism; labelPrefix the "strategy=…/"
 	// audit prefix (empty for the default strategy, whose trail must
@@ -723,22 +818,51 @@ type Dataset struct {
 	nextID      atomic.Uint64
 }
 
-// closeLedger flushes and closes the dataset's durable WAL (no-op for
-// in-memory ledgers). Idempotent.
+// closeLedger flushes and closes the dataset's durable WAL, or detaches
+// its remote-ledger client (no-op for in-memory ledgers). Idempotent.
 func (d *Dataset) closeLedger() error {
-	if d.durable == nil {
-		return nil
+	if d.durable != nil {
+		return d.durable.Close()
 	}
-	return d.durable.Close()
+	if d.remote != nil {
+		return d.remote.Close()
+	}
+	return nil
+}
+
+// LedgerBackend names the accounting backend serving this dataset:
+// "mem" (in-process, forgotten on restart), "wal" (local DurableLedger)
+// or "remote" (shared gdpledgerd sequencer). Benchmark records and the
+// /budget endpoint stamp it so results are never compared across
+// backends.
+func (d *Dataset) LedgerBackend() string {
+	switch {
+	case d.durable != nil:
+		return "wal"
+	case d.remote != nil:
+		return "remote"
+	default:
+		return "mem"
+	}
 }
 
 // Durability reports the dataset's durable-ledger status; ok is false
-// for in-memory ledgers.
+// for in-memory and remote ledgers (the sequencer owns the WAL —
+// RemoteStatus reports the client's binding).
 func (d *Dataset) Durability() (st accountant.DurableStatus, ok bool) {
 	if d.durable == nil {
 		return accountant.DurableStatus{}, false
 	}
 	return d.durable.Status(), true
+}
+
+// RemoteStatus reports the dataset's sequencer binding; ok is false for
+// local ledgers.
+func (d *Dataset) RemoteStatus() (st accountant.RemoteStatus, ok bool) {
+	if d.remote == nil {
+		return accountant.RemoteStatus{}, false
+	}
+	return d.remote.Status(), true
 }
 
 // CacheStats reports the dataset's response-cache counters.

@@ -317,7 +317,10 @@ func TopKGroupsInto(s *TopKScratch, c CellRelease, side Side, k int) ([]int, err
 // binary).
 type (
 	// ServeConfig configures OpenRegistry: per-dataset budget, per-query
-	// cost, hierarchy depth, seed, ingest parallelism.
+	// cost, hierarchy depth, seed, ingest parallelism. Set LedgerAddr to
+	// a gdpledgerd sequencer address to make N replicas of the same
+	// dataset spend one shared budget (mutually exclusive with the local
+	// LedgerDir/LedgerFsync* knobs).
 	ServeConfig = serve.Config
 	// Registry owns named served datasets and their ingest lanes.
 	Registry = serve.Registry
@@ -345,6 +348,12 @@ type (
 	// (Dataset.Durability): WAL path, fsync policy, record counts,
 	// replayed ops, and whether the ledger has failed closed.
 	LedgerDurability = accountant.DurableStatus
+	// LedgerRemoteStatus reports a dataset's shared-sequencer binding
+	// (Dataset.RemoteStatus) when ServeConfig.LedgerAddr points the
+	// registry at a gdpledgerd service: sequencer address, budget key,
+	// pinned epoch token, and any latched failure. With a shared
+	// sequencer, N serving replicas spend ONE (ε, δ) budget per dataset.
+	LedgerRemoteStatus = accountant.RemoteStatus
 )
 
 // Durable-ledger fsync policies (ServeConfig.LedgerFsync).
@@ -373,6 +382,14 @@ func OpenRegistry(cfg ServeConfig) (*Registry, error) { return serve.Open(cfg) }
 // ErrBudgetExhausted is returned (wrapped) by sessions of a dataset
 // whose privacy ledger cannot admit another query.
 var ErrBudgetExhausted = accountant.ErrBudgetExceeded
+
+// ErrLedgerFailed is the fail-closed latch of durable and
+// sequencer-backed ledgers: once a dataset's ledger cannot prove a
+// spend was recorded (write error, lost ack, partition, epoch fence),
+// every later query fails with an error satisfying
+// errors.Is(err, ErrLedgerFailed) rather than release unaccounted
+// noise.
+var ErrLedgerFailed = accountant.ErrLedgerFailed
 
 // NewServeHandler returns the HTTP/JSON front end over a registry —
 // dataset ingest, budget inspection, level views, marginal and top-k
