@@ -7,11 +7,18 @@
 // answering is not, closing the classic "two replicas silently double
 // the budget" failure of distributed DP systems.
 //
-// Usage:
+// Usage (single node):
 //
 //	gdpledgerd -addr 127.0.0.1:8850 -ledger-dir /var/lib/gdpledgerd
 //	gdpserve   -addr 127.0.0.1:8080 -ledger-addr 127.0.0.1:8850 ...
 //	gdpserve   -addr 127.0.0.1:8081 -ledger-addr 127.0.0.1:8850 ...
+//
+// Usage (replicated group — survives any minority failure):
+//
+//	gdpledgerd -addr a:8850 -ledger-dir /var/a -node-id n1 -peers n1=a:8850,n2=b:8850,n3=c:8850
+//	gdpledgerd -addr b:8850 -ledger-dir /var/b -node-id n2 -peers n1=a:8850,n2=b:8850,n3=c:8850
+//	gdpledgerd -addr c:8850 -ledger-dir /var/c -node-id n3 -peers n1=a:8850,n2=b:8850,n3=c:8850
+//	gdpserve   -addr ...    -ledger-addr a:8850,b:8850,c:8850 ...
 //
 // Protocol (see internal/ledgerd):
 //
@@ -19,13 +26,17 @@
 //	POST /v1/ledgers/{key}/spend    idempotent admission (op_id dedups retries)
 //	GET  /v1/ledgers/{key}          status + durability panel
 //	GET  /v1/ledgers/{key}/ops      audit trail
-//	GET  /healthz
+//	GET  /healthz                   liveness
+//	GET  /readyz                    readiness (primary with quorum, or follower with live leader)
+//	POST /v1/group/{append,vote}    replication stream (group mode)
+//	GET  /v1/group/{state,status}   durable position / operator panel (group mode)
+//	POST /v1/group/promote          manual failover (group mode)
 //
-// Every admitted spend is fsynced into the key's WAL before the ack, so
-// an admission can never be forgotten; a restart replays the WALs and
-// issues a fresh epoch token, fencing writers that attached to the
-// previous incarnation (they fail closed and must re-attach). Budgets
-// here are permanent: an exhausted key stays exhausted across restarts.
+// Every admitted spend is fsynced into the WAL before the ack — in group
+// mode, fsynced on a MAJORITY of members before the ack — so an
+// admission can never be forgotten; a restart replays the log and fences
+// stale writers through the epoch token (single node) or the monotonic
+// term (group). Budgets are permanent: an exhausted key stays exhausted.
 package main
 
 import (
@@ -38,6 +49,8 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"sort"
+	"strings"
 	"syscall"
 	"time"
 
@@ -54,9 +67,22 @@ func main() {
 	}
 }
 
-// parseArgs resolves flags into the sequencer options, the listen
-// address, and the optional pprof side address.
-func parseArgs(args []string) (opts ledgerd.Options, addr, pprofAddr string, err error) {
+// config is the parsed command line: single-node options plus the
+// optional group membership.
+type config struct {
+	opts      ledgerd.Options
+	addr      string
+	pprofAddr string
+	// Group mode (both set): this node's ID and the full member map.
+	nodeID string
+	peers  map[string]string
+	// heartbeat / electionTimeout tune the group pacemaker.
+	heartbeat       time.Duration
+	electionTimeout time.Duration
+}
+
+// parseArgs resolves flags into the sequencer configuration.
+func parseArgs(args []string) (config, error) {
 	fs := flag.NewFlagSet("gdpledgerd", flag.ContinueOnError)
 	var (
 		addrFlag   = fs.String("addr", "127.0.0.1:8850", "listen address")
@@ -65,61 +91,152 @@ func parseArgs(args []string) (opts ledgerd.Options, addr, pprofAddr string, err
 		fsyncEvery = fs.Duration("fsync-interval", 0, "max unsynced window under -fsync interval (0 = 100ms default)")
 		snapEvery  = fs.Int("snapshot-every", 0, "compact each WAL into a snapshot after this many records (0 = 1024 default, negative = never compact)")
 		pprofFlag  = fs.String("pprof", "", "serve net/http/pprof on this side address (e.g. 127.0.0.1:6061; empty = disabled)")
+		nodeID     = fs.String("node-id", "", "this member's ID in a replicated group (requires -peers)")
+		peersFlag  = fs.String("peers", "", "replicated-group membership as id=host:port[,id=host:port...], including this node (requires -node-id)")
+		heartbeat  = fs.Duration("heartbeat", 0, "group replication heartbeat (0 = 100ms default)")
+		election   = fs.Duration("election-timeout", 0, "base follower patience before bidding for leadership, randomized in [T, 2T) (0 = 1s default; negative disables auto elections — promote via POST /v1/group/promote)")
 	)
 	if err := fs.Parse(args); err != nil {
-		return ledgerd.Options{}, "", "", err
+		return config{}, err
 	}
 	if *ledgerDir == "" {
-		return ledgerd.Options{}, "", "", errors.New("-ledger-dir is required (the sequencer exists to make budgets durable)")
+		return config{}, errors.New("-ledger-dir is required (the sequencer exists to make budgets durable)")
 	}
 	policy, err := accountant.ParseFsyncPolicy(*fsync)
 	if err != nil {
-		return ledgerd.Options{}, "", "", err
+		return config{}, err
 	}
-	opts = ledgerd.Options{
-		Dir:           *ledgerDir,
-		Fsync:         policy,
-		FsyncInterval: *fsyncEvery,
-		SnapshotEvery: *snapEvery,
+	cfg := config{
+		opts: ledgerd.Options{
+			Dir:           *ledgerDir,
+			Fsync:         policy,
+			FsyncInterval: *fsyncEvery,
+			SnapshotEvery: *snapEvery,
+		},
+		addr:            *addrFlag,
+		pprofAddr:       *pprofFlag,
+		nodeID:          *nodeID,
+		heartbeat:       *heartbeat,
+		electionTimeout: *election,
 	}
-	return opts, *addrFlag, *pprofFlag, nil
+	if (*peersFlag == "") != (*nodeID == "") {
+		return config{}, errors.New("-peers and -node-id must be set together")
+	}
+	if *peersFlag != "" {
+		if policy != accountant.FsyncAlways {
+			return config{}, errors.New("group mode always fsyncs (a majority ack IS the durability guarantee); drop -fsync")
+		}
+		cfg.peers, err = parsePeers(*peersFlag)
+		if err != nil {
+			return config{}, err
+		}
+		if _, ok := cfg.peers[*nodeID]; !ok {
+			return config{}, fmt.Errorf("-peers must include this node's -node-id (%q)", *nodeID)
+		}
+	}
+	return cfg, nil
+}
+
+// parsePeers parses "id=host:port,id=host:port,...".
+func parsePeers(s string) (map[string]string, error) {
+	peers := make(map[string]string)
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, addr, ok := strings.Cut(part, "=")
+		if !ok || id == "" || addr == "" {
+			return nil, fmt.Errorf("-peers entry %q is not id=host:port", part)
+		}
+		if _, dup := peers[id]; dup {
+			return nil, fmt.Errorf("-peers repeats member id %q", id)
+		}
+		peers[id] = addr
+	}
+	if len(peers) == 0 {
+		return nil, errors.New("-peers is empty")
+	}
+	return peers, nil
+}
+
+// httpServer wraps a handler with the slow-client timeouts every server
+// we expose must carry: a stalled peer may not hold a connection (and
+// its goroutine) forever.
+func httpServer(h http.Handler) *http.Server {
+	return &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
 }
 
 // run starts the sequencer and serves until ctx is canceled. started
 // (if non-nil) receives the bound address once the listener is up — the
 // test hook.
 func run(ctx context.Context, args []string, started func(addr string)) error {
-	opts, addr, pprofAddr, err := parseArgs(args)
+	cfg, err := parseArgs(args)
 	if err != nil {
 		return err
 	}
-	if pprofAddr != "" {
-		stopProf, err := startPprof(pprofAddr)
+	if cfg.pprofAddr != "" {
+		stopProf, err := startPprof(cfg.pprofAddr)
 		if err != nil {
 			return err
 		}
 		defer stopProf()
 	}
-	svc, err := ledgerd.New(opts)
-	if err != nil {
-		return err
+
+	var handler http.Handler
+	var closeSvc func() error
+	if cfg.peers != nil {
+		group, err := ledgerd.NewGroup(ledgerd.GroupOptions{
+			NodeID:          cfg.nodeID,
+			Peers:           cfg.peers,
+			Dir:             cfg.opts.Dir,
+			HeartbeatEvery:  cfg.heartbeat,
+			ElectionTimeout: cfg.electionTimeout,
+			Logf: func(format string, args ...any) {
+				fmt.Printf(format+"\n", args...)
+			},
+		})
+		if err != nil {
+			return err
+		}
+		handler = ledgerd.NewGroupHandler(group)
+		closeSvc = group.Close
+		ids := make([]string, 0, len(cfg.peers))
+		for id := range cfg.peers {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		fmt.Printf("gdpledgerd: group member %s of %s (dir %s, epoch %s)\n",
+			cfg.nodeID, strings.Join(ids, ","), cfg.opts.Dir, group.Epoch())
+	} else {
+		svc, err := ledgerd.New(cfg.opts)
+		if err != nil {
+			return err
+		}
+		handler = ledgerd.NewHandler(svc)
+		// Close flushes and syncs every budget WAL — the graceful path
+		// that makes interval/off fsync policies safe across clean
+		// shutdowns.
+		closeSvc = svc.Close
+		fmt.Printf("gdpledgerd: single node (ledger dir %s, epoch %s)\n", cfg.opts.Dir, svc.Epoch())
 	}
-	// Close flushes and syncs every budget WAL — the graceful path that
-	// makes interval/off fsync policies safe across clean shutdowns.
-	closeSvc := func() error { return svc.Close() }
 	defer func() { _ = closeSvc() }()
 
-	ln, err := net.Listen("tcp", addr)
+	ln, err := net.Listen("tcp", cfg.addr)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("gdpledgerd: listening on %s (ledger dir %s, epoch %s)\n",
-		ln.Addr(), opts.Dir, svc.Epoch())
+	fmt.Printf("gdpledgerd: listening on %s\n", ln.Addr())
 	if started != nil {
 		started(ln.Addr().String())
 	}
 
-	srv := &http.Server{Handler: ledgerd.NewHandler(svc)}
+	srv := httpServer(handler)
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
 	select {
@@ -152,7 +269,7 @@ func startPprof(addr string) (func(), error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	srv := &http.Server{Handler: mux}
+	srv := httpServer(mux)
 	go func() { _ = srv.Serve(ln) }()
 	fmt.Printf("gdpledgerd: pprof on http://%s/debug/pprof/\n", ln.Addr())
 	return func() { _ = srv.Close() }, nil

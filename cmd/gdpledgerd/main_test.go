@@ -4,17 +4,23 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
 	"net/http"
+	"os"
+	"os/exec"
 	"path/filepath"
 	"testing"
 	"time"
 
 	"repro/internal/accountant"
+	"repro/internal/dp"
 )
 
 func TestParseArgs(t *testing.T) {
 	dir := t.TempDir()
-	opts, addr, pprofAddr, err := parseArgs([]string{
+	cfg, err := parseArgs([]string{
 		"-addr", "127.0.0.1:9999", "-ledger-dir", dir,
 		"-fsync", "interval", "-fsync-interval", "50ms",
 		"-snapshot-every", "128", "-pprof", "127.0.0.1:6061",
@@ -22,19 +28,41 @@ func TestParseArgs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if addr != "127.0.0.1:9999" || pprofAddr != "127.0.0.1:6061" {
-		t.Fatalf("addr %q pprof %q", addr, pprofAddr)
+	if cfg.addr != "127.0.0.1:9999" || cfg.pprofAddr != "127.0.0.1:6061" {
+		t.Fatalf("addr %q pprof %q", cfg.addr, cfg.pprofAddr)
 	}
-	if opts.Dir != dir || opts.Fsync != accountant.FsyncInterval ||
-		opts.FsyncInterval != 50*time.Millisecond || opts.SnapshotEvery != 128 {
-		t.Fatalf("opts = %+v", opts)
+	if cfg.opts.Dir != dir || cfg.opts.Fsync != accountant.FsyncInterval ||
+		cfg.opts.FsyncInterval != 50*time.Millisecond || cfg.opts.SnapshotEvery != 128 {
+		t.Fatalf("opts = %+v", cfg.opts)
 	}
 
-	if _, _, _, err := parseArgs(nil); err == nil {
+	if _, err := parseArgs(nil); err == nil {
 		t.Fatal("missing -ledger-dir accepted")
 	}
-	if _, _, _, err := parseArgs([]string{"-ledger-dir", dir, "-fsync", "sometimes"}); err == nil {
+	if _, err := parseArgs([]string{"-ledger-dir", dir, "-fsync", "sometimes"}); err == nil {
 		t.Fatal("bogus -fsync policy accepted")
+	}
+
+	// Group-mode flag validation.
+	grp, err := parseArgs([]string{"-ledger-dir", dir, "-node-id", "n1",
+		"-peers", "n1=127.0.0.1:1,n2=127.0.0.1:2,n3=127.0.0.1:3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grp.nodeID != "n1" || len(grp.peers) != 3 || grp.peers["n2"] != "127.0.0.1:2" {
+		t.Fatalf("group cfg = %+v", grp)
+	}
+	if _, err := parseArgs([]string{"-ledger-dir", dir, "-node-id", "n1"}); err == nil {
+		t.Fatal("-node-id without -peers accepted")
+	}
+	if _, err := parseArgs([]string{"-ledger-dir", dir, "-peers", "n1=a:1"}); err == nil {
+		t.Fatal("-peers without -node-id accepted")
+	}
+	if _, err := parseArgs([]string{"-ledger-dir", dir, "-node-id", "n9", "-peers", "n1=a:1"}); err == nil {
+		t.Fatal("-node-id missing from -peers accepted")
+	}
+	if _, err := parseArgs([]string{"-ledger-dir", dir, "-node-id", "n1", "-peers", "n1=a:1", "-fsync", "off"}); err == nil {
+		t.Fatal("group mode with -fsync off accepted")
 	}
 }
 
@@ -110,6 +138,171 @@ func TestLedgerdEndToEnd(t *testing.T) {
 	postJSON(t, base+"/v1/ledgers/k/attach", `{"budget":{"epsilon":0.2,"delta":2e-6}}`, http.StatusOK, &att2)
 	if att2.Epoch == att.Epoch || att2.Ops != 1 {
 		t.Fatalf("re-attach = %+v (old epoch %q)", att2, att.Epoch)
+	}
+}
+
+// TestHelperProcess is the re-exec entry point for process-level kill
+// tests: the test binary re-runs itself with GDPLEDGERD_HELPER=1 and
+// real gdpledgerd arguments after "--", so a test can SIGKILL a member
+// mid-operation — something no in-process harness can simulate.
+func TestHelperProcess(t *testing.T) {
+	if os.Getenv("GDPLEDGERD_HELPER") != "1" {
+		t.Skip("helper process entry point")
+	}
+	args := os.Args
+	for i, a := range args {
+		if a == "--" {
+			args = args[i+1:]
+			break
+		}
+	}
+	if err := run(context.Background(), args, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "gdpledgerd helper:", err)
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// freePorts reserves n distinct loopback ports by binding and releasing
+// them. A small race window remains; good enough for a test.
+func freePorts(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	lns := make([]net.Listener, n)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("reserving port: %v", err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	for _, ln := range lns {
+		ln.Close()
+	}
+	return addrs
+}
+
+// TestGroupKillFailoverEndToEnd is the ISSUE's acceptance scenario at
+// process level: a 3-member replicated group drains a 12-op budget,
+// the primary is SIGKILLed mid-drain, the survivors elect a new term,
+// and the client — walking the member list under the same op IDs —
+// admits EXACTLY 12 operations before hitting the budget wall.
+func TestGroupKillFailoverEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns processes and rides an election timeout")
+	}
+	addrs := freePorts(t, 3)
+	peers := fmt.Sprintf("n1=%s,n2=%s,n3=%s", addrs[0], addrs[1], addrs[2])
+	procs := make(map[string]*exec.Cmd, 3)
+	for i, id := range []string{"n1", "n2", "n3"} {
+		dir := filepath.Join(t.TempDir(), id)
+		cmd := exec.Command(os.Args[0], "-test.run=TestHelperProcess", "--",
+			"-addr", addrs[i], "-ledger-dir", dir, "-node-id", id, "-peers", peers,
+			"-heartbeat", "50ms", "-election-timeout", "250ms")
+		cmd.Env = append(os.Environ(), "GDPLEDGERD_HELPER=1")
+		if err := cmd.Start(); err != nil {
+			t.Fatalf("starting %s: %v", id, err)
+		}
+		procs[id] = cmd
+	}
+	t.Cleanup(func() {
+		for _, cmd := range procs {
+			_ = cmd.Process.Kill()
+			_ = cmd.Wait()
+		}
+	})
+
+	// roleOf asks one member for its replication role ("" if unreachable).
+	client := &http.Client{Timeout: time.Second}
+	roleOf := func(addr string) string {
+		resp, err := client.Get("http://" + addr + "/v1/group/status")
+		if err != nil {
+			return ""
+		}
+		defer resp.Body.Close()
+		var st struct {
+			Role   string `json:"role"`
+			Commit uint64 `json:"commit"`
+			LogLen uint64 `json:"log_len"`
+		}
+		if json.NewDecoder(resp.Body).Decode(&st) != nil || st.Commit != st.LogLen {
+			return ""
+		}
+		return st.Role
+	}
+	findPrimary := func(exclude string) string {
+		for i, id := range []string{"n1", "n2", "n3"} {
+			if id == exclude {
+				continue
+			}
+			if roleOf(addrs[i]) == "primary" {
+				return id
+			}
+		}
+		return ""
+	}
+	waitPrimary := func(exclude string) string {
+		deadline := time.Now().Add(30 * time.Second)
+		for time.Now().Before(deadline) {
+			if id := findPrimary(exclude); id != "" {
+				return id
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+		t.Fatalf("no primary emerged (excluding %q)", exclude)
+		return ""
+	}
+	waitPrimary("")
+
+	// 12 slots exactly: ε 1.2 in 0.1 steps, δ 1.2e-5 in 1e-6 steps.
+	budget := dp.Params{Epsilon: 1.2, Delta: 1.2e-5}
+	per := dp.Params{Epsilon: 0.1, Delta: 1e-6}
+	rl, err := accountant.OpenRemoteLedger(addrs[0]+","+addrs[1]+","+addrs[2], "shared", budget,
+		accountant.RemoteOptions{
+			Timeout:     2 * time.Second,
+			OpTimeout:   60 * time.Second,
+			Attempts:    60,
+			BackoffBase: 20 * time.Millisecond,
+			BackoffMax:  200 * time.Millisecond,
+		})
+	if err != nil {
+		t.Fatalf("OpenRemoteLedger: %v", err)
+	}
+	admits := 0
+	for i := 0; i < 4; i++ {
+		if err := rl.Spend(fmt.Sprintf("pre-kill-%d", i), per); err != nil {
+			t.Fatalf("spend %d: %v", i, err)
+		}
+		admits++
+	}
+
+	// SIGKILL the primary mid-drain: no flush, no goodbye.
+	victim := findPrimary("")
+	if victim == "" {
+		t.Fatal("primary vanished before the kill")
+	}
+	if err := procs[victim].Process.Kill(); err != nil {
+		t.Fatalf("killing %s: %v", victim, err)
+	}
+	_ = procs[victim].Wait()
+	delete(procs, victim)
+
+	// Drain the remaining 8 slots through the failover, then hit the wall.
+	for i := 0; i < 8; i++ {
+		if err := rl.Spend(fmt.Sprintf("post-kill-%d", i), per); err != nil {
+			t.Fatalf("spend after kill (%d admitted so far): %v", admits, err)
+		}
+		admits++
+	}
+	if admits != 12 {
+		t.Fatalf("admitted %d ops, want exactly 12", admits)
+	}
+	if err := rl.Spend("over", per); !errors.Is(err, accountant.ErrBudgetExceeded) {
+		t.Fatalf("13th spend: got %v, want ErrBudgetExceeded", err)
+	}
+	if st := rl.Status(); st.Failovers == 0 {
+		t.Fatalf("client status %+v: expected at least one failover", st)
 	}
 }
 

@@ -81,7 +81,7 @@ func parseArgs(args []string) (cfg repro.ServeConfig, hopts repro.ServeHandlerOp
 		maxSess    = fs.Int("max-sessions", 0, "cap on concurrently open session handles (0 = 1024 default, negative = unlimited)")
 		maxCache   = fs.Int("max-cache-entries", 0, "per-dataset response-cache capacity; replayed (stream, seq, query) keys serve their prior answer without re-debiting the ledger (0 = 1024 default, negative = disable caching)")
 		ledgerDir  = fs.String("ledger-dir", "", "directory for durable per-dataset privacy ledgers (WAL + snapshot); restarts replay spent budget so exhausted datasets stay exhausted (empty = in-memory ledgers, forgotten on exit)")
-		ledgerAddr = fs.String("ledger-addr", "", "address of a shared gdpledgerd privacy-ledger sequencer (host:port); all replicas pointed at it spend ONE budget per dataset; mutually exclusive with -ledger-dir and the -fsync*/-snapshot-every knobs")
+		ledgerAddr = fs.String("ledger-addr", "", "address of a shared gdpledgerd privacy-ledger sequencer (host:port, or a comma-separated replicated-group member list a:8850,b:8850,c:8850); all replicas pointed at it spend ONE budget per dataset; mutually exclusive with -ledger-dir and the -fsync*/-snapshot-every knobs")
 		fsync      = fs.String("fsync", "", "durable-ledger fsync policy: always (the default; sync before every admitted spend), interval, or off")
 		fsyncEvery = fs.Duration("fsync-interval", 0, "max unsynced window under -fsync interval (0 = 100ms default)")
 		snapEvery  = fs.Int("snapshot-every", 0, "compact each ledger WAL into a snapshot after this many records (0 = 1024 default, negative = never compact)")
@@ -181,7 +181,7 @@ func run(ctx context.Context, args []string, started func(addr string)) error {
 		started(ln.Addr().String())
 	}
 
-	srv := &http.Server{Handler: repro.NewServeHandlerWith(reg, hopts)}
+	srv := httpServer(repro.NewServeHandlerWith(reg, hopts))
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
 	select {
@@ -200,6 +200,19 @@ func run(ctx context.Context, args []string, started func(addr string)) error {
 	}
 }
 
+// httpServer wraps a handler with the slow-client timeouts every server
+// we expose must carry: a stalled peer may not hold a connection (and
+// its goroutine) forever. ReadTimeout is generous because ingest bodies
+// stream for a while on big datasets; idle keep-alives still expire.
+func httpServer(h http.Handler) *http.Server {
+	return &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       10 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+}
+
 // startPprof serves net/http/pprof on its own listener and mux — the
 // profiling surface never shares a port (or the default mux) with the
 // query API, so exposing it stays an explicit operator decision. The
@@ -215,7 +228,7 @@ func startPprof(addr string) (func(), error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	srv := &http.Server{Handler: mux}
+	srv := httpServer(mux)
 	go func() { _ = srv.Serve(ln) }()
 	fmt.Printf("gdpserve: pprof on http://%s/debug/pprof/\n", ln.Addr())
 	return func() { _ = srv.Close() }, nil

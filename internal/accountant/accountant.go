@@ -140,6 +140,19 @@ func (l *MemLedger) SpendBytes(label []byte, cost dp.Params) error {
 	return nil
 }
 
+// Check reports whether the budget could admit cost right now, spending
+// nothing — the pre-admission probe a replicated sequencer runs before
+// appending a spend to its log (the commit happens when the replicated
+// entry applies, not here).
+func (l *MemLedger) Check(cost dp.Params) error {
+	if err := cost.Validate(); err != nil {
+		return err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.check(cost)
+}
+
 // check reports whether the budget can admit cost, mutating nothing —
 // the durable ledger relies on that, logging the op between check and
 // commit. Only a RELATIVE tolerance absorbs floating-point drift (so n

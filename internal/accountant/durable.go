@@ -101,6 +101,12 @@ type WriteSyncer interface {
 	Close() error
 }
 
+// LockFile takes the same non-blocking exclusive advisory lock the
+// durable ledger holds on its WAL — exported so other durable logs
+// (the sequencer's replicated group log) enforce the identical
+// single-writer-per-file discipline.
+func LockFile(f *os.File) error { return lockLedgerFile(f) }
+
 // Durability defaults.
 const (
 	DefaultFsyncInterval = 100 * time.Millisecond

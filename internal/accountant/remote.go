@@ -17,12 +17,22 @@
 //   - Transient failures (timeouts, connection errors, 5xx) are retried
 //     with bounded exponential backoff and jitter under the SAME op ID,
 //     so an admission whose ack was lost is re-acked, not re-debited.
-//   - Anything else — retries exhausted, an epoch fence (the sequencer
-//     restarted), a budget or protocol mismatch — latches the ledger:
-//     every subsequent spend returns ErrLedgerFailed until a new
-//     RemoteLedger is opened (which re-attaches and re-pins the
-//     authoritative state). A latched spend admitted nothing the caller
-//     may release.
+//   - With a single configured address, anything else — retries
+//     exhausted, an epoch fence (the sequencer restarted), a budget or
+//     protocol mismatch — latches the ledger: every subsequent spend
+//     returns ErrLedgerFailed until a new RemoteLedger is opened. A
+//     latched spend admitted nothing the caller may release.
+//
+// Multi-address mode ("addr1,addr2,addr3" — a replicated sequencer
+// group) adds failover on top without weakening any of the above: on a
+// network error, 5xx, fence, or not-primary refusal the client walks
+// the member list under the existing bounded backoff, re-attaches to
+// adopt the new primary's term, and retries the SAME op ID — the
+// group's whole-log dedup then returns the recorded outcome of an op
+// whose first ack was lost to the failover, never a double charge.
+// Every operation is bounded by one per-op context deadline
+// (RemoteOptions.OpTimeout), so retries can never stack past the
+// caller's budget.
 package accountant
 
 import (
@@ -55,8 +65,15 @@ var ErrRemoteProtocol = errors.New("accountant: unexpected remote-ledger respons
 type RemoteOptions struct {
 	// Timeout bounds each HTTP attempt (default 2s).
 	Timeout time.Duration
-	// Attempts bounds the tries per operation, first included
-	// (default 5).
+	// OpTimeout bounds one whole operation — every attempt, backoff
+	// pause, member walk and re-attach included (default 15s). Without
+	// it, per-attempt timeouts could stack past any caller budget.
+	OpTimeout time.Duration
+	// Attempts bounds the tries per operation across ALL members, first
+	// included (default 8: enough to walk a 3-member list twice over a
+	// multi-second backoff window, so a spend that lands mid-election
+	// rides through the failover instead of latching fail-closed while
+	// the group is still choosing a primary).
 	Attempts int
 	// BackoffBase and BackoffMax shape the exponential backoff between
 	// attempts (defaults 50ms and 2s); each pause is jittered uniformly
@@ -73,8 +90,11 @@ func (o RemoteOptions) withDefaults() RemoteOptions {
 	if o.Timeout <= 0 {
 		o.Timeout = 2 * time.Second
 	}
+	if o.OpTimeout <= 0 {
+		o.OpTimeout = 15 * time.Second
+	}
 	if o.Attempts <= 0 {
-		o.Attempts = 5
+		o.Attempts = 8
 	}
 	if o.BackoffBase <= 0 {
 		o.BackoffBase = 50 * time.Millisecond
@@ -88,16 +108,16 @@ func (o RemoteOptions) withDefaults() RemoteOptions {
 	return o
 }
 
-// RemoteLedger implements Ledger against a gdpledgerd sequencer. Reads
-// (Spent, Remaining, OpCount) report the sequencer's authoritative
-// state when reachable and fall back to the last state an admission
-// response carried; Ops and AuditReport require the sequencer. Safe
-// for concurrent use.
+// RemoteLedger implements Ledger against a gdpledgerd sequencer (or a
+// replicated group of them). Reads (Spent, Remaining, OpCount) report
+// the sequencer's authoritative state when reachable and fall back to
+// the last state an admission response carried; Ops and AuditReport
+// require the sequencer. Safe for concurrent use.
 type RemoteLedger struct {
-	base   string // http://host:port, no trailing slash
-	key    string
-	budget dp.Params
-	opts   RemoteOptions
+	members []string // normalized base URLs, ≥1
+	key     string
+	budget  dp.Params
+	opts    RemoteOptions
 
 	// clientID is drawn from OS entropy per open; opSeq numbers this
 	// client's spends. Together they make op IDs unique across every
@@ -105,7 +125,13 @@ type RemoteLedger struct {
 	clientID string
 	opSeq    atomic.Uint64
 
+	// Observability counters (surfaced in RemoteStatus).
+	retries    atomic.Uint64 // attempts beyond the first, any cause
+	failovers  atomic.Uint64 // member-walk advances
+	reattaches atomic.Uint64 // successful re-attach after a fence
+
 	mu      sync.Mutex
+	member  int // index of the member currently believed primary
 	epoch   string
 	spent   dp.Params // last authoritative spent observed
 	opCount int
@@ -115,12 +141,14 @@ type RemoteLedger struct {
 
 var _ Ledger = (*RemoteLedger)(nil)
 
-// OpenRemoteLedger attaches to the sequencer at base (e.g.
-// "http://127.0.0.1:8850"), opening — or replaying — the durable ledger
-// for key under the given budget, and pins the sequencer's epoch token.
-// Attaching an existing key under a different budget fails with
-// ErrBudgetMismatch. The attach itself is retried like a spend; an
-// unreachable sequencer fails the open (nothing to latch yet).
+// OpenRemoteLedger attaches to the sequencer at base — either one
+// address ("http://127.0.0.1:8850") or a comma-separated member list
+// ("a:8850,b:8850,c:8850") for a replicated group — opening (or
+// replaying) the durable ledger for key under the given budget, and
+// pins the sequencer's epoch token. Attaching an existing key under a
+// different budget fails with ErrBudgetMismatch. The attach itself is
+// retried (walking the member list) like a spend; an unreachable
+// sequencer fails the open (nothing to latch yet).
 func OpenRemoteLedger(base, key string, budget dp.Params, opts RemoteOptions) (*RemoteLedger, error) {
 	if err := budget.Validate(); err != nil {
 		return nil, err
@@ -128,8 +156,19 @@ func OpenRemoteLedger(base, key string, budget dp.Params, opts RemoteOptions) (*
 	if key == "" {
 		return nil, errors.New("accountant: remote ledger key is required")
 	}
-	if !strings.Contains(base, "://") {
-		base = "http://" + base
+	var members []string
+	for _, m := range strings.Split(base, ",") {
+		m = strings.TrimSpace(m)
+		if m == "" {
+			continue
+		}
+		if !strings.Contains(m, "://") {
+			m = "http://" + m
+		}
+		members = append(members, strings.TrimSuffix(m, "/"))
+	}
+	if len(members) == 0 {
+		return nil, errors.New("accountant: remote ledger address is required")
 	}
 	var idBytes [8]byte
 	if _, err := rand.Read(idBytes[:]); err != nil {
@@ -137,18 +176,19 @@ func OpenRemoteLedger(base, key string, budget dp.Params, opts RemoteOptions) (*
 	}
 	seed := binary.LittleEndian.Uint64(idBytes[:])
 	r := &RemoteLedger{
-		base:     strings.TrimSuffix(base, "/"),
+		members:  members,
 		key:      key,
 		budget:   budget,
 		opts:     opts.withDefaults(),
 		clientID: fmt.Sprintf("%016x", seed),
 		rng:      mrand.New(mrand.NewSource(int64(seed))),
 	}
+	ctx, cancel := r.opContext(context.Background())
+	defer cancel()
 	var res wireState
-	err := r.call(http.MethodPost, "/attach",
-		map[string]any{"budget": wireBudget{budget.Epsilon, budget.Delta}}, &res)
+	err := r.call(ctx, http.MethodPost, "/attach", r.attachBody, &res)
 	if err != nil {
-		return nil, fmt.Errorf("accountant: attaching remote ledger %q at %s: %w", key, r.base, err)
+		return nil, fmt.Errorf("accountant: attaching remote ledger %q at %s: %w", key, base, err)
 	}
 	got := dp.Params{Epsilon: res.Budget.Epsilon, Delta: res.Budget.Delta}
 	if got != budget {
@@ -157,14 +197,30 @@ func OpenRemoteLedger(base, key string, budget dp.Params, opts RemoteOptions) (*
 	if res.Epoch == "" {
 		return nil, fmt.Errorf("%w: attach response carries no epoch", ErrRemoteProtocol)
 	}
+	r.mu.Lock()
 	r.epoch = res.Epoch
-	r.spent = dp.Params{Epsilon: res.Spent.Epsilon, Delta: res.Spent.Delta}
-	r.opCount = res.Ops
+	r.mu.Unlock()
+	r.observe(res)
 	return r, nil
 }
 
-// Addr returns the sequencer base URL.
-func (r *RemoteLedger) Addr() string { return r.base }
+func (r *RemoteLedger) attachBody() any {
+	return map[string]any{"budget": wireBudget{r.budget.Epsilon, r.budget.Delta}}
+}
+
+// opContext derives the deadline bounding one whole operation. An
+// earlier caller deadline wins.
+func (r *RemoteLedger) opContext(parent context.Context) (context.Context, context.CancelFunc) {
+	return context.WithTimeout(parent, r.opts.OpTimeout)
+}
+
+// Addr returns the sequencer base URL the client currently believes is
+// primary.
+func (r *RemoteLedger) Addr() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.members[r.member]
+}
 
 // Key returns the budget key this ledger spends under.
 func (r *RemoteLedger) Key() string { return r.key }
@@ -172,9 +228,17 @@ func (r *RemoteLedger) Key() string { return r.key }
 // RemoteStatus is the remote ledger's durability panel (the serving
 // layer's /budget endpoint embeds it).
 type RemoteStatus struct {
-	Addr  string `json:"addr"`
-	Key   string `json:"key"`
-	Epoch string `json:"epoch"`
+	// Addr is the member currently believed primary; Members is the full
+	// configured list.
+	Addr    string   `json:"addr"`
+	Members []string `json:"members,omitempty"`
+	Key     string   `json:"key"`
+	Epoch   string   `json:"epoch"`
+	// Retries counts attempts beyond the first; Failovers counts member
+	// walks; Reattaches counts successful re-attachments after a fence.
+	Retries    uint64 `json:"retries"`
+	Failovers  uint64 `json:"failovers"`
+	Reattaches uint64 `json:"reattaches"`
 	// Err is the latched failure, "" while healthy.
 	Err string `json:"error,omitempty"`
 }
@@ -183,7 +247,17 @@ type RemoteStatus struct {
 func (r *RemoteLedger) Status() RemoteStatus {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	st := RemoteStatus{Addr: r.base, Key: r.key, Epoch: r.epoch}
+	st := RemoteStatus{
+		Addr:       r.members[r.member],
+		Key:        r.key,
+		Epoch:      r.epoch,
+		Retries:    r.retries.Load(),
+		Failovers:  r.failovers.Load(),
+		Reattaches: r.reattaches.Load(),
+	}
+	if len(r.members) > 1 {
+		st.Members = r.members
+	}
 	if r.failed != nil && !errors.Is(r.failed, ErrLedgerClosed) {
 		st.Err = r.failed.Error()
 	}
@@ -234,28 +308,42 @@ func (r *RemoteLedger) Spend(label string, cost dp.Params) error {
 	return r.SpendBytes([]byte(label), cost)
 }
 
-// SpendBytes implements Ledger: one idempotent admission round trip.
-// The op ID is fixed before the first attempt, so however many retries
-// a flaky network forces, the sequencer debits at most once; nil is
-// returned only after the sequencer durably acked the admission.
+// SpendBytes implements Ledger: one idempotent admission, bounded by
+// OpTimeout.
 func (r *RemoteLedger) SpendBytes(label []byte, cost dp.Params) error {
+	return r.SpendContext(context.Background(), string(label), cost)
+}
+
+// SpendContext is Spend with a caller-supplied context bounding the
+// entire retry loop (member walks and re-attaches included); OpTimeout
+// still applies on top. The op ID is fixed before the first attempt, so
+// however many retries a flaky network or a failover forces, the
+// sequencer group debits at most once; nil is returned only after a
+// sequencer durably acked the admission.
+func (r *RemoteLedger) SpendContext(ctx context.Context, label string, cost dp.Params) error {
 	if err := cost.Validate(); err != nil {
 		return err
 	}
 	r.mu.Lock()
 	failed := r.failed
-	epoch := r.epoch
 	r.mu.Unlock()
 	if failed != nil {
 		return fmt.Errorf("%w (label %q)", failed, label)
 	}
 	opID := fmt.Sprintf("%s-%d", r.clientID, r.opSeq.Add(1))
+	ctx, cancel := r.opContext(ctx)
+	defer cancel()
 	var res wireState
-	err := r.call(http.MethodPost, "/spend", map[string]any{
-		"epoch": epoch,
-		"op_id": opID,
-		"label": string(label),
-		"cost":  wireBudget{cost.Epsilon, cost.Delta},
+	err := r.call(ctx, http.MethodPost, "/spend", func() any {
+		r.mu.Lock()
+		epoch := r.epoch
+		r.mu.Unlock()
+		return map[string]any{
+			"epoch": epoch,
+			"op_id": opID,
+			"label": label,
+			"cost":  wireBudget{cost.Epsilon, cost.Delta},
+		}
 	}, &res)
 	if err != nil {
 		if errors.Is(err, ErrBudgetExceeded) {
@@ -263,28 +351,24 @@ func (r *RemoteLedger) SpendBytes(label []byte, cost dp.Params) error {
 			// (spend being monotone) retrying could never succeed.
 			return fmt.Errorf("%w (label %q)", err, label)
 		}
-		latched := fmt.Errorf("%w: %v", ErrLedgerFailed, err)
-		r.mu.Lock()
-		if r.failed == nil {
-			r.failed = latched
-		}
-		failed = r.failed
-		r.mu.Unlock()
-		return fmt.Errorf("%w (label %q)", failed, label)
+		return fmt.Errorf("%w (label %q)", r.latch(err), label)
 	}
 	if !res.Admitted {
 		// A 200 that does not admit is protocol drift; treat as latching.
-		latched := fmt.Errorf("%w: %v", ErrLedgerFailed, ErrRemoteProtocol)
-		r.mu.Lock()
-		if r.failed == nil {
-			r.failed = latched
-		}
-		failed = r.failed
-		r.mu.Unlock()
-		return fmt.Errorf("%w (label %q)", failed, label)
+		return fmt.Errorf("%w (label %q)", r.latch(ErrRemoteProtocol), label)
 	}
 	r.observe(res)
 	return nil
+}
+
+// latch records the first fatal failure and returns the latched error.
+func (r *RemoteLedger) latch(err error) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.failed == nil {
+		r.failed = fmt.Errorf("%w: %v", ErrLedgerFailed, err)
+	}
+	return r.failed
 }
 
 // observe folds an authoritative response into the cached read state.
@@ -304,8 +388,10 @@ func (r *RemoteLedger) observe(res wireState) {
 // failure leaves the cache (reads must not latch the ledger, and must
 // keep answering during partitions, from the last known state).
 func (r *RemoteLedger) refresh() {
+	ctx, cancel := r.opContext(context.Background())
+	defer cancel()
 	var res wireState
-	if err := r.call(http.MethodGet, "", nil, &res); err == nil {
+	if err := r.call(ctx, http.MethodGet, "", nil, &res); err == nil {
 		r.observe(res)
 	}
 }
@@ -341,6 +427,8 @@ func (r *RemoteLedger) OpCount() int {
 // spent; the sequencer strips its op-ID envelope). Returns nil when the
 // sequencer is unreachable — the trail lives with the WAL, not here.
 func (r *RemoteLedger) Ops() []Op {
+	ctx, cancel := r.opContext(context.Background())
+	defer cancel()
 	var res struct {
 		Ops []struct {
 			Seq     int     `json:"seq"`
@@ -349,7 +437,7 @@ func (r *RemoteLedger) Ops() []Op {
 			Delta   float64 `json:"delta"`
 		} `json:"ops"`
 	}
-	if err := r.call(http.MethodGet, "/ops", nil, &res); err != nil {
+	if err := r.call(ctx, http.MethodGet, "/ops", nil, &res); err != nil {
 		return nil
 	}
 	out := make([]Op, len(res.Ops))
@@ -365,49 +453,148 @@ func (r *RemoteLedger) AuditReport() string {
 	spent := r.Spent()
 	var b strings.Builder
 	fmt.Fprintf(&b, "privacy ledger (remote %s, key %s): budget %s, spent %s, %d ops\n",
-		r.base, r.key, r.budget, spent, len(ops))
+		strings.Join(r.members, ","), r.key, r.budget, spent, len(ops))
 	for _, op := range ops {
 		fmt.Fprintf(&b, "  %3d. %-24s %s\n", op.Seq, op.Label, op.Cost)
 	}
 	return b.String()
 }
 
-// call runs one request against /v1/ledgers/{key}{path} with the retry
-// policy: transient failures (network errors, timeouts, 5xx) back off
-// exponentially with jitter and retry under the same body; definitive
-// answers (2xx, 4xx) return immediately.
-func (r *RemoteLedger) call(method, path string, body any, out any) error {
-	url := r.base + "/v1/ledgers/" + r.key + path
-	var payload []byte
-	if body != nil {
-		var err error
-		if payload, err = json.Marshal(body); err != nil {
-			return err
-		}
-	}
+// attempt outcome classes.
+const (
+	classOK    = iota // definitive success
+	classFatal        // definitive failure: return to caller now
+	classRetry        // transient: back off, walk, retry
+	classFence        // epoch-fenced / not-attached / not-primary
+)
+
+// call runs one operation against /v1/ledgers/{key}{path} under ctx
+// with the retry policy: transient failures (network errors, timeouts,
+// 5xx) back off exponentially with jitter; definitive answers return
+// immediately. bodyFn (nil for GETs) rebuilds the request body per
+// attempt so a re-attach mid-loop refreshes the epoch it carries.
+//
+// With one configured member, a fence is fatal (the caller latches —
+// the sequencer restarted under this client and only a fresh open may
+// re-pin state). With several, a fence or not-primary triggers the
+// failover walk: advance to the next member, re-attach to adopt its
+// term, and retry the same op ID.
+func (r *RemoteLedger) call(ctx context.Context, method, path string, bodyFn func() any, out any) error {
 	var lastErr error
 	for attempt := 0; attempt < r.opts.Attempts; attempt++ {
 		if attempt > 0 {
-			r.sleepBackoff(attempt)
+			r.retries.Add(1)
+			if err := r.sleepBackoff(ctx, attempt); err != nil {
+				return fmt.Errorf("accountant: remote-ledger op deadline exhausted after %d attempts: %w (last: %v)",
+					attempt, err, lastErr)
+			}
 		}
-		res, retry, err := r.attempt(method, url, payload, out)
-		if err == nil {
-			_ = res
+		var payload []byte
+		if bodyFn != nil {
+			var err error
+			if payload, err = json.Marshal(bodyFn()); err != nil {
+				return err
+			}
+		}
+		r.mu.Lock()
+		member := r.members[r.member]
+		r.mu.Unlock()
+		url := member + "/v1/ledgers/" + r.key + path
+		class, err := r.attempt(ctx, method, url, payload, out)
+		switch class {
+		case classOK:
 			return nil
-		}
-		lastErr = err
-		if !retry {
+		case classFatal:
 			return err
+		case classRetry:
+			lastErr = err
+			r.advanceMember()
+		case classFence:
+			lastErr = err
+			if len(r.members) == 1 {
+				// Single-node semantics (PR 8): a fence is definitive — the
+				// caller must latch fail-closed.
+				return err
+			}
+			if rerr := r.reattachWalk(ctx); rerr != nil {
+				lastErr = fmt.Errorf("re-attach after fence: %w", rerr)
+			}
 		}
 	}
 	return fmt.Errorf("accountant: remote ledger %s unreachable after %d attempts: %w",
-		r.base, r.opts.Attempts, lastErr)
+		strings.Join(r.members, ","), r.opts.Attempts, lastErr)
 }
 
-// attempt is one HTTP round trip. retry reports whether the failure is
-// transient.
-func (r *RemoteLedger) attempt(method, url string, payload []byte, out any) (status int, retry bool, err error) {
-	ctx, cancel := context.WithTimeout(context.Background(), r.opts.Timeout)
+// advanceMember rotates to the next configured member (no-op with one).
+func (r *RemoteLedger) advanceMember() {
+	if len(r.members) == 1 {
+		return
+	}
+	r.mu.Lock()
+	r.member = (r.member + 1) % len(r.members)
+	r.mu.Unlock()
+	r.failovers.Add(1)
+}
+
+// reattachWalk re-attaches after a fence, trying every member once
+// starting with the CURRENT one: an epoch-fenced refusal comes from the
+// live primary itself (it holds a newer term than the epoch we sent),
+// so the current member is exactly where the attach must land first —
+// advancing before attaching would orbit the group without ever
+// adopting the new term. A not-primary refusal walks on to the next
+// member instead.
+func (r *RemoteLedger) reattachWalk(ctx context.Context) error {
+	var lastErr error
+	for i := 0; i < len(r.members); i++ {
+		if i > 0 {
+			r.advanceMember()
+		}
+		if err := r.reattach(ctx); err == nil {
+			return nil
+		} else {
+			lastErr = err
+		}
+		if ctx.Err() != nil {
+			return lastErr
+		}
+	}
+	// No member took the attach; leave the cursor advanced so the next
+	// spend attempt probes somewhere new.
+	r.advanceMember()
+	return lastErr
+}
+
+// reattach re-runs the attach handshake against the current member to
+// adopt its epoch (in group mode: the new primary's term). One single
+// attempt — the surrounding call loop owns retries and further walking.
+func (r *RemoteLedger) reattach(ctx context.Context) error {
+	payload, err := json.Marshal(r.attachBody())
+	if err != nil {
+		return err
+	}
+	r.mu.Lock()
+	member := r.members[r.member]
+	r.mu.Unlock()
+	var res wireState
+	class, err := r.attempt(ctx, http.MethodPost, member+"/v1/ledgers/"+r.key+"/attach", payload, &res)
+	if class != classOK {
+		return err
+	}
+	got := dp.Params{Epsilon: res.Budget.Epsilon, Delta: res.Budget.Delta}
+	if got != r.budget || res.Epoch == "" {
+		return fmt.Errorf("%w: re-attach returned budget %s epoch %q", ErrRemoteProtocol, got, res.Epoch)
+	}
+	r.mu.Lock()
+	r.epoch = res.Epoch
+	r.mu.Unlock()
+	r.observe(res)
+	r.reattaches.Add(1)
+	return nil
+}
+
+// attempt is one HTTP round trip, classified.
+func (r *RemoteLedger) attempt(ctx context.Context, method, url string, payload []byte, out any) (int, error) {
+	ctx, cancel := context.WithTimeout(ctx, r.opts.Timeout)
 	defer cancel()
 	var bodyReader io.Reader
 	if payload != nil {
@@ -415,27 +602,27 @@ func (r *RemoteLedger) attempt(method, url string, payload []byte, out any) (sta
 	}
 	req, err := http.NewRequestWithContext(ctx, method, url, bodyReader)
 	if err != nil {
-		return 0, false, err
+		return classFatal, err
 	}
 	if payload != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	resp, err := r.opts.Client.Do(req)
 	if err != nil {
-		return 0, true, err // network/timeout: transient
+		return classRetry, err // network/timeout: transient
 	}
 	defer resp.Body.Close()
 	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<22))
 	if err != nil {
-		return resp.StatusCode, true, err
+		return classRetry, err
 	}
 	if resp.StatusCode >= 200 && resp.StatusCode < 300 {
 		if out != nil {
 			if err := json.Unmarshal(data, out); err != nil {
-				return resp.StatusCode, false, fmt.Errorf("%w: %v", ErrRemoteProtocol, err)
+				return classFatal, fmt.Errorf("%w: %v", ErrRemoteProtocol, err)
 			}
 		}
-		return resp.StatusCode, false, nil
+		return classOK, nil
 	}
 	var we wireError
 	_ = json.Unmarshal(data, &we)
@@ -445,23 +632,25 @@ func (r *RemoteLedger) attempt(method, url string, payload []byte, out any) (sta
 	}
 	switch {
 	case we.Code == "budget-exceeded":
-		return resp.StatusCode, false, fmt.Errorf("%w: %s", ErrBudgetExceeded, msg)
+		return classFatal, fmt.Errorf("%w: %s", ErrBudgetExceeded, msg)
 	case we.Code == "budget-mismatch":
-		return resp.StatusCode, false, fmt.Errorf("%w: %s", ErrBudgetMismatch, msg)
-	case we.Code == "epoch-fenced", we.Code == "not-attached":
-		return resp.StatusCode, false, fmt.Errorf("accountant: sequencer fenced this writer (%s): %s", we.Code, msg)
+		return classFatal, fmt.Errorf("%w: %s", ErrBudgetMismatch, msg)
+	case we.Code == "epoch-fenced", we.Code == "not-attached", we.Code == "not-primary":
+		return classFence, fmt.Errorf("accountant: sequencer fenced this writer (%s): %s", we.Code, msg)
 	case resp.StatusCode >= 500 || resp.StatusCode == http.StatusServiceUnavailable:
-		// Sequencer-side trouble: retrying under the same op ID is safe
-		// and may land once it recovers (or re-ack an admitted op).
-		return resp.StatusCode, true, fmt.Errorf("accountant: sequencer error (HTTP %d, %s): %s", resp.StatusCode, we.Code, msg)
+		// Sequencer-side trouble (including "no-quorum"): retrying under
+		// the same op ID is safe and may land once it recovers (or re-ack
+		// an admitted op).
+		return classRetry, fmt.Errorf("accountant: sequencer error (HTTP %d, %s): %s", resp.StatusCode, we.Code, msg)
 	default:
-		return resp.StatusCode, false, fmt.Errorf("%w: HTTP %d (%s): %s", ErrRemoteProtocol, resp.StatusCode, we.Code, msg)
+		return classFatal, fmt.Errorf("%w: HTTP %d (%s): %s", ErrRemoteProtocol, resp.StatusCode, we.Code, msg)
 	}
 }
 
 // sleepBackoff pauses before retry #attempt: exponential in the attempt
-// number, capped at BackoffMax, jittered uniformly in [d/2, d).
-func (r *RemoteLedger) sleepBackoff(attempt int) {
+// number, capped at BackoffMax, jittered uniformly in [d/2, d). The
+// context cuts the pause short — the op deadline outranks politeness.
+func (r *RemoteLedger) sleepBackoff(ctx context.Context, attempt int) error {
 	d := r.opts.BackoffBase << (attempt - 1)
 	if d > r.opts.BackoffMax || d <= 0 {
 		d = r.opts.BackoffMax
@@ -469,5 +658,10 @@ func (r *RemoteLedger) sleepBackoff(attempt int) {
 	r.mu.Lock()
 	jittered := d/2 + time.Duration(r.rng.Int63n(int64(d/2)+1))
 	r.mu.Unlock()
-	time.Sleep(jittered)
+	select {
+	case <-time.After(jittered):
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }

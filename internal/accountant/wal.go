@@ -40,6 +40,34 @@ const (
 // crcTable is the Castagnoli polynomial (hardware-accelerated CRC32).
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
+// Frame appends payload wrapped in the ledger frame envelope
+// (u32 len | payload | u32 crc32c). Exported so the sequencer's
+// replication stream ships the exact checksummed frame shape the WAL
+// stores — a follower verifies the same checksum the disk replay does.
+func Frame(dst, payload []byte) []byte { return frame(dst, payload) }
+
+// NextFrame parses one frame at the head of b. ok is false when b does
+// not hold a complete, checksum-valid frame (the torn-tail signal); n
+// is the total frame length consumed when ok.
+func NextFrame(b []byte) (payload []byte, n int, ok bool) { return nextFrame(b) }
+
+// AppendOpPayload encodes one ledger op record payload (the bytes a
+// WAL op frame wraps) — exported so replicated-log entries can embed
+// the identical op shape the durable ledger persists.
+func AppendOpPayload(dst []byte, seq uint64, cost dp.Params, label []byte) []byte {
+	return appendOpPayload(dst, seq, cost, label)
+}
+
+// ParseOpPayload decodes one ledger op record payload. The label
+// aliases p; copy to retain.
+func ParseOpPayload(p []byte) (seq uint64, cost dp.Params, label []byte, ok bool) {
+	op, ok := parseOpPayload(p)
+	if !ok {
+		return 0, dp.Params{}, nil, false
+	}
+	return op.seq, op.cost, op.label, true
+}
+
 func appendU32(dst []byte, v uint32) []byte {
 	return binary.LittleEndian.AppendUint32(dst, v)
 }

@@ -43,6 +43,11 @@ const (
 	CodeBadRequest     = "bad-request"
 	CodeLedgerFailed   = "ledger-failed"
 	CodeServiceClosed  = "service-closed"
+	// Group-mode codes: a follower refuses client ops (the multi-address
+	// client walks the member list), and a primary without a majority
+	// refuses to admit (503 — retryable under the same op ID).
+	CodeNotPrimary = "not-primary"
+	CodeNoQuorum   = "no-quorum"
 )
 
 // budgetWire is the (ε, δ) wire shape.
@@ -54,26 +59,72 @@ type budgetWire struct {
 func toWire(p dp.Params) budgetWire    { return budgetWire{Epsilon: p.Epsilon, Delta: p.Delta} }
 func (b budgetWire) params() dp.Params { return dp.Params{Epsilon: b.Epsilon, Delta: b.Delta} }
 
-// errorWire is the uniform error body.
+// errorWire is the uniform error body. Term rides along on group-mode
+// epoch-fenced refusals so a fenced sender can adopt the newer term.
 type errorWire struct {
 	Error string `json:"error"`
 	Code  string `json:"code"`
+	Term  uint64 `json:"term,omitempty"`
 }
 
-// NewHandler returns the sequencer's HTTP front end.
+// sequencer is the admission surface the HTTP layer fronts: the
+// single-writer Service or a replicated Group member. Both serve the
+// identical client wire protocol, so gdpserve replicas cannot tell a
+// group from a single node (beyond the extra codes above).
+type sequencer interface {
+	Epoch() string
+	Attach(key string, budget dp.Params) (AttachResult, error)
+	Spend(key, epoch, opID, label string, cost dp.Params) (SpendResult, error)
+	Status(key string) (Status, error)
+	Ops(key string) ([]accountant.Op, error)
+	Keys() []string
+	Ready() (bool, string)
+}
+
+var (
+	_ sequencer = (*Service)(nil)
+	_ sequencer = (*Group)(nil)
+)
+
+// NewHandler returns the single-node sequencer's HTTP front end.
 func NewHandler(s *Service) http.Handler {
-	h := &handler{svc: s}
+	return newHandler(s, nil)
+}
+
+// NewGroupHandler returns a group member's HTTP front end: the client
+// wire protocol plus the replication endpoints.
+//
+//	POST /v1/group/append   replication stream (primary → follower)
+//	POST /v1/group/vote     durable term write (candidate → voter)
+//	GET  /v1/group/state    durable position (candidate reads a majority)
+//	GET  /v1/group/status   operator panel
+//	POST /v1/group/promote  manual failover (operator runbook)
+func NewGroupHandler(g *Group) http.Handler {
+	return newHandler(g, g)
+}
+
+func newHandler(seq sequencer, g *Group) http.Handler {
+	h := &handler{svc: seq, group: g}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", h.healthz)
+	mux.HandleFunc("GET /readyz", h.readyz)
 	mux.HandleFunc("POST /v1/ledgers/{key}/attach", h.attach)
 	mux.HandleFunc("POST /v1/ledgers/{key}/spend", h.spend)
 	mux.HandleFunc("GET /v1/ledgers/{key}", h.status)
 	mux.HandleFunc("GET /v1/ledgers/{key}/ops", h.ops)
+	if g != nil {
+		mux.HandleFunc("POST /v1/group/append", h.groupAppend)
+		mux.HandleFunc("POST /v1/group/vote", h.groupVote)
+		mux.HandleFunc("GET /v1/group/state", h.groupState)
+		mux.HandleFunc("GET /v1/group/status", h.groupStatus)
+		mux.HandleFunc("POST /v1/group/promote", h.groupPromote)
+	}
 	return mux
 }
 
 type handler struct {
-	svc *Service
+	svc   sequencer
+	group *Group
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -94,6 +145,10 @@ func writeErr(w http.ResponseWriter, err error) {
 		status, code = http.StatusConflict, CodeEpochFenced
 	case errors.Is(err, ErrNotAttached):
 		status, code = http.StatusConflict, CodeNotAttached
+	case errors.Is(err, ErrNotPrimary):
+		status, code = http.StatusConflict, CodeNotPrimary
+	case errors.Is(err, ErrNoQuorum):
+		status, code = http.StatusServiceUnavailable, CodeNoQuorum
 	case errors.Is(err, ErrClosed):
 		status, code = http.StatusServiceUnavailable, CodeServiceClosed
 	case errors.Is(err, ErrBadKey), errors.Is(err, ErrBadOpID), errors.Is(err, errBadBody):
@@ -110,7 +165,14 @@ func writeErr(w http.ResponseWriter, err error) {
 		// not blame its request.
 		status, code = http.StatusInternalServerError, CodeLedgerFailed
 	}
-	writeJSON(w, status, errorWire{Error: err.Error(), Code: code})
+	body := errorWire{Error: err.Error(), Code: code}
+	if code == CodeEpochFenced {
+		var fe *fencedError
+		if errors.As(err, &fe) {
+			body.Term = fe.term
+		}
+	}
+	writeJSON(w, status, body)
 }
 
 // errBadBody marks malformed request bodies: the client's fault, 400.
@@ -136,11 +198,95 @@ func decode(w http.ResponseWriter, r *http.Request, v any) error {
 }
 
 func (h *handler) healthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
+	body := map[string]any{
 		"ok":      true,
 		"epoch":   h.svc.Epoch(),
 		"ledgers": len(h.svc.Keys()),
-	})
+	}
+	if h.group != nil {
+		st := h.group.GroupStatus()
+		body["role"], body["term"] = st.Role, st.Term
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+// readyz is the load-balancer / fail-fast probe: 200 only when this
+// member can take part in admissions right now (single node: open;
+// primary: whole log committed; follower: live leader). healthz stays a
+// pure liveness signal.
+func (h *handler) readyz(w http.ResponseWriter, r *http.Request) {
+	ready, reason := h.svc.Ready()
+	status := http.StatusOK
+	if !ready {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, map[string]any{"ready": ready, "reason": reason, "epoch": h.svc.Epoch()})
+}
+
+// maxGroupBody bounds replication bodies: a catch-up batch of up to 512
+// framed entries with short labels fits comfortably.
+const maxGroupBody = 1 << 22
+
+// decodeGroup parses a replication request body (larger bound than
+// client bodies, same strictness).
+func decodeGroup(w http.ResponseWriter, r *http.Request, v any) error {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxGroupBody))
+	if err != nil {
+		return fmt.Errorf("%w: reading: %v", errBadBody, err)
+	}
+	if err := json.Unmarshal(body, v); err != nil {
+		return fmt.Errorf("%w: parsing: %v", errBadBody, err)
+	}
+	return nil
+}
+
+func (h *handler) groupAppend(w http.ResponseWriter, r *http.Request) {
+	var req AppendRequest
+	if err := decodeGroup(w, r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	res, err := h.group.HandleAppend(req)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (h *handler) groupVote(w http.ResponseWriter, r *http.Request) {
+	var req VoteRequest
+	if err := decodeGroup(w, r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	res, err := h.group.HandleVote(req)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (h *handler) groupState(w http.ResponseWriter, r *http.Request) {
+	res, err := h.group.HandleState()
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (h *handler) groupStatus(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, h.group.GroupStatus())
+}
+
+func (h *handler) groupPromote(w http.ResponseWriter, r *http.Request) {
+	if err := h.group.Promote(); err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, h.group.GroupStatus())
 }
 
 // attachWire is the attach request/response pair.

@@ -439,6 +439,18 @@ func (s *Service) Ops(key string) ([]accountant.Op, error) {
 	return ops, nil
 }
 
+// Ready implements the readiness probe: a single-node sequencer is
+// ready while it is open (its durable state is local, so open means
+// attachable).
+func (s *Service) Ready() (bool, string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false, "closed"
+	}
+	return true, "single-node"
+}
+
 // Keys lists the ledger keys attached in this incarnation.
 func (s *Service) Keys() []string {
 	s.mu.Lock()

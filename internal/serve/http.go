@@ -31,7 +31,8 @@ import (
 //	POST   /v1/sessions/{id}/level       {"level": l} → level view (count + histogram)
 //	POST   /v1/sessions/{id}/marginal    {"level": l, "side": "left"|"right"}
 //	POST   /v1/sessions/{id}/topk        {"level": l, "side": ..., "k": n}
-//	GET    /healthz
+//	GET    /healthz                      liveness (process answers)
+//	GET    /readyz                       readiness (ingests settled, ledger sequencer reachable)
 //
 // Budget exhaustion returns 429 with code "budget-exhausted"; the
 // ledger was not debited and no noise was drawn. Query responses are a
@@ -101,6 +102,7 @@ func NewHandlerWith(reg *Registry, opts HandlerOptions) http.Handler {
 	s := &httpServer{reg: reg, opts: opts.withDefaults(), sessions: make(map[uint64]*httpSession)}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.healthz)
+	mux.HandleFunc("GET /readyz", s.readyz)
 	mux.HandleFunc("GET /v1/datasets", s.listDatasets)
 	mux.HandleFunc("POST /v1/datasets/{name}", s.ingest)
 	mux.HandleFunc("GET /v1/datasets/{name}", s.datasetInfo)
@@ -206,6 +208,8 @@ func writeErr(w http.ResponseWriter, err error) {
 		status, code = http.StatusInternalServerError, "ingest-spool-failed"
 	case errors.Is(err, accountant.ErrBudgetExceeded):
 		status, code = http.StatusTooManyRequests, "budget-exhausted"
+	case errors.Is(err, accountant.ErrLedgerFailed):
+		status, code = http.StatusServiceUnavailable, "ledger-failed"
 	case errors.Is(err, ErrUnknownDataset):
 		status, code = http.StatusNotFound, "unknown-dataset"
 	case errors.Is(err, ErrUnknownSession):
@@ -248,6 +252,19 @@ func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
 
 func (s *httpServer) healthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"ok": true, "datasets": len(s.reg.Names())})
+}
+
+// readyz is the load-balancer gate: 200 only when this replica can
+// actually answer AND account a query right now. Liveness stays on
+// /healthz — a replica mid-ingest or cut off from its ledger sequencer
+// is alive but must not take traffic.
+func (s *httpServer) readyz(w http.ResponseWriter, r *http.Request) {
+	ready, reason := s.reg.Ready()
+	status := http.StatusOK
+	if !ready {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, map[string]any{"ready": ready, "reason": reason})
 }
 
 // budgetJSON serializes one (ε, δ) pair.

@@ -234,6 +234,36 @@ func TestRemoteFailClosed(t *testing.T) {
 	}
 }
 
+// TestServeReadyz: the replica's readiness gate tracks its ability to
+// ACCOUNT queries — it turns 503 when the ledger sequencer becomes
+// unreachable, while liveness (/healthz) stays 200. A load balancer
+// keyed on readyz stops routing to a replica that could only answer
+// with unaccounted (hence refused) queries.
+func TestServeReadyz(t *testing.T) {
+	t.Parallel()
+	seq, _ := startSequencer(t)
+	ts, _ := newTestServer(t, remoteConfig(seq.URL))
+	status := func(path string) int {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if got := status("/readyz"); got != http.StatusOK {
+		t.Fatalf("readyz with live sequencer: HTTP %d, want 200", got)
+	}
+	seq.CloseClientConnections()
+	seq.Close()
+	if got := status("/readyz"); got != http.StatusServiceUnavailable {
+		t.Fatalf("readyz with dead sequencer: HTTP %d, want 503", got)
+	}
+	if got := status("/healthz"); got != http.StatusOK {
+		t.Fatalf("healthz must stay a liveness probe: HTTP %d, want 200", got)
+	}
+}
+
 // TestBudgetEndpointRemoteBackend: /budget stamps the accounting
 // backend and embeds the sequencer binding for remote datasets.
 func TestBudgetEndpointRemoteBackend(t *testing.T) {

@@ -156,13 +156,17 @@ type Config struct {
 	// in-memory ledgers, which forget every debit on restart.
 	LedgerDir string
 	// LedgerAddr points privacy accounting at a shared gdpledgerd
-	// sequencer (host:port or http://host:port): each dataset's ledger
-	// becomes an accountant.RemoteLedger spending against the
-	// sequencer's durable budget for the (name, fingerprint) key — the
-	// deployment shape where N replicas share ONE budget instead of
-	// silently multiplying it. Mutually exclusive with LedgerDir and
-	// with the LedgerFsync*/LedgerSnapshotEvery knobs (durability policy
-	// lives with the sequencer); conflicts fail Open with ErrBadConfig.
+	// sequencer (host:port or http://host:port, or a comma-separated
+	// member list "a:8850,b:8850,c:8850" naming every node of a
+	// replicated sequencer group): each dataset's ledger becomes an
+	// accountant.RemoteLedger spending against the sequencer's durable
+	// budget for the (name, fingerprint) key — the deployment shape
+	// where N replicas share ONE budget instead of silently multiplying
+	// it. With a member list the client walks the membership on network
+	// errors and primary fences, so spends survive any minority of
+	// sequencer failures. Mutually exclusive with LedgerDir and with the
+	// LedgerFsync*/LedgerSnapshotEvery knobs (durability policy lives
+	// with the sequencer); conflicts fail Open with ErrBadConfig.
 	LedgerAddr string
 	// LedgerFsync is the WAL fsync policy when LedgerDir is set:
 	// accountant.FsyncAlways (default — every admission is durable
@@ -316,9 +320,9 @@ type Registry struct {
 // Open validates cfg and returns an empty registry. When cfg.LedgerDir
 // is set the directory is created if needed; every dataset added to the
 // registry then accounts its budget in a durable WAL there. When
-// cfg.LedgerAddr is set the sequencer is pinged once — a registry that
-// could never account a spend must fail at startup, not on the first
-// ingest.
+// cfg.LedgerAddr is set the sequencer is pinged once (any READY member
+// of a comma-separated group will do) — a registry that could never
+// account a spend must fail at startup, not on the first ingest.
 func Open(cfg Config) (*Registry, error) {
 	cfg, err := cfg.withDefaults()
 	if err != nil {
@@ -696,22 +700,67 @@ func ledgerFileName(name string, print uint64) string {
 	return ledgerKey(name, print) + ".wal"
 }
 
-// pingSequencer checks that a gdpledgerd sequencer answers /healthz at
-// addr (host:port or http://host:port).
+// pingSequencer checks that a gdpledgerd sequencer is READY to admit
+// spends: addr is one host:port (or http://host:port) or a
+// comma-separated group member list, and the ping succeeds if ANY
+// member answers /readyz with 200. Readiness — not liveness — is the
+// right probe here: a follower that is up but has lost its leader
+// answers /healthz cheerfully while every spend routed at it would
+// bounce.
 func pingSequencer(addr string) error {
-	if !strings.Contains(addr, "://") {
-		addr = "http://" + addr
-	}
 	client := &http.Client{Timeout: 2 * time.Second}
-	resp, err := client.Get(strings.TrimSuffix(addr, "/") + "/healthz")
-	if err != nil {
-		return err
+	var lastErr error
+	for _, member := range strings.Split(addr, ",") {
+		member = strings.TrimSpace(member)
+		if member == "" {
+			continue
+		}
+		if !strings.Contains(member, "://") {
+			member = "http://" + member
+		}
+		resp, err := client.Get(strings.TrimSuffix(member, "/") + "/readyz")
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			return nil
+		}
+		lastErr = fmt.Errorf("sequencer readyz answered HTTP %d", resp.StatusCode)
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("sequencer healthz answered HTTP %d", resp.StatusCode)
+	if lastErr == nil {
+		return errors.New("no sequencer members in address list")
 	}
-	return nil
+	return fmt.Errorf("no ready sequencer member: %w", lastErr)
+}
+
+// Ready reports whether the registry can currently serve and account
+// queries: it is open, no preloaded ingest is still building, and (when
+// accounting is delegated) at least one sequencer member is ready. The
+// false reason is operator-facing — it names the gate that failed.
+func (r *Registry) Ready() (bool, string) {
+	r.mu.RLock()
+	closed := r.closed
+	building := 0
+	for _, ds := range r.datasets {
+		if ds == nil {
+			building++
+		}
+	}
+	r.mu.RUnlock()
+	if closed {
+		return false, "registry closed"
+	}
+	if building > 0 {
+		return false, fmt.Sprintf("%d ingest(s) in flight", building)
+	}
+	if r.cfg.LedgerAddr != "" {
+		if err := pingSequencer(r.cfg.LedgerAddr); err != nil {
+			return false, fmt.Sprintf("ledger sequencer: %v", err)
+		}
+	}
+	return true, "ready"
 }
 
 // fingerprintTree hashes the dataset as served. The finest-level cell
